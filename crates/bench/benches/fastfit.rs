@@ -1,0 +1,76 @@
+//! The fast-fit allocator (Section 6.3) against a linear first-fit
+//! free list (the code-buffer allocator) under churn.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use synthesis_codegen::codebuf::CodeBuf;
+use synthesis_core::alloc::FastFit;
+
+/// Uniform allocator interface for the comparison.
+trait Arena {
+    fn alloc(&mut self, size: u32) -> Option<u32>;
+    fn free(&mut self, addr: u32, size: u32);
+}
+
+impl Arena for FastFit {
+    fn alloc(&mut self, size: u32) -> Option<u32> {
+        FastFit::alloc(self, size).ok()
+    }
+    fn free(&mut self, addr: u32, size: u32) {
+        FastFit::free(self, addr, size);
+    }
+}
+
+impl Arena for CodeBuf {
+    fn alloc(&mut self, size: u32) -> Option<u32> {
+        CodeBuf::alloc(self, size).ok()
+    }
+    fn free(&mut self, addr: u32, size: u32) {
+        CodeBuf::free(self, addr, size);
+    }
+}
+
+/// A deterministic alloc/free churn driver.
+fn churn<A: Arena>(h: &mut A, rounds: u32) {
+    let mut live: Vec<(u32, u32)> = Vec::new();
+    let mut seed = 0x1234_5678u32;
+    for _ in 0..rounds {
+        seed = seed.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+        let size = 16 + (seed >> 20) % 240;
+        if live.len() > 48 || (live.len() > 8 && seed.is_multiple_of(3)) {
+            let idx = (seed as usize) % live.len();
+            let (a, l) = live.swap_remove(idx);
+            h.free(a, l);
+        } else if let Some(a) = h.alloc(size) {
+            live.push((a, size));
+        }
+    }
+    for (a, l) in live {
+        h.free(a, l);
+    }
+}
+
+fn bench_fastfit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allocator");
+    g.bench_function("fastfit_churn_200", |b| {
+        b.iter(|| {
+            let mut h = FastFit::new(0, 0x4_0000);
+            churn(&mut h, 200);
+            std::hint::black_box(h.high_water);
+        });
+    });
+    g.bench_function("firstfit_churn_200", |b| {
+        b.iter(|| {
+            let mut h = CodeBuf::new(0, 0x4_0000);
+            churn(&mut h, 200);
+            std::hint::black_box(h.high_water);
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fastfit
+}
+criterion_main!(benches);

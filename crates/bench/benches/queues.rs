@@ -1,0 +1,105 @@
+//! Figures 1 and 2: the optimistic queues, on real hardware.
+//!
+//! Wall-clock criterion benches of the lock-free building blocks against
+//! a lock-based queue — the optimistic-synchronization claim measured on
+//! the machine this reproduction runs on (the simulated-cycle version is
+//! in the `tables` binary).
+
+use std::collections::VecDeque;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parking_lot::Mutex;
+
+fn bench_queues(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_spsc");
+    g.bench_function("put_get_pair", |b| {
+        let (mut p, mut cns) = synthesis_blocks::spsc::channel::<u64>(1024);
+        b.iter(|| {
+            p.put(std::hint::black_box(42)).unwrap();
+            std::hint::black_box(cns.get().unwrap());
+        });
+    });
+    g.bench_function("dedicated_put_get_pair", |b| {
+        let mut q = synthesis_blocks::dedicated::DedicatedQueue::<u64>::new(1024);
+        b.iter(|| {
+            q.put(std::hint::black_box(42)).unwrap();
+            std::hint::black_box(q.get().unwrap());
+        });
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("fig2_mpsc");
+    g.bench_function("put_get_pair", |b| {
+        let (p, mut cns) = synthesis_blocks::mpsc::channel::<u64>(1024);
+        b.iter(|| {
+            p.put(std::hint::black_box(42)).unwrap();
+            std::hint::black_box(cns.get().unwrap());
+        });
+    });
+    g.bench_function("multi_insert_8", |b| {
+        let (p, mut cns) = synthesis_blocks::mpsc::channel::<u64>(1024);
+        b.iter(|| {
+            p.put_many((0..8).collect()).unwrap();
+            for _ in 0..8 {
+                std::hint::black_box(cns.get().unwrap());
+            }
+        });
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("queue_vs_lock");
+    g.bench_function("optimistic_mpmc_pair", |b| {
+        let q = synthesis_blocks::mpmc::channel::<u64>(1024);
+        b.iter(|| {
+            q.put(std::hint::black_box(42)).unwrap();
+            std::hint::black_box(q.get().unwrap());
+        });
+    });
+    g.bench_function("mutex_vecdeque_pair", |b| {
+        let q: Mutex<VecDeque<u64>> = Mutex::new(VecDeque::with_capacity(1024));
+        b.iter(|| {
+            q.lock().push_back(std::hint::black_box(42));
+            std::hint::black_box(q.lock().pop_front().unwrap());
+        });
+    });
+    g.bench_function("monitor_vecdeque_pair", |b| {
+        let q = synthesis_blocks::monitor::Monitor::new(VecDeque::<u64>::with_capacity(1024));
+        b.iter(|| {
+            q.enter(|v| v.push_back(std::hint::black_box(42)));
+            std::hint::black_box(q.enter(|v| v.pop_front().unwrap()));
+        });
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("buffered_queue");
+    g.bench_function("factor_8_put", |b| {
+        let (mut p, mut cns) = synthesis_blocks::buffered::channel::<u32, 8>(4096);
+        let mut i = 0u32;
+        b.iter(|| {
+            if p.put(i).is_err() {
+                while cns.get().is_some() {}
+                p.put(i).unwrap();
+            }
+            i = i.wrapping_add(1);
+        });
+    });
+    g.bench_function("unbuffered_put", |b| {
+        let (mut p, mut cns) = synthesis_blocks::spsc::channel::<u32>(4096 * 8);
+        let mut i = 0u32;
+        b.iter(|| {
+            if p.put(i).is_err() {
+                while cns.get().is_some() {}
+                p.put(i).unwrap();
+            }
+            i = i.wrapping_add(1);
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_queues
+}
+criterion_main!(benches);

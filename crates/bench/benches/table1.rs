@@ -1,0 +1,36 @@
+//! Table 1 as a tracked benchmark: the pipe and open/close programs on
+//! both kernels (small iteration counts; the full sweep is `tables`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use synthesis_bench::table1::{run_sunos, run_synthesis};
+use synthesis_unix::programs;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("pipe_1b_sunos", |b| {
+        b.iter(|| std::hint::black_box(run_sunos(programs::pipe_rw(1, 5), false)));
+    });
+    g.bench_function("pipe_1b_synthesis", |b| {
+        b.iter(|| std::hint::black_box(run_synthesis(programs::pipe_rw(1, 5), false)));
+    });
+    g.bench_function("open_null_sunos", |b| {
+        b.iter(|| std::hint::black_box(run_sunos(programs::open_close(0, 4), false)));
+    });
+    g.bench_function("open_null_synthesis", |b| {
+        b.iter(|| std::hint::black_box(run_synthesis(programs::open_close(0, 4), false)));
+    });
+    g.finish();
+
+    // Print the virtual-time comparison once (the quantity the paper
+    // reports); criterion tracks the host cost of regenerating it.
+    let sun = run_sunos(programs::pipe_rw(1, 20), false);
+    let syn = run_synthesis(programs::pipe_rw(1, 20), false);
+    println!(
+        "[table1] pipe 1B x20: sunos {sun:.0} µs vs synthesis {syn:.0} µs = {:.1}x",
+        sun / syn
+    );
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

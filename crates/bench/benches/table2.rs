@@ -1,0 +1,21 @@
+//! Table 2 as a tracked benchmark: single-call I/O costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    g.bench_function("regenerate", |b| {
+        b.iter(|| std::hint::black_box(synthesis_bench::table2::run()));
+    });
+    g.finish();
+    for row in synthesis_bench::table2::run() {
+        println!(
+            "[table2] {}: paper {:?} vs measured {:.1} µs",
+            row.what, row.paper, row.measured
+        );
+    }
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Table 3 as a tracked benchmark: thread operations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_table3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(10);
+    g.bench_function("regenerate", |b| {
+        b.iter(|| std::hint::black_box(synthesis_bench::table3::run()));
+    });
+    g.finish();
+    for row in synthesis_bench::table3::run() {
+        println!(
+            "[table3] {}: paper {:?} vs measured {:.1} µs",
+            row.what, row.paper, row.measured
+        );
+    }
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Table 4 (and Figure 3) as a tracked benchmark: the dispatcher.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_table4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4");
+    g.sample_size(10);
+    g.bench_function("regenerate", |b| {
+        b.iter(|| std::hint::black_box(synthesis_bench::table4::run()));
+    });
+    g.finish();
+    for row in synthesis_bench::table4::run() {
+        println!(
+            "[table4] {}: paper {:?} vs measured {:.1} µs",
+            row.what, row.paper, row.measured
+        );
+    }
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Table 5 as a tracked benchmark: interrupt handling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_table5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table5");
+    g.sample_size(10);
+    g.bench_function("regenerate", |b| {
+        b.iter(|| std::hint::black_box(synthesis_bench::table5::run()));
+    });
+    g.finish();
+    for row in synthesis_bench::table5::run() {
+        println!(
+            "[table5] {}: paper {:?} vs measured {:.1} µs",
+            row.what, row.paper, row.measured
+        );
+    }
+}
+
+criterion_group!(benches, bench_table5);
+criterion_main!(benches);

@@ -1,0 +1,161 @@
+//! Regenerate every table of the paper's evaluation section.
+//!
+//! ```text
+//! tables            # all tables
+//! tables --table 3  # one table
+//! tables --kernel-size
+//! tables --iters 100
+//! ```
+
+use synthesis_bench::{render, table1, table2, table3, table4, table5, Row};
+
+fn kernel_size() -> Vec<Row> {
+    // Section 6.4: the whole kernel assembles to 64 KB; with 3 processes
+    // running the resident kernel is 32 KB, growing with threads and
+    // open files.
+    let mut k = synthesis_bench::boot_kernel();
+    let boot_report = synthesis_core::monitor::size_report(&k);
+    let boot_code = boot_report.code_resident as f64 / 1024.0;
+
+    // Three threads, like the paper's "3 processes running" figure.
+    let map = quamachine::mem::AddressMap::single(
+        1,
+        synthesis_core::layout::USER_BASE,
+        synthesis_core::layout::USER_LEN,
+    );
+    let mut a = quamachine::asm::Asm::new("spin");
+    let top = a.here();
+    a.bcc(quamachine::isa::Cond::T, top);
+    let entry = k.load_user_program(a.assemble().unwrap()).unwrap();
+    let mut tids = Vec::new();
+    for i in 0..3 {
+        let tid = k
+            .create_thread(
+                entry,
+                synthesis_core::layout::USER_BASE + 0x1000 + i * 0x800,
+                map.clone(),
+            )
+            .unwrap();
+        tids.push(tid);
+    }
+    let three = synthesis_core::monitor::size_report(&k);
+
+    // Open ten files on the first thread: space grows with open files.
+    for i in 0..10 {
+        let name = format!("/f{i}");
+        k.fs.create(&mut k.m, &mut k.heap, &name, 4096).unwrap();
+        k.open_for(tids[0], &name).unwrap();
+    }
+    let ten_files = synthesis_core::monitor::size_report(&k);
+
+    vec![
+        Row::new(
+            "static kernel code at boot [KB]",
+            Some(32.0),
+            boot_code,
+            "KB",
+        ),
+        Row::new(
+            "code with 3 threads [KB]",
+            None,
+            three.code_resident as f64 / 1024.0,
+            "KB",
+        ),
+        Row::new(
+            "code with 3 threads + 10 open files [KB]",
+            None,
+            ten_files.code_resident as f64 / 1024.0,
+            "KB",
+        ),
+        Row::new(
+            "kernel heap with 3 threads [KB]",
+            None,
+            f64::from(three.heap_in_use) / 1024.0,
+            "KB",
+        ),
+        Row::new(
+            "synthesized blocks resident",
+            None,
+            ten_files.code_blocks as f64,
+            "blocks",
+        ),
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let only: Option<u32> = match get("--table") {
+        Some(s) => match s.parse::<u32>() {
+            Ok(n @ 1..=5) => Some(n),
+            _ => {
+                eprintln!("error: --table takes a number 1-5, got {s:?}");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
+    let iters: u32 = match get("--iters") {
+        Some(s) => s.parse().unwrap_or_else(|_| {
+            eprintln!("error: --iters takes a positive number, got {s:?}");
+            std::process::exit(2);
+        }),
+        None => 40,
+    };
+    if iters == 0 {
+        eprintln!("error: --iters must be at least 1");
+        std::process::exit(2);
+    }
+    let size_only = args.iter().any(|a| a == "--kernel-size");
+
+    println!("Synthesis kernel reproduction — paper (SOSP '89) vs measured");
+    println!("machine: 16 MHz + 1 wait state (SUN 3/160 emulation mode)");
+
+    if size_only {
+        print!("{}", render("Kernel size (Section 6.4)", &kernel_size()));
+        return;
+    }
+
+    if only.is_none() || only == Some(1) {
+        println!("\n[table 1: running the seven programs on both kernels ({iters} iterations)...]");
+        print!(
+            "{}",
+            render(
+                "Table 1: measured UNIX system calls (speedup, SUNOS-like / Synthesis)",
+                &table1::run(iters)
+            )
+        );
+    }
+    if only.is_none() || only == Some(2) {
+        println!("\n[table 2: single-call file and device I/O...]");
+        print!(
+            "{}",
+            render("Table 2: file and device I/O (µs)", &table2::run())
+        );
+    }
+    if only.is_none() || only == Some(3) {
+        print!(
+            "{}",
+            render("Table 3: thread operations (µs)", &table3::run())
+        );
+    }
+    if only.is_none() || only == Some(4) {
+        print!(
+            "{}",
+            render("Table 4: dispatcher/scheduler (µs)", &table4::run())
+        );
+    }
+    if only.is_none() || only == Some(5) {
+        print!(
+            "{}",
+            render("Table 5: interrupt handling (µs)", &table5::run())
+        );
+    }
+    if only.is_none() {
+        print!("{}", render("Kernel size (Section 6.4)", &kernel_size()));
+    }
+}

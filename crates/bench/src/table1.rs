@@ -1,0 +1,113 @@
+//! Table 1 — the same UNIX binaries on the baseline and on Synthesis.
+
+use quamachine::asm::Asm;
+use quamachine::machine::RunExit;
+use synthesis_unix::emu::{boot_with_program, UnixEmulator};
+use synthesis_unix::programs::{self, addrs};
+use synthesis_unix::sunos::Sunos;
+
+use crate::Row;
+
+/// Run a program on the baseline kernel; returns elapsed virtual µs.
+#[must_use]
+pub fn run_sunos(program: Asm, bench_file: bool) -> f64 {
+    let mut s = Sunos::boot();
+    let entry = s.load_program(program);
+    s.m.mem.poke_bytes(addrs::PATHS, &programs::path_blob());
+    if bench_file {
+        s.write_bench_file(&vec![0x5Au8; 4096]);
+    }
+    let t0 = s.m.now_us();
+    let exit = s.run_program(entry, 60_000_000_000);
+    assert_eq!(exit, RunExit::Halted, "baseline program must exit");
+    s.m.now_us() - t0
+}
+
+/// Run a program under the Synthesis UNIX emulator; returns elapsed µs.
+#[must_use]
+pub fn run_synthesis(program: Asm, bench_file: bool) -> f64 {
+    let (mut emu, tid) =
+        boot_with_program(crate::measurement_config(), program).expect("emulator boots");
+    if bench_file {
+        make_bench_file(&mut emu);
+    }
+    let t0 = emu.k.m.now_us();
+    assert!(
+        emu.run_until_exit(tid, 60_000_000_000),
+        "emulated program must exit"
+    );
+    emu.k.m.now_us() - t0
+}
+
+fn make_bench_file(emu: &mut UnixEmulator) {
+    let fid = emu
+        .k
+        .fs
+        .create(&mut emu.k.m, &mut emu.k.heap, "/tmp/bench", 65536)
+        .expect("file fits");
+    emu.k
+        .fs
+        .write_contents(&mut emu.k.m, fid, &vec![0x5Au8; 4096]);
+}
+
+/// The paper's Table 1 speedup factors (SUN time / Synthesis time),
+/// derived from its seconds columns.
+#[must_use]
+pub fn paper_ratios() -> [(&'static str, f64); 7] {
+    [
+        ("1  compute (calibration)", 1.0), // 20.9 vs ~21: parity
+        ("2  r/w pipe, 1 byte", 56.0),
+        ("3  r/w pipe, 1 KB", 4.7), // ~15.3 vs ~3.3
+        ("4  r/w pipe, 4 KB", 6.0), // 38.2 vs ~6.5
+        ("5  r/w file, 1 KB", 9.0),
+        ("6  open /dev/null + close", 28.0), // "20 to 40 times"
+        ("7  open /dev/tty + close", 28.0),
+    ]
+}
+
+/// A boxed program builder.
+type ProgBuilder = Box<dyn Fn() -> Asm>;
+
+/// Regenerate Table 1 with `iters` loop iterations per program.
+#[must_use]
+pub fn run(iters: u32) -> Vec<Row> {
+    let progs: [(usize, ProgBuilder, bool); 7] = [
+        (0, Box::new(move || programs::compute(1024, 2)), false),
+        (1, Box::new(move || programs::pipe_rw(1, iters)), false),
+        (2, Box::new(move || programs::pipe_rw(1024, iters)), false),
+        (
+            3,
+            Box::new(move || programs::pipe_rw(4096, iters.div_ceil(4))),
+            false,
+        ),
+        (
+            4,
+            Box::new(move || programs::file_rw(iters.div_ceil(2))),
+            true,
+        ),
+        (
+            5,
+            Box::new(move || programs::open_close(0, iters.div_ceil(2))),
+            false,
+        ),
+        (
+            6,
+            Box::new(move || programs::open_close(0x10, iters.div_ceil(2))),
+            false,
+        ),
+    ];
+    let names = paper_ratios();
+    let mut rows = Vec::new();
+    for (idx, build, file) in progs {
+        let sun = run_sunos(build(), file);
+        let syn = run_synthesis(build(), file);
+        let (name, paper) = names[idx];
+        rows.push(Row::new(
+            format!("{name} [speedup]"),
+            Some(paper),
+            sun / syn,
+            "x",
+        ));
+    }
+    rows
+}

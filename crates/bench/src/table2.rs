@@ -1,0 +1,213 @@
+//! Table 2 — file and device I/O, native Synthesis vs UNIX emulation.
+//!
+//! Single-call costs come from loop measurements: a program performs the
+//! operation `N` times; an otherwise identical empty loop is subtracted;
+//! the difference divides by `N`. Everything runs on the simulated
+//! machine under the cycle model — the paper's own counting methodology.
+
+use quamachine::asm::Asm;
+use quamachine::isa::{Cond, Operand::*, Size::*};
+use quamachine::mem::AddressMap;
+use synthesis_core::kernel::Kernel;
+use synthesis_core::layout;
+use synthesis_core::syscall::{general, traps};
+use synthesis_unix::abi;
+
+use crate::Row;
+
+const USTACK: u32 = layout::USER_BASE + 0x1_0000;
+const UBUF: u32 = layout::USER_BASE + 0x2_0000;
+const UPATH: u32 = layout::USER_BASE + 0x2_8000;
+
+fn user_map() -> AddressMap {
+    AddressMap::single(1, layout::USER_BASE, layout::USER_LEN)
+}
+
+/// Measure a loop body's per-iteration cost in µs on a fresh kernel.
+///
+/// `prep` runs host-side before the thread starts (create files, open
+/// fds...). `body` emits the measured operation. The fd the prep opened
+/// (if any) is 0.
+pub fn measure_native(
+    iters: u32,
+    prep: impl Fn(&mut Kernel, u32),
+    body: impl Fn(&mut Asm),
+    unix_personality: bool,
+) -> f64 {
+    let run_once = |with_body: bool| -> f64 {
+        let mut k = crate::boot_kernel();
+        let mut a = Asm::new("bench");
+        a.move_i(L, iters, Dr(7));
+        let top = a.here();
+        if with_body {
+            body(&mut a);
+        }
+        a.sub(L, Imm(1), Dr(7));
+        a.bcc(Cond::Ne, top);
+        a.move_i(L, general::EXIT, Dr(0));
+        a.trap(traps::GENERAL);
+        let dead = a.here();
+        a.bcc(Cond::T, dead);
+
+        k.m.mem.poke_bytes(UPATH, b"/dev/null\0");
+        k.m.mem.poke_bytes(UPATH + 0x10, b"/dev/tty\0");
+        let entry = k
+            .load_user_program(a.assemble().expect("assembles"))
+            .unwrap();
+        let tid = k.create_thread(entry, USTACK, user_map()).unwrap();
+        prep(&mut k, tid);
+        if unix_personality {
+            let mut emu = synthesis_unix::emu::UnixEmulator::new(k);
+            emu.install(tid).unwrap();
+            emu.k.start(tid).unwrap();
+            let t0 = emu.k.m.now_us();
+            assert!(emu.run_until_exit(tid, 60_000_000_000));
+            emu.k.m.now_us() - t0
+        } else {
+            k.start(tid).unwrap();
+            let t0 = k.m.now_us();
+            assert!(k.run_until_exit(tid, 60_000_000_000));
+            k.m.now_us() - t0
+        }
+    };
+    let with = run_once(true);
+    let without = run_once(false);
+    (with - without) / f64::from(iters)
+}
+
+fn open_file_prep(name: &'static str, contents: u32) -> impl Fn(&mut Kernel, u32) {
+    move |k: &mut Kernel, tid: u32| {
+        if !name.starts_with("/dev/") {
+            let fid =
+                k.fs.create(&mut k.m, &mut k.heap, name, 65536)
+                    .expect("file fits");
+            k.fs.write_contents(&mut k.m, fid, &vec![0x33u8; contents as usize]);
+        }
+        let fd = k.open_for(tid, name).expect("opens");
+        assert_eq!(fd, 0);
+    }
+}
+
+/// Emit a native read: `read(fd=0, UBUF, n)`.
+fn native_read(n: u32) -> impl Fn(&mut Asm) {
+    move |a: &mut Asm| {
+        a.move_i(L, 0, Dr(0));
+        a.lea(Abs(UBUF), 0);
+        a.move_i(L, n, Dr(1));
+        a.trap(traps::READ);
+    }
+}
+
+/// Emit a UNIX-ABI read.
+fn unix_read(n: u32) -> impl Fn(&mut Asm) {
+    move |a: &mut Asm| {
+        a.move_i(L, abi::SYS_READ, Dr(0));
+        a.move_i(L, 0, Dr(1));
+        a.lea(Abs(UBUF), 0);
+        a.move_i(L, n, Dr(2));
+        a.trap(abi::UNIX_TRAP);
+    }
+}
+
+/// Measure an open+close pair through the native general call.
+fn native_open_close(path_off: u32) -> impl Fn(&mut Asm) {
+    move |a: &mut Asm| {
+        a.move_i(L, general::OPEN, Dr(0));
+        a.lea(Abs(UPATH + path_off), 0);
+        a.trap(traps::GENERAL);
+        a.move_(L, Dr(0), Dr(1));
+        a.move_i(L, general::CLOSE, Dr(0));
+        a.trap(traps::GENERAL);
+    }
+}
+
+fn unix_open_close(path_off: u32) -> impl Fn(&mut Asm) {
+    move |a: &mut Asm| {
+        a.move_i(L, abi::SYS_OPEN, Dr(0));
+        a.lea(Abs(UPATH + path_off), 0);
+        a.move_i(L, 0, Dr(1));
+        a.trap(abi::UNIX_TRAP);
+        a.move_(L, Dr(0), Dr(1));
+        a.move_i(L, abi::SYS_CLOSE, Dr(0));
+        a.trap(abi::UNIX_TRAP);
+    }
+}
+
+/// Regenerate Table 2.
+#[must_use]
+pub fn run() -> Vec<Row> {
+    const N: u32 = 64;
+    let noop = |_: &mut Kernel, _: u32| {};
+
+    // The emulation trap overhead: emulated minus native /dev/null read.
+    let nat_null = measure_native(N, open_file_prep("/dev/null", 0), native_read(16), false);
+    let emu_null = measure_native(N, open_file_prep("/dev/null", 0), unix_read(16), true);
+
+    // read 1 char and 1 KB from a cached 64 KB file (offset never wraps:
+    // 64 × 1024 = 64 KB exactly).
+    let read1_nat = measure_native(N, open_file_prep("/tmp/f", 65536), native_read(1), false);
+    let read1_emu = measure_native(N, open_file_prep("/tmp/f", 65536), unix_read(1), true);
+    let read1k_nat = measure_native(N, open_file_prep("/tmp/f", 65536), native_read(1024), false);
+    let read1k_emu = measure_native(N, open_file_prep("/tmp/f", 65536), unix_read(1024), true);
+
+    // open+close pairs (native general call vs emulated); fewer iters so
+    // synthesized-code space cycles comfortably.
+    let oc_null_nat = measure_native(16, noop, native_open_close(0), false);
+    let oc_null_emu = measure_native(16, noop, unix_open_close(0), true);
+    let oc_tty_nat = measure_native(16, noop, native_open_close(0x10), false);
+    let oc_tty_emu = measure_native(16, noop, unix_open_close(0x10), true);
+
+    vec![
+        Row::new(
+            "emulation trap overhead",
+            Some(2.0),
+            emu_null - nat_null,
+            "us",
+        ),
+        Row::new(
+            "open+close /dev/null (native)",
+            Some(61.0),
+            oc_null_nat,
+            "us",
+        ),
+        Row::new(
+            "open+close /dev/null (emulated)",
+            Some(71.0),
+            oc_null_emu,
+            "us",
+        ),
+        Row::new("open+close /dev/tty (native)", Some(80.0), oc_tty_nat, "us"),
+        Row::new(
+            "open+close /dev/tty (emulated)",
+            Some(90.0),
+            oc_tty_emu,
+            "us",
+        ),
+        Row::new("read 1 char from file (native)", Some(9.0), read1_nat, "us"),
+        Row::new(
+            "read 1 char from file (emulated)",
+            Some(10.0),
+            read1_emu,
+            "us",
+        ),
+        Row::new(
+            "read 1 KB from file (native, 9+N/8)",
+            Some(137.0),
+            read1k_nat,
+            "us",
+        ),
+        Row::new(
+            "read 1 KB from file (emulated, 10+N/8)",
+            Some(138.0),
+            read1k_emu,
+            "us",
+        ),
+        Row::new("read N from /dev/null (native)", Some(6.0), nat_null, "us"),
+        Row::new(
+            "read N from /dev/null (emulated)",
+            Some(8.0),
+            emu_null,
+            "us",
+        ),
+    ]
+}

@@ -1,0 +1,59 @@
+//! Table 3 — thread operations.
+//!
+//! These are kernel-call paths measured through the monitor (the host
+//! services charge honest cycles per the work they do; see
+//! `synthesis_core::charges`).
+
+use quamachine::isa::Size;
+use quamachine::mem::AddressMap;
+use synthesis_core::layout;
+use synthesis_core::monitor;
+use synthesis_core::thread::tte::off;
+
+use crate::Row;
+
+/// Regenerate Table 3.
+#[must_use]
+pub fn run() -> Vec<Row> {
+    let mut k = crate::boot_kernel();
+    // A parked target thread doing nothing.
+    let mut a = quamachine::asm::Asm::new("victim");
+    let top = a.here();
+    a.add(
+        Size::L,
+        quamachine::isa::Operand::Imm(1),
+        quamachine::isa::Operand::Dr(0),
+    );
+    a.bcc(quamachine::isa::Cond::T, top);
+    let entry = k.load_user_program(a.assemble().unwrap()).unwrap();
+    let map = AddressMap::single(1, layout::USER_BASE, layout::USER_LEN);
+
+    let (tid, create) = monitor::measure(&mut k, |k| {
+        k.create_thread(entry, layout::USER_BASE + 0x1000, map.clone())
+            .unwrap()
+    });
+    let (_, start) = monitor::measure(&mut k, |k| k.start(tid).unwrap());
+    let (_, stop) = monitor::measure(&mut k, |k| k.stop(tid).unwrap());
+    let (_, step) = monitor::measure(&mut k, |k| k.step_thread(tid).unwrap());
+    // Install a signal handler so delivery succeeds (the handler address
+    // only has to be non-zero for the parked-delivery bookkeeping).
+    let h = entry;
+    let slot = k.threads[&tid].tte + off::SIG_HANDLER;
+    k.m.mem.poke(slot, Size::L, h);
+    let (_, signal) = monitor::measure(&mut k, |k| k.signal(tid, 1).unwrap());
+    let (_, destroy) = monitor::measure(&mut k, |k| k.destroy(tid).unwrap());
+
+    vec![
+        Row::new("thread create", Some(142.0), create.us, "us"),
+        Row::new("thread destroy", Some(11.0), destroy.us, "us"),
+        Row::new("thread stop", Some(8.0), stop.us, "us"),
+        Row::new("thread start", Some(8.0), start.us, "us"),
+        Row::new("thread step (debugger)", Some(37.0), step.us, "us"),
+        Row::new(
+            "thread signal (thread to thread)",
+            Some(8.0),
+            signal.us,
+            "us",
+        ),
+    ]
+}

@@ -1,0 +1,149 @@
+//! Table 5 — interrupt handling.
+//!
+//! Handler costs are static path sums over the *installed* synthesized
+//! handlers (Section 6.3 counting); `set alarm` is the measured kernel
+//! call; procedure chaining is the two frame rewrites plus the chained
+//! stub's own overhead.
+
+use quamachine::isa::Size;
+use synthesis_codegen::template::Bindings;
+use synthesis_core::monitor;
+
+use crate::static_cost;
+use crate::Row;
+
+/// Regenerate Table 5.
+#[must_use]
+pub fn run() -> Vec<Row> {
+    let mut k = crate::boot_kernel();
+    let cost = k.m.cost;
+    let entry_us = static_cost::irq_entry_us(&cost);
+
+    // The shared tty receive handler is installed at boot; find it via a
+    // fresh synthesis with the same bindings (same code, known base).
+    let tty_rx = k
+        .creator
+        .synthesize(
+            &mut k.m,
+            "irq_tty_rx",
+            Bindings::new()
+                .bind("tty_data", k.tty_srv.data_reg)
+                .bind("qhead", k.tty_srv.qhead_slot)
+                .bind("qbuf", k.tty_srv.qbuf)
+                .bind("qmask", k.tty_srv.qmask)
+                .bind("gauge", k.tty_srv.gauge_slot)
+                .bind("waiters", k.tty_srv.waiters_slot),
+            k.opts,
+        )
+        .expect("synthesizes");
+    let skip = static_cost::kcall_indices(&k.m, tty_rx.base);
+    let tty_us = entry_us + static_cost::block_us(&k.m, tty_rx.base, &skip);
+
+    // The specialized A/D slot handler (one of the eight of Section 5.4).
+    let ad = k
+        .creator
+        .synthesize(
+            &mut k.m,
+            "irq_ad_0",
+            Bindings::new()
+                .bind("ad_data", 0xFF00_0300)
+                .bind("slot", 0x5000)
+                .bind("vec", 0x100)
+                .bind("next", 0x2000),
+            k.opts,
+        )
+        .expect("synthesizes");
+    let ad_us = entry_us + static_cost::block_us(&k.m, ad.base, &[]);
+
+    // The simple (pointer-based) A/D handler, for comparison.
+    let ad_simple = k
+        .creator
+        .synthesize(
+            &mut k.m,
+            "irq_ad_simple",
+            Bindings::new()
+                .bind("ad_data", 0xFF00_0300)
+                .bind("ptr_slot", 0x5100)
+                .bind("end_slot", 0x5104)
+                .bind("gauge", 0x5108),
+            k.opts,
+        )
+        .expect("synthesizes");
+    let skip = static_cost::kcall_indices(&k.m, ad_simple.base);
+    let ad_simple_us = entry_us + static_cost::block_us(&k.m, ad_simple.base, &skip);
+
+    // Set alarm: the measured kernel call.
+    let (_, set_alarm) = monitor::measure(&mut k, |k| k.set_alarm(500));
+
+    // Alarm interrupt: entry + the alarm handler (its kcall charges the
+    // kernel-side work; count the handler body plus that charge).
+    let alarm = k
+        .creator
+        .synthesize(
+            &mut k.m,
+            "irq_alarm",
+            Bindings::new().bind("timer_ack", 0xFF00_010C),
+            k.opts,
+        )
+        .expect("synthesizes");
+    let skip = static_cost::kcall_indices(&k.m, alarm.base);
+    let alarm_us = entry_us
+        + static_cost::block_us(&k.m, alarm.base, &skip)
+        + cost.cycles_to_us(synthesis_core::charges::kcall_overhead(&cost));
+
+    // Procedure chaining: two frame rewrites (park the return address,
+    // redirect it), plus the chained stub's jsr/dispatch overhead.
+    let chain_us = cost.cycles_to_us(2 * synthesis_core::charges::code_patch(&cost));
+    k.creator
+        .lib
+        .add(synthesis_core::interrupt::chain::chained_stub_template());
+    let stub = k
+        .creator
+        .synthesize(
+            &mut k.m,
+            "chain_stub",
+            Bindings::new()
+                .bind("target", 0x2000)
+                .bind("resume_slot", 0x5200),
+            k.opts,
+        )
+        .expect("synthesizes");
+    let stub_us = static_cost::block_us(&k.m, stub.base, &[]);
+
+    // Chaining a signal to a thread: the parked-delivery bookkeeping.
+    let sig_us = cost.cycles_to_us(
+        synthesis_core::charges::kcall_overhead(&cost)
+            + 3 * synthesis_core::charges::code_patch(&cost),
+    ) + cost.cycles_to_us(u64::from(
+        // The fabricated frame: two memory stores.
+        2 * (2 + cost.bus_cycles() as u32),
+    ));
+
+    // Keep the probe threads' memory honest.
+    let _ = k.m.mem.peek(0x5000, Size::L);
+
+    vec![
+        Row::new("service raw tty interrupt", Some(16.0), tty_us, "us"),
+        Row::new(
+            "service raw A/D interrupt (specialized)",
+            Some(3.0),
+            ad_us,
+            "us",
+        ),
+        Row::new(
+            "service raw A/D interrupt (simple)",
+            None,
+            ad_simple_us,
+            "us",
+        ),
+        Row::new("set alarm", Some(9.0), set_alarm.us, "us"),
+        Row::new("alarm interrupt", Some(7.0), alarm_us, "us"),
+        Row::new(
+            "chain to a procedure (no retry)",
+            Some(4.0),
+            chain_us + stub_us,
+            "us",
+        ),
+        Row::new("chain (signal) a thread", Some(9.0), sig_us, "us"),
+    ]
+}

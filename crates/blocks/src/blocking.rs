@@ -1,0 +1,193 @@
+//! Synchronous (blocking) queues.
+//!
+//! "Semantically, we have the usual two kinds of queues, the synchronous
+//! queue which blocks at queue full or queue empty, and the asynchronous
+//! queue which signals at those conditions" (Section 2.3). This module is
+//! the synchronous flavour, layered over the lock-free MP-MC ring: the
+//! fast path is still optimistic; parking only happens at the
+//! full/empty boundary, which is exactly where the paper says
+//! synchronization belongs.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::mpmc;
+use crate::Full;
+
+struct Waiters {
+    lock: Mutex<()>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// A cloneable blocking queue handle.
+pub struct BlockingQueue<T> {
+    q: mpmc::Handle<T>,
+    w: Arc<Waiters>,
+}
+
+impl<T> Clone for BlockingQueue<T> {
+    fn clone(&self) -> Self {
+        BlockingQueue {
+            q: self.q.clone(),
+            w: self.w.clone(),
+        }
+    }
+}
+
+impl<T: Send> BlockingQueue<T> {
+    /// A blocking queue with `capacity` slots (at least 2, inherited from
+    /// the underlying [`mpmc`] ring).
+    #[must_use]
+    pub fn new(capacity: usize) -> BlockingQueue<T> {
+        BlockingQueue {
+            q: mpmc::channel(capacity),
+            w: Arc::new(Waiters {
+                lock: Mutex::new(()),
+                not_empty: Condvar::new(),
+                not_full: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Insert, blocking while the queue is full.
+    pub fn put(&self, mut data: T) {
+        loop {
+            match self.q.put(data) {
+                Ok(()) => {
+                    self.w.not_empty.notify_one();
+                    return;
+                }
+                Err(Full(back)) => {
+                    data = back;
+                    let mut g = self.w.lock.lock();
+                    // Re-check under the lock to avoid a lost wakeup.
+                    match self.q.put(data) {
+                        Ok(()) => {
+                            drop(g);
+                            self.w.not_empty.notify_one();
+                            return;
+                        }
+                        Err(Full(back)) => {
+                            data = back;
+                            self.w.not_full.wait_for(&mut g, Duration::from_millis(5));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Take, blocking while the queue is empty.
+    pub fn get(&self) -> T {
+        loop {
+            if let Some(v) = self.q.get() {
+                self.w.not_full.notify_one();
+                return v;
+            }
+            let mut g = self.w.lock.lock();
+            if let Some(v) = self.q.get() {
+                drop(g);
+                self.w.not_full.notify_one();
+                return v;
+            }
+            self.w.not_empty.wait_for(&mut g, Duration::from_millis(5));
+        }
+    }
+
+    /// Non-blocking insert.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Full`] when at capacity.
+    pub fn try_put(&self, data: T) -> Result<(), Full<T>> {
+        let r = self.q.put(data);
+        if r.is_ok() {
+            self.w.not_empty.notify_one();
+        }
+        r
+    }
+
+    /// Non-blocking take.
+    pub fn try_get(&self) -> Option<T> {
+        let v = self.q.get();
+        if v.is_some() {
+            self.w.not_full.notify_one();
+        }
+        v
+    }
+
+    /// Approximate occupancy.
+    #[must_use]
+    pub fn len_hint(&self) -> usize {
+        self.q.len_hint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let q = BlockingQueue::new(4);
+        q.put(1);
+        q.put(2);
+        assert_eq!(q.get(), 1);
+        assert_eq!(q.get(), 2);
+    }
+
+    #[test]
+    fn blocks_at_empty_until_producer_arrives() {
+        let q = BlockingQueue::new(4);
+        let q2 = q.clone();
+        let t = std::thread::spawn(move || q2.get());
+        std::thread::sleep(Duration::from_millis(20));
+        q.put(99);
+        assert_eq!(t.join().unwrap(), 99);
+    }
+
+    #[test]
+    fn blocks_at_full_until_consumer_drains() {
+        let q = BlockingQueue::new(2);
+        q.put(1);
+        q.put(2);
+        let q2 = q.clone();
+        let t = std::thread::spawn(move || {
+            q2.put(3); // blocks until the main thread gets
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.get(), 1);
+        t.join().unwrap();
+        assert_eq!(q.get(), 2);
+        assert_eq!(q.get(), 3);
+    }
+
+    #[test]
+    fn many_blocking_parties() {
+        const N: u64 = 2_000;
+        let q = BlockingQueue::new(16);
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let q = q.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..N {
+                    q.put(t * N + i);
+                }
+            }));
+        }
+        let mut total: u64 = 0;
+        let mut count = 0;
+        while count < 4 * N {
+            total = total.wrapping_add(q.get());
+            count += 1;
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let expect: u64 = (0..4 * N).sum();
+        assert_eq!(total, expect);
+    }
+}

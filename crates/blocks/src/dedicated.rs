@@ -1,0 +1,126 @@
+//! Dedicated queues: synchronization code omitted entirely.
+//!
+//! "Dedicated queues use the knowledge that only one producer (or
+//! consumer) is using the queue and omit the synchronization code"
+//! (Section 2.3) — the principle of frugality applied to queues. In Rust
+//! the "knowledge" is the `&mut` receiver: exclusive access is proven at
+//! compile time, so the implementation is a plain ring with no atomics.
+//!
+//! The cooked-tty filter "reads characters from the raw keyboard server
+//! through a dedicated queue" (Section 5.1).
+
+use crate::Full;
+
+/// A single-party ring buffer with no synchronization.
+#[derive(Debug)]
+pub struct DedicatedQueue<T> {
+    buf: Vec<Option<T>>,
+    head: usize,
+    tail: usize,
+    len: usize,
+}
+
+impl<T> DedicatedQueue<T> {
+    /// A queue holding up to `capacity` items.
+    #[must_use]
+    pub fn new(capacity: usize) -> DedicatedQueue<T> {
+        assert!(capacity >= 1);
+        let mut buf = Vec::with_capacity(capacity);
+        buf.resize_with(capacity, || None);
+        DedicatedQueue {
+            buf,
+            head: 0,
+            tail: 0,
+            len: 0,
+        }
+    }
+
+    /// Insert an item.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Full`] at capacity.
+    pub fn put(&mut self, data: T) -> Result<(), Full<T>> {
+        if self.len == self.buf.len() {
+            return Err(Full(data));
+        }
+        self.buf[self.head] = Some(data);
+        self.head = (self.head + 1) % self.buf.len();
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Take an item.
+    pub fn get(&mut self) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        let v = self.buf[self.tail].take();
+        self.tail = (self.tail + 1) % self.buf.len();
+        self.len -= 1;
+        v
+    }
+
+    /// Look at the next item without taking it.
+    #[must_use]
+    pub fn peek(&self) -> Option<&T> {
+        if self.len == 0 {
+            None
+        } else {
+            self.buf[self.tail].as_ref()
+        }
+    }
+
+    /// Number of items queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether the queue is full.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.len == self.buf.len()
+    }
+
+    /// The capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_wraparound() {
+        let mut q = DedicatedQueue::new(3);
+        for round in 0..10 {
+            q.put(round).unwrap();
+            q.put(round + 100).unwrap();
+            assert_eq!(q.get(), Some(round));
+            assert_eq!(q.get(), Some(round + 100));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn full_and_empty() {
+        let mut q = DedicatedQueue::new(2);
+        assert_eq!(q.get(), None);
+        q.put('a').unwrap();
+        q.put('b').unwrap();
+        assert!(q.is_full());
+        assert_eq!(q.put('c'), Err(Full('c')));
+        assert_eq!(q.peek(), Some(&'a'));
+        assert_eq!(q.len(), 2);
+    }
+}

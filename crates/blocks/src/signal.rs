@@ -1,0 +1,148 @@
+//! Asynchronous (signalling) queues.
+//!
+//! The asynchronous queue "signals at those conditions" — queue-full and
+//! queue-empty — instead of blocking (Section 2.3). In the kernel the
+//! signal is a software interrupt to the blocked thread; here it is a
+//! callback, which the kernel layer wires to its signal mechanism and
+//! examples wire to whatever they like.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::mpmc;
+use crate::Full;
+
+/// Callback type for queue-condition signals.
+pub type SignalFn = Arc<dyn Fn() + Send + Sync>;
+
+struct Signals {
+    /// Fired when a put makes the queue non-empty.
+    data_ready: Mutex<Option<SignalFn>>,
+    /// Fired when a get makes a full queue non-full.
+    space_ready: Mutex<Option<SignalFn>>,
+}
+
+/// A cloneable signalling queue.
+pub struct SignalQueue<T> {
+    q: mpmc::Handle<T>,
+    s: Arc<Signals>,
+    capacity: usize,
+}
+
+impl<T> Clone for SignalQueue<T> {
+    fn clone(&self) -> Self {
+        SignalQueue {
+            q: self.q.clone(),
+            s: self.s.clone(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+impl<T: Send> SignalQueue<T> {
+    /// A signalling queue with `capacity` slots.
+    #[must_use]
+    pub fn new(capacity: usize) -> SignalQueue<T> {
+        SignalQueue {
+            q: mpmc::channel(capacity),
+            s: Arc::new(Signals {
+                data_ready: Mutex::new(None),
+                space_ready: Mutex::new(None),
+            }),
+            capacity,
+        }
+    }
+
+    /// Install the data-ready signal (empty → non-empty transitions).
+    pub fn on_data_ready(&self, f: SignalFn) {
+        *self.s.data_ready.lock() = Some(f);
+    }
+
+    /// Install the space-ready signal (full → non-full transitions).
+    pub fn on_space_ready(&self, f: SignalFn) {
+        *self.s.space_ready.lock() = Some(f);
+    }
+
+    /// Insert an item; signals `data_ready` on the empty→non-empty edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Full`] when at capacity.
+    pub fn put(&self, data: T) -> Result<(), Full<T>> {
+        let was_empty = self.q.len_hint() == 0;
+        let r = self.q.put(data);
+        if r.is_ok() && was_empty {
+            if let Some(f) = self.s.data_ready.lock().clone() {
+                f();
+            }
+        }
+        r
+    }
+
+    /// Take an item; signals `space_ready` on the full→non-full edge.
+    pub fn get(&self) -> Option<T> {
+        let was_full = self.q.len_hint() >= self.capacity;
+        let v = self.q.get();
+        if v.is_some() && was_full {
+            if let Some(f) = self.s.space_ready.lock().clone() {
+                f();
+            }
+        }
+        v
+    }
+
+    /// Approximate occupancy.
+    #[must_use]
+    pub fn len_hint(&self) -> usize {
+        self.q.len_hint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn data_ready_fires_on_empty_transition() {
+        let q = SignalQueue::new(4);
+        let fired = Arc::new(AtomicU32::new(0));
+        let f = fired.clone();
+        q.on_data_ready(Arc::new(move || {
+            f.fetch_add(1, Ordering::SeqCst);
+        }));
+        q.put(1).unwrap();
+        q.put(2).unwrap(); // not an empty transition
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        q.get();
+        q.get();
+        q.put(3).unwrap(); // empty again -> fires
+        assert_eq!(fired.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn space_ready_fires_on_full_transition() {
+        let q = SignalQueue::new(2);
+        let fired = Arc::new(AtomicU32::new(0));
+        let f = fired.clone();
+        q.on_space_ready(Arc::new(move || {
+            f.fetch_add(1, Ordering::SeqCst);
+        }));
+        q.put(1).unwrap();
+        q.get(); // not full -> no signal
+        assert_eq!(fired.load(Ordering::SeqCst), 0);
+        q.put(1).unwrap();
+        q.put(2).unwrap(); // now full
+        q.get(); // full -> non-full: fires
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn works_without_signals_installed() {
+        let q = SignalQueue::new(2);
+        q.put(5).unwrap();
+        assert_eq!(q.get(), Some(5));
+        assert_eq!(q.get(), None);
+    }
+}

@@ -1,0 +1,137 @@
+//! Switches: route events to handlers.
+//!
+//! "A switch is equivalent to the C switch statement. For example,
+//! switches direct interrupts to the appropriate service routines"
+//! (Section 2.3). Handlers are installed per tag; dispatching an unknown
+//! tag falls through to a default handler, like a `default:` arm.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A handler taking the event payload.
+pub type Handler<E> = Box<dyn FnMut(E) + Send>;
+
+/// A switch from tags `K` to handlers of events `E`.
+pub struct Switch<K, E> {
+    arms: HashMap<K, Handler<E>>,
+    default: Option<Handler<E>>,
+    /// Dispatches that found an arm.
+    pub hits: u64,
+    /// Dispatches that fell through to the default.
+    pub misses: u64,
+}
+
+impl<K: Eq + Hash, E> Default for Switch<K, E> {
+    fn default() -> Self {
+        Switch::new()
+    }
+}
+
+impl<K: Eq + Hash, E> Switch<K, E> {
+    /// An empty switch.
+    #[must_use]
+    pub fn new() -> Switch<K, E> {
+        Switch {
+            arms: HashMap::new(),
+            default: None,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Install a handler for `tag`, returning any previous one.
+    pub fn install(&mut self, tag: K, handler: Handler<E>) -> Option<Handler<E>> {
+        self.arms.insert(tag, handler)
+    }
+
+    /// Install the default arm.
+    pub fn install_default(&mut self, handler: Handler<E>) {
+        self.default = Some(handler);
+    }
+
+    /// Remove the handler for `tag`.
+    pub fn remove(&mut self, tag: &K) -> Option<Handler<E>> {
+        self.arms.remove(tag)
+    }
+
+    /// Dispatch an event; returns whether any handler ran.
+    pub fn dispatch(&mut self, tag: &K, event: E) -> bool {
+        if let Some(h) = self.arms.get_mut(tag) {
+            self.hits += 1;
+            h(event);
+            true
+        } else if let Some(d) = self.default.as_mut() {
+            self.misses += 1;
+            d(event);
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Number of installed arms (excluding the default).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.arms.len()
+    }
+
+    /// Whether no arms are installed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.arms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn routes_by_tag() {
+        let hits = Arc::new(AtomicU32::new(0));
+        let mut sw: Switch<u8, u32> = Switch::new();
+        let h = hits.clone();
+        sw.install(
+            5,
+            Box::new(move |v| {
+                h.fetch_add(v, Ordering::SeqCst);
+            }),
+        );
+        assert!(sw.dispatch(&5, 10));
+        assert!(sw.dispatch(&5, 1));
+        assert_eq!(hits.load(Ordering::SeqCst), 11);
+        assert_eq!(sw.hits, 2);
+    }
+
+    #[test]
+    fn default_arm_catches_unknown() {
+        let misses = Arc::new(AtomicU32::new(0));
+        let mut sw: Switch<u8, u32> = Switch::new();
+        let m = misses.clone();
+        sw.install_default(Box::new(move |_| {
+            m.fetch_add(1, Ordering::SeqCst);
+        }));
+        assert!(sw.dispatch(&9, 0));
+        assert_eq!(misses.load(Ordering::SeqCst), 1);
+        assert_eq!(sw.misses, 1);
+    }
+
+    #[test]
+    fn no_handler_returns_false() {
+        let mut sw: Switch<u8, ()> = Switch::new();
+        assert!(!sw.dispatch(&1, ()));
+    }
+
+    #[test]
+    fn reinstall_replaces() {
+        let mut sw: Switch<u8, u32> = Switch::new();
+        sw.install(1, Box::new(|_| {}));
+        assert!(sw.install(1, Box::new(|_| {})).is_some());
+        assert_eq!(sw.len(), 1);
+        assert!(sw.remove(&1).is_some());
+        assert!(sw.is_empty());
+    }
+}

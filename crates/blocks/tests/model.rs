@@ -1,0 +1,187 @@
+//! Model-based property tests: every queue flavour, driven by a random
+//! sequence of put/get operations from a single thread, must behave
+//! exactly like a bounded `VecDeque`.
+
+use std::collections::VecDeque;
+
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u32),
+    PutMany(Vec<u32>),
+    Get,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => any::<u32>().prop_map(Op::Put),
+        1 => proptest::collection::vec(any::<u32>(), 0..6).prop_map(Op::PutMany),
+        4 => Just(Op::Get),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn spsc_matches_model(ops in proptest::collection::vec(op_strategy(), 1..200), cap in 1usize..16) {
+        let (mut p, mut c) = synthesis_blocks::spsc::channel::<u32>(cap);
+        let mut model: VecDeque<u32> = VecDeque::new();
+        for op in ops {
+            match op {
+                Op::Put(v) => {
+                    let r = p.put(v);
+                    if model.len() < cap {
+                        prop_assert!(r.is_ok());
+                        model.push_back(v);
+                    } else {
+                        prop_assert!(r.is_err());
+                    }
+                }
+                Op::Get => {
+                    prop_assert_eq!(c.get(), model.pop_front());
+                }
+                Op::PutMany(_) => {} // spsc has no batch API
+            }
+        }
+        // Drain and compare the remainder.
+        while let Some(v) = c.get() {
+            prop_assert_eq!(Some(v), model.pop_front());
+        }
+        prop_assert!(model.is_empty());
+    }
+
+    #[test]
+    fn mpsc_matches_model(ops in proptest::collection::vec(op_strategy(), 1..200), cap in 1usize..16) {
+        let (p, mut c) = synthesis_blocks::mpsc::channel::<u32>(cap);
+        let mut model: VecDeque<u32> = VecDeque::new();
+        for op in ops {
+            match op {
+                Op::Put(v) => {
+                    let r = p.put(v);
+                    if model.len() < cap {
+                        prop_assert!(r.is_ok());
+                        model.push_back(v);
+                    } else {
+                        prop_assert!(r.is_err());
+                    }
+                }
+                Op::PutMany(vs) => {
+                    let fits = vs.len() <= cap && model.len() + vs.len() <= cap;
+                    let r = p.put_many(vs.clone());
+                    if vs.is_empty() {
+                        prop_assert!(r.is_ok());
+                    } else if fits {
+                        prop_assert!(r.is_ok());
+                        model.extend(vs);
+                    } else {
+                        prop_assert!(r.is_err(), "batch of {} into {} free", vs.len(), cap - model.len());
+                    }
+                }
+                Op::Get => {
+                    prop_assert_eq!(c.get(), model.pop_front());
+                }
+            }
+        }
+        while let Some(v) = c.get() {
+            prop_assert_eq!(Some(v), model.pop_front());
+        }
+        prop_assert!(model.is_empty());
+    }
+
+    #[test]
+    fn mpmc_matches_model(ops in proptest::collection::vec(op_strategy(), 1..200), cap in 2usize..16) {
+        let q = synthesis_blocks::mpmc::channel::<u32>(cap);
+        let mut model: VecDeque<u32> = VecDeque::new();
+        for op in ops {
+            match op {
+                Op::Put(v) => {
+                    let r = q.put(v);
+                    if model.len() < cap {
+                        prop_assert!(r.is_ok());
+                        model.push_back(v);
+                    } else {
+                        prop_assert!(r.is_err());
+                    }
+                }
+                Op::Get => {
+                    prop_assert_eq!(q.get(), model.pop_front());
+                }
+                Op::PutMany(_) => {}
+            }
+        }
+        while let Some(v) = q.get() {
+            prop_assert_eq!(Some(v), model.pop_front());
+        }
+        prop_assert!(model.is_empty());
+    }
+
+    #[test]
+    fn spmc_matches_model(ops in proptest::collection::vec(op_strategy(), 1..200), cap in 2usize..16) {
+        let (mut p, c) = synthesis_blocks::spmc::channel::<u32>(cap);
+        let mut model: VecDeque<u32> = VecDeque::new();
+        for op in ops {
+            match op {
+                Op::Put(v) => {
+                    let r = p.put(v);
+                    if model.len() < cap {
+                        prop_assert!(r.is_ok());
+                        model.push_back(v);
+                    } else {
+                        prop_assert!(r.is_err());
+                    }
+                }
+                Op::Get => {
+                    prop_assert_eq!(c.get(), model.pop_front());
+                }
+                Op::PutMany(_) => {}
+            }
+        }
+        while let Some(v) = c.get() {
+            prop_assert_eq!(Some(v), model.pop_front());
+        }
+        prop_assert!(model.is_empty());
+    }
+
+    #[test]
+    fn dedicated_matches_model(ops in proptest::collection::vec(op_strategy(), 1..200), cap in 1usize..16) {
+        let mut q = synthesis_blocks::dedicated::DedicatedQueue::<u32>::new(cap);
+        let mut model: VecDeque<u32> = VecDeque::new();
+        for op in ops {
+            match op {
+                Op::Put(v) => {
+                    let r = q.put(v);
+                    if model.len() < cap {
+                        prop_assert!(r.is_ok());
+                        model.push_back(v);
+                    } else {
+                        prop_assert!(r.is_err());
+                    }
+                }
+                Op::Get => {
+                    prop_assert_eq!(q.get(), model.pop_front());
+                }
+                Op::PutMany(_) => {}
+            }
+            prop_assert_eq!(q.len(), model.len());
+        }
+    }
+
+    #[test]
+    fn buffered_preserves_order_and_amortizes(
+        items in proptest::collection::vec(any::<u32>(), 0..200),
+    ) {
+        let (mut p, mut c) = synthesis_blocks::buffered::channel::<u32, 4>(64);
+        for &v in &items {
+            prop_assert!(p.put(v).is_ok());
+        }
+        let complete = items.len() / 4 * 4;
+        let mut got = Vec::new();
+        while let Some(v) = c.get() {
+            got.push(v);
+        }
+        prop_assert_eq!(&got[..], &items[..complete], "complete chunks drain in order");
+        prop_assert_eq!(p.staged(), items.len() % 4);
+    }
+}

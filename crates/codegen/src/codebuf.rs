@@ -1,0 +1,169 @@
+//! Code-buffer management: allocating addresses for synthesized code in
+//! the kernel quaspace.
+//!
+//! A first-fit free list with coalescing. Synthesized code is allocated
+//! when a quaject is created and freed when it is destroyed (e.g. `close`
+//! frees the read/write routines `open` synthesized).
+
+/// Allocation failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodeBufFull {
+    /// Bytes requested.
+    pub requested: u32,
+}
+
+impl std::fmt::Display for CodeBufFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "code buffer exhausted allocating {} bytes",
+            self.requested
+        )
+    }
+}
+
+impl std::error::Error for CodeBufFull {}
+
+/// The code-space allocator.
+#[derive(Debug)]
+pub struct CodeBuf {
+    base: u32,
+    len: u32,
+    /// Sorted, disjoint, coalesced free extents `(base, len)`.
+    free: Vec<(u32, u32)>,
+    /// Bytes currently allocated.
+    pub in_use: u32,
+    /// High-water mark of allocated bytes.
+    pub high_water: u32,
+}
+
+/// Allocation granularity (keeps instruction starts aligned).
+pub const ALIGN: u32 = 4;
+
+impl CodeBuf {
+    /// An allocator over `[base, base + len)`.
+    #[must_use]
+    pub fn new(base: u32, len: u32) -> CodeBuf {
+        CodeBuf {
+            base,
+            len,
+            free: vec![(base, len)],
+            in_use: 0,
+            high_water: 0,
+        }
+    }
+
+    /// The managed region.
+    #[must_use]
+    pub fn region(&self) -> (u32, u32) {
+        (self.base, self.len)
+    }
+
+    /// Allocate `size` bytes; returns the address.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no free extent is large enough.
+    pub fn alloc(&mut self, size: u32) -> Result<u32, CodeBufFull> {
+        let size = size.max(1).div_ceil(ALIGN) * ALIGN;
+        for i in 0..self.free.len() {
+            let (fb, fl) = self.free[i];
+            if fl >= size {
+                if fl == size {
+                    self.free.remove(i);
+                } else {
+                    self.free[i] = (fb + size, fl - size);
+                }
+                self.in_use += size;
+                self.high_water = self.high_water.max(self.in_use);
+                return Ok(fb);
+            }
+        }
+        Err(CodeBufFull { requested: size })
+    }
+
+    /// Free a previously allocated extent.
+    pub fn free(&mut self, addr: u32, size: u32) {
+        let size = size.max(1).div_ceil(ALIGN) * ALIGN;
+        self.in_use = self.in_use.saturating_sub(size);
+        let pos = self.free.partition_point(|&(b, _)| b < addr);
+        self.free.insert(pos, (addr, size));
+        // Coalesce with neighbours.
+        if pos + 1 < self.free.len() {
+            let (nb, nl) = self.free[pos + 1];
+            let (b, l) = self.free[pos];
+            if b + l == nb {
+                self.free[pos] = (b, l + nl);
+                self.free.remove(pos + 1);
+            }
+        }
+        if pos > 0 {
+            let (pb, pl) = self.free[pos - 1];
+            let (b, l) = self.free[pos];
+            if pb + pl == b {
+                self.free[pos - 1] = (pb, pl + l);
+                self.free.remove(pos);
+            }
+        }
+    }
+
+    /// Total free bytes.
+    #[must_use]
+    pub fn free_bytes(&self) -> u32 {
+        self.free.iter().map(|&(_, l)| l).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_advances() {
+        let mut cb = CodeBuf::new(0x1000, 0x100);
+        let a = cb.alloc(10).unwrap();
+        let b = cb.alloc(10).unwrap();
+        assert_eq!(a, 0x1000);
+        assert_eq!(b, 0x100C, "10 rounds to 12");
+        assert_eq!(cb.in_use, 24);
+    }
+
+    #[test]
+    fn exhaustion() {
+        let mut cb = CodeBuf::new(0, 16);
+        cb.alloc(16).unwrap();
+        assert!(cb.alloc(4).is_err());
+    }
+
+    #[test]
+    fn free_and_reuse() {
+        let mut cb = CodeBuf::new(0, 0x100);
+        let a = cb.alloc(0x40).unwrap();
+        let _b = cb.alloc(0x40).unwrap();
+        cb.free(a, 0x40);
+        let c = cb.alloc(0x40).unwrap();
+        assert_eq!(c, a, "first fit reuses the freed extent");
+    }
+
+    #[test]
+    fn coalescing_reconstitutes_the_region() {
+        let mut cb = CodeBuf::new(0, 0x100);
+        let a = cb.alloc(0x40).unwrap();
+        let b = cb.alloc(0x40).unwrap();
+        let c = cb.alloc(0x40).unwrap();
+        cb.free(a, 0x40);
+        cb.free(c, 0x40);
+        cb.free(b, 0x40); // middle: must merge all three + the tail
+        assert_eq!(cb.free_bytes(), 0x100);
+        assert_eq!(cb.alloc(0x100).unwrap(), 0);
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut cb = CodeBuf::new(0, 0x100);
+        let a = cb.alloc(0x80).unwrap();
+        cb.free(a, 0x80);
+        cb.alloc(0x20).unwrap();
+        assert_eq!(cb.high_water, 0x80);
+    }
+}

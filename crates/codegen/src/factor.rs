@@ -1,0 +1,594 @@
+//! Factoring Invariants: specialize a template for known run-time values.
+//!
+//! "The Factoring Invariants method bypasses redundant computations, much
+//! like constant folding" (paper Section 2.2). The pipeline is:
+//!
+//! 1. **Substitute** — fill every hole with its bound value;
+//! 2. **Propagate** — track registers holding known constants and flags
+//!    with statically known outcomes, rewriting register reads into
+//!    immediates;
+//! 3. **Resolve** — a conditional branch whose flags are known becomes
+//!    unconditional or disappears;
+//! 4. **Prune** — instructions unreachable from the template's entry
+//!    points are deleted.
+//!
+//! This is what makes an `open(/dev/null)`-synthesized `read` collapse to
+//! a handful of instructions: the device pointer, buffering mode, and
+//! debug flags are invariants of the open file, so every test on them
+//! folds away.
+
+use std::collections::HashMap;
+
+use quamachine::isa::{Cond, Instr, Operand, Size};
+
+use crate::rewrite;
+use crate::template::{Bindings, Template};
+
+/// Factoring errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FactorError {
+    /// A hole used in the template has no binding.
+    MissingBinding(String),
+}
+
+impl std::fmt::Display for FactorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FactorError::MissingBinding(n) => write!(f, "no binding for hole {n:?}"),
+        }
+    }
+}
+
+impl std::error::Error for FactorError {}
+
+/// Fill holes with bound values.
+///
+/// # Errors
+///
+/// Fails if an instruction uses a hole with no binding.
+pub fn substitute(t: &Template, b: &Bindings) -> Result<Vec<Instr>, FactorError> {
+    let value_of = |h: u16| -> Result<u32, FactorError> {
+        let name = &t.holes[h as usize];
+        b.get(name)
+            .ok_or_else(|| FactorError::MissingBinding(name.clone()))
+    };
+    let subst_op = |op: Operand| -> Result<Operand, FactorError> {
+        Ok(match op {
+            Operand::ImmHole(h) => Operand::Imm(value_of(h)?),
+            Operand::AbsHole(h) => Operand::Abs(value_of(h)?),
+            other => other,
+        })
+    };
+    t.instrs
+        .iter()
+        .map(|i| {
+            use Instr::*;
+            Ok(match *i {
+                Move(s, a, b2) => Move(s, subst_op(a)?, subst_op(b2)?),
+                Movem { to_mem, regs, ea } => Movem {
+                    to_mem,
+                    regs,
+                    ea: subst_op(ea)?,
+                },
+                Lea(ea, n) => Lea(subst_op(ea)?, n),
+                Pea(ea) => Pea(subst_op(ea)?),
+                Add(s, a, b2) => Add(s, subst_op(a)?, subst_op(b2)?),
+                Sub(s, a, b2) => Sub(s, subst_op(a)?, subst_op(b2)?),
+                Cmp(s, a, b2) => Cmp(s, subst_op(a)?, subst_op(b2)?),
+                Tst(s, ea) => Tst(s, subst_op(ea)?),
+                And(s, a, b2) => And(s, subst_op(a)?, subst_op(b2)?),
+                Or(s, a, b2) => Or(s, subst_op(a)?, subst_op(b2)?),
+                Eor(s, a, b2) => Eor(s, subst_op(a)?, subst_op(b2)?),
+                Not(s, ea) => Not(s, subst_op(ea)?),
+                Neg(s, ea) => Neg(s, subst_op(ea)?),
+                MulU(ea, n) => MulU(subst_op(ea)?, n),
+                DivU(ea, n) => DivU(subst_op(ea)?, n),
+                Shift(k, s, c, d) => Shift(k, s, subst_op(c)?, subst_op(d)?),
+                Scc(c, ea) => Scc(c, subst_op(ea)?),
+                Jmp(ea) => Jmp(subst_op(ea)?),
+                Jsr(ea) => Jsr(subst_op(ea)?),
+                Cas { size, dc, du, ea } => Cas {
+                    size,
+                    dc,
+                    du,
+                    ea: subst_op(ea)?,
+                },
+                Tas(ea) => Tas(subst_op(ea)?),
+                MoveSr { to_sr, ea } => MoveSr {
+                    to_sr,
+                    ea: subst_op(ea)?,
+                },
+                MoveVbr { to_vbr, ea } => MoveVbr {
+                    to_vbr,
+                    ea: subst_op(ea)?,
+                },
+                FMove { to_mem, fp, ea } => FMove {
+                    to_mem,
+                    fp,
+                    ea: subst_op(ea)?,
+                },
+                FMovem { to_mem, regs, ea } => FMovem {
+                    to_mem,
+                    regs,
+                    ea: subst_op(ea)?,
+                },
+                other => other,
+            })
+        })
+        .collect()
+}
+
+/// A register-constant lattice: `Some(v)` = known value, `None` = unknown.
+#[derive(Debug, Clone, Default)]
+struct Consts {
+    d: [Option<u32>; 8],
+    a: [Option<u32>; 8],
+}
+
+impl Consts {
+    fn clear(&mut self) {
+        *self = Consts::default();
+    }
+
+    fn get(&self, op: &Operand) -> Option<u32> {
+        match *op {
+            Operand::Dr(n) => self.d[n as usize],
+            Operand::Ar(n) => self.a[n as usize],
+            Operand::Imm(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Record the effect of a write to a register.
+    fn set_reg(&mut self, op: &Operand, size: Size, v: Option<u32>) {
+        match *op {
+            Operand::Dr(n) => {
+                // Sub-long writes merge into unknown upper bits.
+                self.d[n as usize] = match (size, v) {
+                    (Size::L, val) => val,
+                    _ => None,
+                };
+            }
+            Operand::Ar(n) => {
+                self.a[n as usize] = v.map(|x| size.sext(x));
+            }
+            _ => {}
+        }
+    }
+
+    /// Invalidate registers modified through addressing side effects.
+    fn clobber_ea(&mut self, op: &Operand) {
+        if let Operand::PostInc(n) | Operand::PreDec(n) = *op {
+            self.a[n as usize] = None;
+        }
+    }
+}
+
+/// Statically known condition flags.
+#[derive(Debug, Clone, Copy)]
+struct KnownFlags {
+    n: bool,
+    z: bool,
+    v: bool,
+    c: bool,
+}
+
+fn flags_of_value(size: Size, v: u32) -> KnownFlags {
+    let v = v & size.mask();
+    KnownFlags {
+        n: v & size.sign_bit() != 0,
+        z: v == 0,
+        v: false,
+        c: false,
+    }
+}
+
+fn flags_of_sub(size: Size, dst: u32, src: u32) -> KnownFlags {
+    let (dst, src) = (dst & size.mask(), src & size.mask());
+    let r = dst.wrapping_sub(src) & size.mask();
+    let sb = size.sign_bit();
+    KnownFlags {
+        n: r & sb != 0,
+        z: r == 0,
+        v: ((dst ^ src) & (dst ^ r) & sb) != 0,
+        c: src > dst,
+    }
+}
+
+fn flags_of_add(size: Size, a: u32, b: u32) -> KnownFlags {
+    let (a, b) = (a & size.mask(), b & size.mask());
+    let r = a.wrapping_add(b) & size.mask();
+    let sb = size.sign_bit();
+    KnownFlags {
+        n: r & sb != 0,
+        z: r == 0,
+        v: ((a ^ r) & (b ^ r) & sb) != 0,
+        c: (u64::from(a) + u64::from(b)) > u64::from(size.mask()),
+    }
+}
+
+/// Rewrite a constant data-register source into an immediate.
+fn rewrite_src(op: &mut Operand, consts: &Consts, changed: &mut bool) {
+    if matches!(op, Operand::Dr(_)) {
+        if let Some(v) = consts.get(op) {
+            *op = Operand::Imm(v);
+            *changed = true;
+        }
+    }
+}
+
+/// One forward pass of constant propagation and branch resolution over a
+/// linear instruction stream. Returns `(instrs, keep, changed)`.
+#[allow(clippy::too_many_lines)]
+fn propagate(mut instrs: Vec<Instr>) -> (Vec<Instr>, Vec<bool>, bool) {
+    let targets = rewrite::branch_target_flags(&instrs);
+    let mut keep = vec![true; instrs.len()];
+    let mut changed = false;
+
+    let mut consts = Consts::default();
+    let mut flags: Option<KnownFlags> = None;
+
+    for i in 0..instrs.len() {
+        if targets[i] {
+            // Control can arrive here from elsewhere: forget everything.
+            consts.clear();
+            flags = None;
+        }
+
+        // Work on a copy (Instr is Copy); write it back at the end.
+        let mut ins = instrs[i];
+        use Instr::*;
+        match &mut ins {
+            Move(size, src, dst) => {
+                rewrite_src(src, &consts, &mut changed);
+                consts.clobber_ea(src);
+                consts.clobber_ea(dst);
+                let v = consts.get(src);
+                let sz = *size;
+                consts.set_reg(dst, sz, v);
+                if !matches!(dst, Operand::Ar(_)) {
+                    flags = v.map(|x| flags_of_value(sz, x));
+                }
+            }
+            Add(size, src, dst) | Sub(size, src, dst) => {
+                let is_add = matches!(instrs[i], Add(..));
+                rewrite_src(src, &consts, &mut changed);
+                consts.clobber_ea(src);
+                consts.clobber_ea(dst);
+                let sz = *size;
+                let (nv, kf) = match (consts.get(src), consts.get(dst)) {
+                    (Some(s), Some(d)) if is_add => (
+                        Some(d.wrapping_add(s) & sz.mask()),
+                        Some(flags_of_add(sz, d, s)),
+                    ),
+                    (Some(s), Some(d)) => (
+                        Some(d.wrapping_sub(s) & sz.mask()),
+                        Some(flags_of_sub(sz, d, s)),
+                    ),
+                    _ => (None, None),
+                };
+                consts.set_reg(dst, sz, nv);
+                if !matches!(dst, Operand::Ar(_)) {
+                    // ADDA/SUBA (address destination) do not touch flags.
+                    flags = kf;
+                }
+            }
+            Cmp(size, src, dst) => {
+                rewrite_src(src, &consts, &mut changed);
+                consts.clobber_ea(src);
+                consts.clobber_ea(dst);
+                flags = match (consts.get(src), consts.get(dst)) {
+                    (Some(s), Some(d)) => Some(flags_of_sub(*size, d, s)),
+                    _ => None,
+                };
+            }
+            Tst(size, ea) => {
+                consts.clobber_ea(ea);
+                flags = consts.get(ea).map(|v| flags_of_value(*size, v));
+            }
+            And(size, src, dst) | Or(size, src, dst) | Eor(size, src, dst) => {
+                let kind = match instrs[i] {
+                    And(..) => 0u8,
+                    Or(..) => 1,
+                    _ => 2,
+                };
+                rewrite_src(src, &consts, &mut changed);
+                consts.clobber_ea(src);
+                consts.clobber_ea(dst);
+                let sz = *size;
+                let nv = match (consts.get(src), consts.get(dst)) {
+                    (Some(s), Some(d)) => Some(
+                        match kind {
+                            0 => d & s,
+                            1 => d | s,
+                            _ => d ^ s,
+                        } & sz.mask(),
+                    ),
+                    _ => None,
+                };
+                consts.set_reg(dst, sz, nv);
+                flags = nv.map(|v| flags_of_value(sz, v));
+            }
+            Bcc(cond, _) => {
+                if let Some(f) = flags {
+                    let taken = cond.eval(f.n, f.z, f.v, f.c);
+                    if taken {
+                        if *cond != Cond::T {
+                            *cond = Cond::T;
+                            changed = true;
+                        }
+                    } else {
+                        keep[i] = false;
+                        changed = true;
+                    }
+                }
+                // Flags persist across a branch.
+            }
+            Lea(ea, n) => {
+                consts.clobber_ea(ea);
+                consts.a[*n as usize] = match *ea {
+                    Operand::Abs(a) => Some(a),
+                    _ => None,
+                };
+            }
+            Jsr(_) | Trap(_) | KCall(_) => {
+                // Unknown callee: forget registers and flags.
+                consts.clear();
+                flags = None;
+            }
+            Jmp(_) | Rts | Rte | Halt | Stop(_) => {
+                // Path ends; state resets at the next reachable point.
+                consts.clear();
+                flags = None;
+            }
+            other => {
+                // Conservative default: invalidate anything the
+                // instruction could write, plus addressing side effects.
+                for op in other.operands() {
+                    consts.clobber_ea(&op);
+                }
+                match other {
+                    Not(_, d) | Neg(_, d) | Scc(_, d) | Shift(_, _, _, d) => {
+                        let d = *d;
+                        consts.set_reg(&d, Size::L, None);
+                    }
+                    MulU(_, n) | DivU(_, n) | Swap(n) | Ext(_, n) | Dbf(n, _) => {
+                        consts.d[*n as usize] = None;
+                    }
+                    Movem {
+                        to_mem: false,
+                        regs,
+                        ..
+                    } => {
+                        for (is_a, r) in regs.iter() {
+                            if is_a {
+                                consts.a[r as usize] = None;
+                            } else {
+                                consts.d[r as usize] = None;
+                            }
+                        }
+                    }
+                    Cas { dc, .. } => consts.d[*dc as usize] = None,
+                    Link(n, _) | Unlk(n) => {
+                        consts.a[*n as usize] = None;
+                        consts.a[7] = None;
+                    }
+                    Pea(_) => consts.a[7] = None,
+                    MoveUsp {
+                        to_usp: false,
+                        areg,
+                    } => consts.a[*areg as usize] = None,
+                    MoveVbr { to_vbr: false, ea } => {
+                        let ea = *ea;
+                        consts.set_reg(&ea, Size::L, None);
+                    }
+                    _ => {}
+                }
+                flags = None;
+            }
+        }
+        instrs[i] = ins;
+    }
+    (instrs, keep, changed)
+}
+
+/// Remove branches to the immediately following instruction.
+fn drop_branches_to_next(instrs: &[Instr], keep: &mut [bool]) -> bool {
+    let mut changed = false;
+    for (i, instr) in instrs.iter().enumerate() {
+        if !keep[i] {
+            continue;
+        }
+        if let Instr::Bcc(_, quamachine::isa::BranchTarget::Idx(t)) = instr {
+            // Target is the next *kept* instruction?
+            let mut next = i + 1;
+            while next < instrs.len() && !keep[next] {
+                next += 1;
+            }
+            if *t as usize == next {
+                keep[i] = false;
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+/// The full Factoring Invariants pipeline: substitute, propagate, resolve,
+/// prune. Entry points listed in the template's marks (plus index 0) stay
+/// reachable.
+///
+/// # Errors
+///
+/// Fails if a used hole has no binding.
+pub fn factor(t: &Template, b: &Bindings) -> Result<Template, FactorError> {
+    let mut instrs = substitute(t, b)?;
+    let mut marks: HashMap<String, usize> = t.marks.clone();
+    // Iterate to a fixpoint (bounded: each round deletes or rewrites).
+    for _ in 0..8 {
+        let (new_instrs, mut keep, mut changed) = propagate(instrs);
+        instrs = new_instrs;
+        changed |= drop_branches_to_next(&instrs, &mut keep);
+        // Apply branch-removals first so reachability sees the pruned CFG,
+        // then eliminate code unreachable from any entry point.
+        instrs = rewrite::compact(instrs, &keep, &mut marks);
+        let mut entries: Vec<usize> = vec![0];
+        entries.extend(marks.values().copied());
+        let reach = rewrite::reachable(&instrs, &entries);
+        if reach.iter().any(|r| !r) {
+            changed = true;
+            instrs = rewrite::compact(instrs, &reach, &mut marks);
+        }
+        if !changed {
+            break;
+        }
+    }
+    Ok(Template {
+        name: t.name.clone(),
+        instrs,
+        holes: Vec::new(),
+        marks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quamachine::asm::Asm;
+    use quamachine::isa::{Operand::*, Size::L};
+
+    #[test]
+    fn substitute_fills_holes() {
+        let mut a = Asm::new("t");
+        let h = a.imm_hole("x");
+        let ab = a.abs_hole("y");
+        a.move_(L, h, Dr(0));
+        a.move_(L, Dr(0), ab);
+        a.rts();
+        let t = Template::from_asm(a).unwrap();
+        let b = Bindings::new().with("x", 42).with("y", 0x2000);
+        let out = substitute(&t, &b).unwrap();
+        assert_eq!(out[0], Instr::Move(L, Imm(42), Dr(0)));
+        assert_eq!(out[1], Instr::Move(L, Dr(0), Abs(0x2000)));
+    }
+
+    #[test]
+    fn missing_binding_is_an_error() {
+        let mut a = Asm::new("t");
+        let h = a.imm_hole("x");
+        a.move_(L, h, Dr(0));
+        a.rts();
+        let t = Template::from_asm(a).unwrap();
+        assert_eq!(
+            factor(&t, &Bindings::new()).unwrap_err(),
+            FactorError::MissingBinding("x".to_string())
+        );
+    }
+
+    #[test]
+    fn constant_test_folds_branch_and_dead_path() {
+        // if (mode == 0) { fast } else { slow } with mode bound to 0.
+        let mut a = Asm::new("t");
+        let mode = a.imm_hole("mode");
+        let slow = a.label();
+        let end = a.label();
+        a.move_(L, mode, Dr(1));
+        a.tst(L, Dr(1));
+        a.bcc(quamachine::isa::Cond::Ne, slow);
+        a.move_i(L, 111, Dr(0)); // fast path
+        a.bra(end);
+        a.bind(slow);
+        a.move_i(L, 222, Dr(0)); // slow path
+        a.bind(end);
+        a.rts();
+        let t = Template::from_asm(a).unwrap();
+
+        let fast = factor(&t, &Bindings::new().with("mode", 0)).unwrap();
+        // Expect: move #0,d1 ; move #111,d0 ; rts (tst folded, branch
+        // resolved not-taken, slow path unreachable, bra-to-next dropped).
+        assert!(
+            fast.instrs.len() <= 4,
+            "specialized fast path should shrink, got {:?}",
+            fast.instrs
+        );
+        assert!(fast.instrs.contains(&Instr::Move(L, Imm(111), Dr(0))));
+        assert!(!fast.instrs.contains(&Instr::Move(L, Imm(222), Dr(0))));
+
+        let slow = factor(&t, &Bindings::new().with("mode", 1)).unwrap();
+        assert!(slow.instrs.contains(&Instr::Move(L, Imm(222), Dr(0))));
+        assert!(!slow.instrs.contains(&Instr::Move(L, Imm(111), Dr(0))));
+    }
+
+    #[test]
+    fn constant_compare_folds() {
+        let mut a = Asm::new("t");
+        let n = a.imm_hole("n");
+        let big = a.label();
+        a.move_(L, n, Dr(2));
+        a.cmp(L, Imm(100), Dr(2));
+        a.bcc(quamachine::isa::Cond::Ge, big); // n >= 100?
+        a.move_i(L, 1, Dr(0));
+        a.rts();
+        a.bind(big);
+        a.move_i(L, 2, Dr(0));
+        a.rts();
+        let t = Template::from_asm(a).unwrap();
+
+        let small = factor(&t, &Bindings::new().with("n", 5)).unwrap();
+        assert!(small.instrs.contains(&Instr::Move(L, Imm(1), Dr(0))));
+        assert!(!small.instrs.contains(&Instr::Move(L, Imm(2), Dr(0))));
+
+        let large = factor(&t, &Bindings::new().with("n", 500)).unwrap();
+        assert!(large.instrs.contains(&Instr::Move(L, Imm(2), Dr(0))));
+        assert!(!large.instrs.contains(&Instr::Move(L, Imm(1), Dr(0))));
+    }
+
+    #[test]
+    fn constant_register_reads_become_immediates() {
+        let mut a = Asm::new("t");
+        let x = a.imm_hole("x");
+        a.move_(L, x, Dr(3));
+        a.move_(L, Dr(3), Abs(0x2000));
+        a.rts();
+        let t = Template::from_asm(a).unwrap();
+        let out = factor(&t, &Bindings::new().with("x", 7)).unwrap();
+        assert!(out.instrs.contains(&Instr::Move(L, Imm(7), Abs(0x2000))));
+    }
+
+    #[test]
+    fn marks_survive_and_stay_reachable() {
+        let mut a = Asm::new("t");
+        a.move_i(L, 1, Dr(0));
+        a.rts();
+        a.mark("alt");
+        a.move_i(L, 2, Dr(0));
+        a.rts();
+        let t = Template::from_asm(a).unwrap();
+        let out = factor(&t, &Bindings::new()).unwrap();
+        // The alt entry is only reachable via its mark; it must survive.
+        assert_eq!(out.instrs.len(), 4);
+        let alt = out.marks["alt"];
+        assert_eq!(out.instrs[alt], Instr::Move(L, Imm(2), Dr(0)));
+    }
+
+    #[test]
+    fn branch_targets_clear_known_state() {
+        // d0 is constant on the fall-through path but the loop makes the
+        // label a merge point: the branch must NOT fold.
+        let mut a = Asm::new("t");
+        a.move_i(L, 0, Dr(0));
+        let top = a.here();
+        a.add(L, Imm(1), Dr(0));
+        a.cmp(L, Imm(10), Dr(0));
+        a.bcc(quamachine::isa::Cond::Ne, top);
+        a.rts();
+        let t = Template::from_asm(a).unwrap();
+        let out = factor(&t, &Bindings::new()).unwrap();
+        // The loop must remain intact.
+        assert!(out
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::Bcc(quamachine::isa::Cond::Ne, _))));
+        assert_eq!(out.instrs.len(), t.instrs.len());
+    }
+}

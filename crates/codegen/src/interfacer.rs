@@ -1,0 +1,239 @@
+//! The quaject interfacer: combine → factorize → optimize → dynamic link.
+//!
+//! "The quaject interfacer starts the execution of existing quajects by
+//! installing them in the invoking thread. [It] has four stages:
+//! combination, factorization, optimization, and dynamic link. The
+//! combination stage finds the appropriate connecting mechanism (queue,
+//! monitor, pump, or a simple procedure call)" (paper Section 2.3).
+//!
+//! The *combination* rules come from the producer/consumer analysis of
+//! Section 5.2:
+//!
+//! | producer | consumer | connector |
+//! |---|---|---|
+//! | active | passive (or vice versa), both single | procedure call |
+//! | active | passive, a side multiple | monitor on the multiple side |
+//! | active | active | queue (SP-SC / MP-SC / SP-MC / MP-MC) |
+//! | passive | passive | pump |
+
+use quamachine::machine::Machine;
+
+use crate::creator::{QuajectCreator, SynthError, SynthesisOptions, Synthesized};
+use crate::template::Bindings;
+
+/// One side of a producer/consumer composition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Party {
+    /// Whether this side drives the data flow (calls), rather than being
+    /// called.
+    pub active: bool,
+    /// Whether more than one participant shares this side.
+    pub multiple: bool,
+}
+
+impl Party {
+    /// A single active participant.
+    #[must_use]
+    pub fn active_single() -> Party {
+        Party {
+            active: true,
+            multiple: false,
+        }
+    }
+
+    /// Multiple active participants.
+    #[must_use]
+    pub fn active_multiple() -> Party {
+        Party {
+            active: true,
+            multiple: true,
+        }
+    }
+
+    /// A single passive participant.
+    #[must_use]
+    pub fn passive_single() -> Party {
+        Party {
+            active: false,
+            multiple: false,
+        }
+    }
+
+    /// Multiple passive participants.
+    #[must_use]
+    pub fn passive_multiple() -> Party {
+        Party {
+            active: false,
+            multiple: true,
+        }
+    }
+}
+
+/// The connecting mechanism chosen by the combination stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Connector {
+    /// A simple procedure call (active→passive, single-single) — the case
+    /// Collapsing Layers then erases entirely.
+    DirectCall,
+    /// A monitor serializing the multiple participants of a passive side.
+    Monitor,
+    /// Single-producer single-consumer queue (paper Figure 1).
+    SpscQueue,
+    /// Multiple-producer single-consumer optimistic queue (Figure 2).
+    MpscQueue,
+    /// Single-producer multiple-consumer optimistic queue.
+    SpmcQueue,
+    /// Multiple-producer multiple-consumer optimistic queue.
+    MpmcQueue,
+    /// A pump: a kernel thread actively copying from a passive producer
+    /// to a passive consumer (the `xclock` case).
+    Pump,
+}
+
+impl Connector {
+    /// The template-library name of this connector's code template.
+    #[must_use]
+    pub fn template_name(self) -> &'static str {
+        match self {
+            Connector::DirectCall => "connect_call",
+            Connector::Monitor => "connect_monitor",
+            Connector::SpscQueue => "q_spsc",
+            Connector::MpscQueue => "q_mpsc",
+            Connector::SpmcQueue => "q_spmc",
+            Connector::MpmcQueue => "q_mpmc",
+            Connector::Pump => "connect_pump",
+        }
+    }
+}
+
+/// The combination stage: pick the connector for a producer/consumer pair
+/// (paper Section 5.2).
+#[must_use]
+pub fn choose_connector(producer: Party, consumer: Party) -> Connector {
+    match (producer.active, consumer.active) {
+        // Active-passive (either direction): call, or monitor when a side
+        // has multiple participants to serialize.
+        (true, false) | (false, true) => {
+            if producer.multiple || consumer.multiple {
+                Connector::Monitor
+            } else {
+                Connector::DirectCall
+            }
+        }
+        // Active-active: a queue mediates; multiplicity picks the kind.
+        (true, true) => match (producer.multiple, consumer.multiple) {
+            (false, false) => Connector::SpscQueue,
+            (true, false) => Connector::MpscQueue,
+            (false, true) => Connector::SpmcQueue,
+            (true, true) => Connector::MpmcQueue,
+        },
+        // Passive-passive: a pump animates the flow.
+        (false, false) => Connector::Pump,
+    }
+}
+
+/// The result of interfacing two quajects.
+#[derive(Debug, Clone)]
+pub struct Interfaced {
+    /// The connector that was chosen.
+    pub connector: Connector,
+    /// The synthesized connecting code.
+    pub code: Synthesized,
+}
+
+/// The quaject interfacer.
+///
+/// Owns no state of its own; it drives the [`QuajectCreator`] through the
+/// four stages. The *dynamic link* stage is [`dynamic_link`]: entry
+/// addresses are stored into the consuming quaject's call-vector table in
+/// simulated memory, so the quaject thereafter jumps straight into the
+/// synthesized routine.
+pub struct Interfacer;
+
+impl Interfacer {
+    /// Combine two quajects: choose the connector, synthesize its code
+    /// with `bindings` (buffer addresses, sizes, callee entry points...),
+    /// and return the installed result. The caller then calls
+    /// [`dynamic_link`] to store the entries where the invoking quaject
+    /// expects them.
+    ///
+    /// # Errors
+    ///
+    /// See [`SynthError`].
+    pub fn interface(
+        creator: &mut QuajectCreator,
+        m: &mut Machine,
+        producer: Party,
+        consumer: Party,
+        bindings: &Bindings,
+        opts: SynthesisOptions,
+    ) -> Result<Interfaced, SynthError> {
+        let connector = choose_connector(producer, consumer);
+        let code = creator.synthesize(m, connector.template_name(), bindings, opts)?;
+        Ok(Interfaced { connector, code })
+    }
+}
+
+/// The dynamic-link stage: store a synthesized entry point into slot
+/// `slot` of the call-vector table at `table_addr` (one long per slot).
+pub fn dynamic_link(m: &mut Machine, table_addr: u32, slot: u32, entry: u32) {
+    m.mem
+        .poke(table_addr + slot * 4, quamachine::isa::Size::L, entry);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::Template;
+    use quamachine::asm::Asm;
+    use quamachine::isa::Size::L;
+    use quamachine::machine::MachineConfig;
+
+    #[test]
+    fn combination_matrix_matches_section_5_2() {
+        use Connector::*;
+        let a1 = Party::active_single();
+        let am = Party::active_multiple();
+        let p1 = Party::passive_single();
+        let pm = Party::passive_multiple();
+
+        assert_eq!(choose_connector(a1, p1), DirectCall);
+        assert_eq!(choose_connector(p1, a1), DirectCall);
+        assert_eq!(choose_connector(am, p1), Monitor);
+        assert_eq!(choose_connector(a1, pm), Monitor);
+        assert_eq!(choose_connector(a1, a1), SpscQueue);
+        assert_eq!(choose_connector(am, a1), MpscQueue);
+        assert_eq!(choose_connector(a1, am), SpmcQueue);
+        assert_eq!(choose_connector(am, am), MpmcQueue);
+        assert_eq!(choose_connector(p1, p1), Pump);
+        assert_eq!(choose_connector(pm, pm), Pump);
+    }
+
+    #[test]
+    fn interface_synthesizes_the_connector_template() {
+        let mut m = Machine::new(MachineConfig::sun3_emulation());
+        let mut c = QuajectCreator::new(0x10_0000, 0x1_0000);
+        let mut t = Asm::new("connect_call");
+        t.nop();
+        t.rts();
+        c.lib.add(Template::from_asm(t).unwrap());
+        let out = Interfacer::interface(
+            &mut c,
+            &mut m,
+            Party::active_single(),
+            Party::passive_single(),
+            &Bindings::new(),
+            SynthesisOptions::full(),
+        )
+        .unwrap();
+        assert_eq!(out.connector, Connector::DirectCall);
+        assert!(m.code.locate(out.code.base).is_some());
+    }
+
+    #[test]
+    fn dynamic_link_stores_entries() {
+        let mut m = Machine::new(MachineConfig::sun3_emulation());
+        dynamic_link(&mut m, 0x3000, 2, 0xCAFE);
+        assert_eq!(m.mem.peek(0x3000 + 8, L), 0xCAFE);
+    }
+}

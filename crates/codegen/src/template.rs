@@ -1,0 +1,242 @@
+//! Code templates and hole bindings.
+//!
+//! A template is a parameterized code fragment written once (in the kernel
+//! source) and specialized many times at run time. The paper's kernel kept
+//! "1000 lines for the templates used in code synthesis (e.g., queues,
+//! threads, files)" (Section 6.4).
+
+use std::collections::HashMap;
+
+use quamachine::asm::{Asm, AsmError};
+use quamachine::isa::{encode, HoleId, Instr, Operand};
+
+/// A named, parameterized code fragment.
+#[derive(Debug, Clone)]
+pub struct Template {
+    /// Template name (diagnostics, and the key in a [`TemplateLib`]).
+    pub name: String,
+    /// The instructions, with intra-block branches resolved to indices.
+    pub instrs: Vec<Instr>,
+    /// Hole names, indexed by [`HoleId`].
+    pub holes: Vec<String>,
+    /// Named entry points: name → instruction index.
+    pub marks: HashMap<String, usize>,
+}
+
+impl Template {
+    /// Build a template from an assembler.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the assembly has unbound labels.
+    pub fn from_asm(asm: Asm) -> Result<Template, AsmError> {
+        let assembled = asm.assemble_full()?;
+        Ok(Template {
+            name: assembled.block.name.clone(),
+            instrs: assembled.block.instrs,
+            holes: assembled.holes,
+            marks: assembled.marks,
+        })
+    }
+
+    /// The hole id for `name`, if declared.
+    #[must_use]
+    pub fn hole_id(&self, name: &str) -> Option<HoleId> {
+        self.holes
+            .iter()
+            .position(|h| h == name)
+            .map(|i| i as HoleId)
+    }
+
+    /// Names of holes that are still unfilled in the instruction stream.
+    #[must_use]
+    pub fn unfilled_holes(&self) -> Vec<&str> {
+        let mut seen = vec![false; self.holes.len()];
+        for i in &self.instrs {
+            for op in i.operands() {
+                if let Some(h) = op.hole() {
+                    if let Some(s) = seen.get_mut(h as usize) {
+                        *s = true;
+                    }
+                }
+            }
+        }
+        self.holes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| seen[*i])
+            .map(|(_, n)| n.as_str())
+            .collect()
+    }
+
+    /// Encoded size in bytes.
+    #[must_use]
+    pub fn size_bytes(&self) -> u32 {
+        encode::block_bytes(&self.instrs)
+    }
+
+    /// Call sites produced by [`call`](Template::call_hole_name)-style
+    /// holes: `(instruction index, callee template name)` for every
+    /// `jsr (<hole "call:NAME">)` in the template.
+    #[must_use]
+    pub fn call_sites(&self) -> Vec<(usize, String)> {
+        let mut v = Vec::new();
+        for (i, instr) in self.instrs.iter().enumerate() {
+            if let Instr::Jsr(Operand::AbsHole(h)) = instr {
+                if let Some(name) = self.holes.get(*h as usize) {
+                    if let Some(callee) = name.strip_prefix("call:") {
+                        v.push((i, callee.to_string()));
+                    }
+                }
+            }
+        }
+        v
+    }
+
+    /// The conventional hole name for a call site on template `callee`.
+    ///
+    /// Emit the call as `asm.jsr(asm.abs_hole(Template::call_hole_name("x")))`.
+    /// Collapsing Layers inlines such sites; alternatively Factoring
+    /// Invariants can bind the hole to the callee's installed address,
+    /// producing the *layered* (procedure-call) composition the paper's
+    /// optimization is measured against.
+    #[must_use]
+    pub fn call_hole_name(callee: &str) -> String {
+        format!("call:{callee}")
+    }
+}
+
+/// Values for a template's holes, by name.
+#[derive(Debug, Clone, Default)]
+pub struct Bindings {
+    map: HashMap<String, u32>,
+}
+
+impl Bindings {
+    /// No bindings.
+    #[must_use]
+    pub fn new() -> Bindings {
+        Bindings::default()
+    }
+
+    /// Bind `name` to `value` (replacing any previous binding).
+    pub fn bind(&mut self, name: impl Into<String>, value: u32) -> &mut Self {
+        self.map.insert(name.into(), value);
+        self
+    }
+
+    /// Builder-style bind.
+    #[must_use]
+    pub fn with(mut self, name: impl Into<String>, value: u32) -> Self {
+        self.bind(name, value);
+        self
+    }
+
+    /// Look up a binding.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.map.get(name).copied()
+    }
+
+    /// Number of bindings.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether there are no bindings.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// A library of templates, keyed by name (used by Collapsing Layers to
+/// find callees).
+#[derive(Debug, Default)]
+pub struct TemplateLib {
+    map: HashMap<String, Template>,
+}
+
+impl TemplateLib {
+    /// An empty library.
+    #[must_use]
+    pub fn new() -> TemplateLib {
+        TemplateLib::default()
+    }
+
+    /// Add a template (replacing any previous one of the same name).
+    pub fn add(&mut self, t: Template) {
+        self.map.insert(t.name.clone(), t);
+    }
+
+    /// Look up a template.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&Template> {
+        self.map.get(name)
+    }
+
+    /// Number of templates.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the library is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quamachine::isa::{Operand::*, Size::L};
+
+    #[test]
+    fn from_asm_collects_metadata() {
+        let mut a = Asm::new("t");
+        a.mark("start");
+        let h = a.imm_hole("x");
+        a.move_(L, h, Dr(0));
+        a.rts();
+        let t = Template::from_asm(a).unwrap();
+        assert_eq!(t.name, "t");
+        assert_eq!(t.holes, vec!["x"]);
+        assert_eq!(t.marks["start"], 0);
+        assert_eq!(t.hole_id("x"), Some(0));
+        assert_eq!(t.hole_id("y"), None);
+        assert_eq!(t.unfilled_holes(), vec!["x"]);
+    }
+
+    #[test]
+    fn call_sites_found_by_convention() {
+        let mut a = Asm::new("outer");
+        let c = a.abs_hole(Template::call_hole_name("inner"));
+        a.jsr(c);
+        a.rts();
+        let t = Template::from_asm(a).unwrap();
+        assert_eq!(t.call_sites(), vec![(0, "inner".to_string())]);
+    }
+
+    #[test]
+    fn bindings_builder() {
+        let b = Bindings::new().with("a", 1).with("b", 2);
+        assert_eq!(b.get("a"), Some(1));
+        assert_eq!(b.get("b"), Some(2));
+        assert_eq!(b.get("c"), None);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn library_lookup() {
+        let mut lib = TemplateLib::new();
+        let mut a = Asm::new("q_put");
+        a.rts();
+        lib.add(Template::from_asm(a).unwrap());
+        assert!(lib.get("q_put").is_some());
+        assert!(lib.get("nope").is_none());
+        assert_eq!(lib.len(), 1);
+    }
+}

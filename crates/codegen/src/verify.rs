@@ -1,0 +1,180 @@
+//! Template well-formedness checks.
+//!
+//! Run before installing synthesized code: a malformed block would fault
+//! at run time in ways that are much harder to diagnose.
+
+use quamachine::isa::{BranchTarget, Instr};
+
+use crate::template::Template;
+
+/// Verification failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A branch target index is outside the block.
+    BranchOutOfRange { instr: usize, target: u32 },
+    /// A branch still uses an unresolved label.
+    UnresolvedLabel { instr: usize },
+    /// The block can fall through past its last instruction.
+    FallsOffEnd,
+    /// An operand references a hole id not in the hole table.
+    BadHoleId { instr: usize, hole: u16 },
+    /// A mark points outside the block.
+    MarkOutOfRange { mark: String, index: usize },
+    /// The block is empty.
+    Empty,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::BranchOutOfRange { instr, target } => {
+                write!(
+                    f,
+                    "instruction {instr}: branch target @{target} out of range"
+                )
+            }
+            VerifyError::UnresolvedLabel { instr } => {
+                write!(f, "instruction {instr}: unresolved label")
+            }
+            VerifyError::FallsOffEnd => write!(f, "control can fall off the end of the block"),
+            VerifyError::BadHoleId { instr, hole } => {
+                write!(f, "instruction {instr}: hole id {hole} not in hole table")
+            }
+            VerifyError::MarkOutOfRange { mark, index } => {
+                write!(f, "mark {mark:?} points at {index}, outside the block")
+            }
+            VerifyError::Empty => write!(f, "empty template"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verify a template.
+///
+/// # Errors
+///
+/// Returns the first problem found.
+pub fn verify(t: &Template) -> Result<(), VerifyError> {
+    if t.instrs.is_empty() {
+        return Err(VerifyError::Empty);
+    }
+    for (i, instr) in t.instrs.iter().enumerate() {
+        match instr.branch_target() {
+            Some(BranchTarget::Label(_)) => return Err(VerifyError::UnresolvedLabel { instr: i }),
+            Some(BranchTarget::Idx(x)) if x as usize >= t.instrs.len() => {
+                return Err(VerifyError::BranchOutOfRange {
+                    instr: i,
+                    target: x,
+                })
+            }
+            _ => {}
+        }
+        for op in instr.operands() {
+            if let Some(h) = op.hole() {
+                if usize::from(h) >= t.holes.len() {
+                    return Err(VerifyError::BadHoleId { instr: i, hole: h });
+                }
+            }
+        }
+    }
+    for (mark, &idx) in &t.marks {
+        if idx >= t.instrs.len() {
+            return Err(VerifyError::MarkOutOfRange {
+                mark: mark.clone(),
+                index: idx,
+            });
+        }
+    }
+    // The final instruction must not fall through (jmp/rts/rte/halt/bra/
+    // stop all qualify). A trailing dbf/bcc falls through by design, so
+    // only the *last* instruction is checked.
+    let last = t.instrs.last().expect("non-empty");
+    if !last.is_terminator() {
+        return Err(VerifyError::FallsOffEnd);
+    }
+    Ok(())
+}
+
+/// Verify a bare instruction stream (no holes, no marks).
+///
+/// # Errors
+///
+/// Returns the first problem found.
+pub fn verify_instrs(instrs: &[Instr]) -> Result<(), VerifyError> {
+    let t = Template {
+        name: String::new(),
+        instrs: instrs.to_vec(),
+        holes: vec![String::new(); 64], // permissive hole table
+        marks: std::collections::HashMap::new(),
+    };
+    verify(&t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quamachine::asm::Asm;
+    use quamachine::isa::{Cond, Operand::*, Size::L};
+
+    #[test]
+    fn good_template_verifies() {
+        let mut a = Asm::new("t");
+        let end = a.label();
+        a.tst(L, Dr(0));
+        a.bcc(Cond::Eq, end);
+        a.move_i(L, 1, Dr(1));
+        a.bind(end);
+        a.rts();
+        let t = Template::from_asm(a).unwrap();
+        assert_eq!(verify(&t), Ok(()));
+    }
+
+    #[test]
+    fn fallthrough_end_rejected() {
+        let mut a = Asm::new("t");
+        a.move_i(L, 1, Dr(1));
+        let t = Template::from_asm(a).unwrap();
+        assert_eq!(verify(&t), Err(VerifyError::FallsOffEnd));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        let a = Asm::new("t");
+        let t = Template::from_asm(a).unwrap();
+        assert_eq!(verify(&t), Err(VerifyError::Empty));
+    }
+
+    #[test]
+    fn out_of_range_branch_rejected() {
+        use quamachine::isa::{BranchTarget, Instr};
+        let t = Template {
+            name: "t".into(),
+            instrs: vec![Instr::Bcc(Cond::Eq, BranchTarget::Idx(9)), Instr::Rts],
+            holes: vec![],
+            marks: std::collections::HashMap::new(),
+        };
+        assert!(matches!(
+            verify(&t),
+            Err(VerifyError::BranchOutOfRange {
+                instr: 0,
+                target: 9
+            })
+        ));
+    }
+
+    #[test]
+    fn bad_hole_id_rejected() {
+        use quamachine::isa::Instr;
+        let t = Template {
+            name: "t".into(),
+            instrs: vec![Instr::Move(L, ImmHole(3), Dr(0)), Instr::Rts],
+            holes: vec!["only_one".into()],
+            marks: std::collections::HashMap::new(),
+        };
+        assert!(matches!(
+            verify(&t),
+            Err(VerifyError::BadHoleId { hole: 3, .. })
+        ));
+    }
+}

@@ -1,0 +1,5 @@
+//! Kernel memory allocation.
+
+pub mod fastfit;
+
+pub use fastfit::FastFit;

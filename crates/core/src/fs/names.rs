@@ -1,0 +1,69 @@
+//! Backwards-hashed string names (Section 6.3).
+//!
+//! "About 60% [of `open`'s time] are used to find the file (hashed string
+//! names stored backwards)". Storing and comparing names from the *end*
+//! rejects non-matches quickly because path names share long prefixes
+//! (`/usr/include/...`) but rarely share suffixes.
+
+/// Hash a name scanning backwards (rotate-add, one pass).
+#[must_use]
+pub fn hash_backwards(name: &[u8]) -> u32 {
+    let mut h: u32 = 0x9E37_79B9;
+    for &b in name.iter().rev() {
+        h = h.rotate_left(5) ^ u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// How many characters a backwards comparison of `a` and `b` examines
+/// before deciding (equal length assumed checked first; a length mismatch
+/// scans 0).
+#[must_use]
+pub fn backwards_compare_scan(a: &[u8], b: &[u8]) -> u64 {
+    if a.len() != b.len() {
+        return 0;
+    }
+    let mut n = 0;
+    for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+        n += 1;
+        if x != y {
+            break;
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_names_hash_equal() {
+        assert_eq!(hash_backwards(b"/dev/null"), hash_backwards(b"/dev/null"));
+    }
+
+    #[test]
+    fn different_suffixes_hash_differently() {
+        // Not guaranteed in general, but these must differ for the hash
+        // to be useful.
+        assert_ne!(hash_backwards(b"/dev/null"), hash_backwards(b"/dev/tty"));
+        assert_ne!(hash_backwards(b"a"), hash_backwards(b"b"));
+        assert_ne!(hash_backwards(b""), hash_backwards(b"x"));
+    }
+
+    #[test]
+    fn backwards_scan_rejects_suffix_mismatch_in_one() {
+        // Long shared prefix, different last char: one comparison.
+        assert_eq!(
+            backwards_compare_scan(b"/usr/include/stdio.h", b"/usr/include/stdio.x"),
+            1
+        );
+        // Shared suffix scans further.
+        assert!(backwards_compare_scan(b"a/file.txt", b"b/file.txt") > 5);
+        // Full match scans everything.
+        assert_eq!(backwards_compare_scan(b"abc", b"abc"), 3);
+        // Length mismatch is free.
+        assert_eq!(backwards_compare_scan(b"abc", b"ab"), 0);
+    }
+}

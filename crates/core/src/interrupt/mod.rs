@@ -1,0 +1,3 @@
+//! Interrupt handling and Procedure Chaining (Sections 3.1, 5.3).
+
+pub mod chain;

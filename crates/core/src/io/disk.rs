@@ -1,0 +1,346 @@
+//! The disk path: raw disk server, disk scheduler, and cache manager.
+//!
+//! "Connected to the disk hardware we have a raw disk device server. The
+//! next stage in the pipeline is the disk scheduler, which contains the
+//! disk request queue, followed by the default file system cache manager,
+//! which contains the queue of data transfer buffers" (Section 5.1).
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use quamachine::devices::dev_reg_addr;
+use quamachine::devices::disk::{
+    CMD_READ, CMD_WRITE, REG_ADDR, REG_CMD, REG_COUNT, REG_SECTOR, SECTOR_SIZE,
+};
+use quamachine::machine::Machine;
+
+use crate::alloc::fastfit::OutOfMemory;
+use crate::alloc::FastFit;
+
+/// A queued disk request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskRequest {
+    /// First sector.
+    pub sector: u32,
+    /// Sectors to transfer.
+    pub count: u32,
+    /// DMA address.
+    pub addr: u32,
+    /// Read (`true`) or write.
+    pub read: bool,
+    /// Requester cookie (e.g. a thread id to wake).
+    pub cookie: u32,
+}
+
+/// The disk scheduler: an elevator over the request queue.
+///
+/// Requests are serviced in ascending-sector order from the current head
+/// position, then the elevator reverses — the classic SCAN policy the
+/// request queue exists to enable.
+#[derive(Debug)]
+pub struct DiskScheduler {
+    device: usize,
+    queue: BTreeMap<u32, VecDeque<DiskRequest>>,
+    inflight: Option<DiskRequest>,
+    head_pos: u32,
+    ascending: bool,
+    /// Requests completed.
+    pub completed: u64,
+    /// Total sectors moved.
+    pub sectors_moved: u64,
+}
+
+impl DiskScheduler {
+    /// A scheduler driving device index `device`.
+    #[must_use]
+    pub fn new(device: usize) -> DiskScheduler {
+        DiskScheduler {
+            device,
+            queue: BTreeMap::new(),
+            inflight: None,
+            head_pos: 0,
+            ascending: true,
+            completed: 0,
+            sectors_moved: 0,
+        }
+    }
+
+    /// Enqueue a request; starts the disk if it was idle.
+    pub fn submit(&mut self, m: &mut Machine, req: DiskRequest) {
+        self.queue.entry(req.sector).or_default().push_back(req);
+        if self.inflight.is_none() {
+            self.issue_next(m);
+        }
+    }
+
+    /// Pick the next request by the elevator and program the device.
+    fn issue_next(&mut self, m: &mut Machine) {
+        let next = if self.ascending {
+            self.queue
+                .range(self.head_pos..)
+                .next()
+                .map(|(&s, _)| s)
+                .or_else(|| {
+                    self.ascending = false;
+                    self.queue
+                        .range(..self.head_pos)
+                        .next_back()
+                        .map(|(&s, _)| s)
+                })
+        } else {
+            self.queue
+                .range(..=self.head_pos)
+                .next_back()
+                .map(|(&s, _)| s)
+                .or_else(|| {
+                    self.ascending = true;
+                    self.queue.range(self.head_pos..).next().map(|(&s, _)| s)
+                })
+        };
+        let Some(sector) = next else {
+            return;
+        };
+        let q = self.queue.get_mut(&sector).expect("key exists");
+        let req = q.pop_front().expect("non-empty");
+        if q.is_empty() {
+            self.queue.remove(&sector);
+        }
+        let d = self.device;
+        m.host_reg_write(dev_reg_addr(d, REG_SECTOR), req.sector);
+        m.host_reg_write(dev_reg_addr(d, REG_ADDR), req.addr);
+        m.host_reg_write(dev_reg_addr(d, REG_COUNT), req.count);
+        m.host_reg_write(
+            dev_reg_addr(d, REG_CMD),
+            if req.read { CMD_READ } else { CMD_WRITE },
+        );
+        self.inflight = Some(req);
+    }
+
+    /// The device finished the in-flight request; returns it and issues
+    /// the next one.
+    pub fn on_complete(&mut self, m: &mut Machine) -> Option<DiskRequest> {
+        let done = self.inflight.take()?;
+        self.head_pos = done.sector + done.count;
+        self.completed += 1;
+        self.sectors_moved += u64::from(done.count);
+        self.issue_next(m);
+        Some(done)
+    }
+
+    /// Whether a request is being serviced.
+    #[must_use]
+    pub fn busy(&self) -> bool {
+        self.inflight.is_some()
+    }
+
+    /// Queued (not yet issued) requests.
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.queue.values().map(VecDeque::len).sum()
+    }
+}
+
+/// The buffer-cache manager: sector-granular cache buffers in kernel
+/// memory.
+#[derive(Debug, Default)]
+pub struct BufferCache {
+    map: HashMap<u32, u32>, // sector -> buffer addr
+    lru: VecDeque<u32>,
+    capacity: usize,
+    /// Cache hits.
+    pub hits: u64,
+    /// Cache misses.
+    pub misses: u64,
+}
+
+impl BufferCache {
+    /// A cache of at most `capacity` sector buffers.
+    #[must_use]
+    pub fn new(capacity: usize) -> BufferCache {
+        BufferCache {
+            capacity,
+            ..BufferCache::default()
+        }
+    }
+
+    /// Look up a sector; `Some(addr)` on a hit.
+    pub fn get(&mut self, sector: u32) -> Option<u32> {
+        match self.map.get(&sector) {
+            Some(&addr) => {
+                self.hits += 1;
+                self.lru.retain(|&s| s != sector);
+                self.lru.push_back(sector);
+                Some(addr)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a sector buffer, evicting the least recently used if full.
+    /// Returns the evicted `(sector, addr)` so the caller can free or
+    /// write it back.
+    pub fn insert(&mut self, sector: u32, addr: u32) -> Option<(u32, u32)> {
+        let evicted = if self.map.len() >= self.capacity {
+            self.lru.pop_front().map(|s| {
+                let a = self.map.remove(&s).expect("lru entry in map");
+                (s, a)
+            })
+        } else {
+            None
+        };
+        self.map.insert(sector, addr);
+        self.lru.push_back(sector);
+        evicted
+    }
+
+    /// Allocate a sector buffer from the heap.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the heap is exhausted.
+    pub fn alloc_buffer(heap: &mut FastFit) -> Result<u32, OutOfMemory> {
+        heap.alloc(SECTOR_SIZE)
+    }
+
+    /// Number of cached sectors.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quamachine::devices::disk::Disk;
+    use quamachine::machine::{Machine, MachineConfig};
+
+    fn machine_with_disk() -> (Machine, usize) {
+        let mut m = Machine::new(MachineConfig::sun3_emulation());
+        let d = m.attach_device(Box::new(Disk::new(2, 1024)));
+        (m, d)
+    }
+
+    /// Drive the machine until the disk IRQ is pending, then ack it.
+    fn wait_done(m: &mut Machine) {
+        for _ in 0..100_000 {
+            m.process_events();
+            if m.irq.any_pending() {
+                // Ack by reading STATUS.
+                let _ = m.host_reg_read(dev_reg_addr(0, quamachine::devices::disk::REG_STATUS));
+                return;
+            }
+            m.meter.cycles += 1000;
+        }
+        panic!("disk never completed");
+    }
+
+    #[test]
+    fn requests_complete_and_dma_lands() {
+        let (mut m, dev) = machine_with_disk();
+        // Put recognizable data on sector 7.
+        let img: Vec<u8> = (0..512u32).map(|i| (i % 251) as u8).collect();
+        m.device_mut::<Disk>(dev).unwrap().load_image(7, &img);
+        let mut sched = DiskScheduler::new(dev);
+        sched.submit(
+            &mut m,
+            DiskRequest {
+                sector: 7,
+                count: 1,
+                addr: 0x2_0000,
+                read: true,
+                cookie: 0,
+            },
+        );
+        assert!(sched.busy());
+        wait_done(&mut m);
+        let done = sched.on_complete(&mut m).unwrap();
+        assert_eq!(done.sector, 7);
+        assert_eq!(m.mem.peek_bytes(0x2_0000, 512), img);
+        assert!(!sched.busy());
+        assert_eq!(sched.completed, 1);
+    }
+
+    #[test]
+    fn elevator_orders_by_sector() {
+        let (mut m, dev) = machine_with_disk();
+        let mut sched = DiskScheduler::new(dev);
+        // Submit out of order while the first is in flight.
+        sched.submit(
+            &mut m,
+            DiskRequest {
+                sector: 100,
+                count: 1,
+                addr: 0x2_0000,
+                read: true,
+                cookie: 0,
+            },
+        );
+        sched.submit(
+            &mut m,
+            DiskRequest {
+                sector: 900,
+                count: 1,
+                addr: 0x2_0200,
+                read: true,
+                cookie: 0,
+            },
+        );
+        sched.submit(
+            &mut m,
+            DiskRequest {
+                sector: 300,
+                count: 1,
+                addr: 0x2_0400,
+                read: true,
+                cookie: 0,
+            },
+        );
+        sched.submit(
+            &mut m,
+            DiskRequest {
+                sector: 200,
+                count: 1,
+                addr: 0x2_0600,
+                read: true,
+                cookie: 0,
+            },
+        );
+        let mut order = Vec::new();
+        order.push(100); // in flight already
+        for _ in 0..3 {
+            wait_done(&mut m);
+            let done = sched.on_complete(&mut m).unwrap();
+            if done.sector != 100 {
+                order.push(done.sector);
+            }
+        }
+        wait_done(&mut m);
+        let done = sched.on_complete(&mut m).unwrap();
+        order.push(done.sector);
+        assert_eq!(order, vec![100, 200, 300, 900], "ascending elevator sweep");
+    }
+
+    #[test]
+    fn cache_lru_eviction() {
+        let mut c = BufferCache::new(2);
+        assert!(c.get(1).is_none());
+        c.insert(1, 0x1000);
+        c.insert(2, 0x2000);
+        assert_eq!(c.get(1), Some(0x1000)); // 1 is now most recent
+        let evicted = c.insert(3, 0x3000);
+        assert_eq!(evicted, Some((2, 0x2000)));
+        assert_eq!(c.get(2), None);
+        assert_eq!(c.get(1), Some(0x1000));
+        assert_eq!(c.hits, 2);
+        assert_eq!(c.misses, 2);
+    }
+}

@@ -1,0 +1,94 @@
+//! Streams: the producer/consumer composition model (Section 5.2).
+//!
+//! "Data move along logical channels we call streams, which connect the
+//! source and the destination of data flow." A stream is described by its
+//! two parties; the quaject interfacer picks the connecting mechanism
+//! (procedure call, monitor, queue, or pump) and synthesizes the
+//! connecting code.
+
+use synthesis_codegen::interfacer::{choose_connector, Connector, Party};
+
+/// A stream description: who produces, who consumes.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamSpec {
+    /// The producing side.
+    pub producer: Party,
+    /// The consuming side.
+    pub consumer: Party,
+}
+
+impl StreamSpec {
+    /// The connector the combination stage selects.
+    #[must_use]
+    pub fn connector(&self) -> Connector {
+        choose_connector(self.producer, self.consumer)
+    }
+}
+
+/// The standard streams of the Synthesis I/O system, as the paper
+/// describes them.
+pub mod standard {
+    use super::*;
+
+    /// Cooked tty → raw tty: "the cooked tty makes a procedure call to
+    /// the raw tty to get the next character" (Section 5.4) —
+    /// active-passive, single-single.
+    #[must_use]
+    pub fn cooked_to_raw() -> StreamSpec {
+        StreamSpec {
+            producer: Party::passive_single(),
+            consumer: Party::active_single(),
+        }
+    }
+
+    /// Tty device → cooked filter: "the cooked tty actively reads and the
+    /// tty device itself actively writes, forming an active-active pair
+    /// connected by an SP-SC optimistic queue" (Section 5.4).
+    #[must_use]
+    pub fn device_to_cooked() -> StreamSpec {
+        StreamSpec {
+            producer: Party::active_single(),
+            consumer: Party::active_single(),
+        }
+    }
+
+    /// Programs and echo → screen: "the filter writes to an optimistic
+    /// queue, since output can come from both a user program or the
+    /// echoing of input characters" (Section 5.1) — multiple producers.
+    #[must_use]
+    pub fn output_to_screen() -> StreamSpec {
+        StreamSpec {
+            producer: Party::active_multiple(),
+            consumer: Party::active_single(),
+        }
+    }
+
+    /// The xclock pair: passive clock, passive display — a pump
+    /// (Section 5.2).
+    #[must_use]
+    pub fn clock_to_display() -> StreamSpec {
+        StreamSpec {
+            producer: Party::passive_single(),
+            consumer: Party::passive_single(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_streams_pick_the_papers_connectors() {
+        assert_eq!(standard::cooked_to_raw().connector(), Connector::DirectCall);
+        assert_eq!(
+            standard::device_to_cooked().connector(),
+            Connector::SpscQueue
+        );
+        assert_eq!(
+            standard::output_to_screen().connector(),
+            Connector::MpscQueue
+        );
+        assert_eq!(standard::clock_to_display().connector(), Connector::Pump);
+    }
+}

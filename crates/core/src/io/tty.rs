@@ -1,0 +1,196 @@
+//! The tty device server and the cooked-tty filter.
+//!
+//! "The Synthesis equivalent of UNIX cooked tty driver is a filter that
+//! processes the output from the raw tty server and interprets the erase
+//! and kill control characters. This filter reads characters from the raw
+//! keyboard server through a dedicated queue. To send characters to the
+//! screen, however, the filter writes to an optimistic queue, since
+//! output can come from both a user program or the echoing of input
+//! characters" (Section 5.1).
+//!
+//! The raw server is the synthesized receive-interrupt handler
+//! ([`crate::templates::irq::tty_rx_template`]) feeding a dedicated ring
+//! in kernel memory; the cooked filter below is synthesized per open and
+//! collapses the raw-queue `get` inline (Collapsing Layers: "instead of
+//! communicating to the raw tty through a pipe ... the cooked tty makes a
+//! procedure call to the raw tty to get the next character", Section
+//! 5.4).
+
+use quamachine::asm::Asm;
+use quamachine::isa::Size;
+use quamachine::isa::{Cond, IndexSpec, Operand::*, Size::*};
+use quamachine::machine::Machine;
+use synthesis_codegen::template::Template;
+
+use crate::alloc::fastfit::OutOfMemory;
+use crate::alloc::FastFit;
+
+/// Raw input ring size (power of two).
+pub const RAW_RING: u32 = 256;
+
+/// The erase character (backspace).
+pub const CH_ERASE: u32 = 0x08;
+/// The kill character (^U).
+pub const CH_KILL: u32 = 0x15;
+
+/// Kernel-side state of the tty server.
+#[derive(Debug)]
+pub struct TtyServer {
+    /// Head-counter slot (written by the receive interrupt).
+    pub qhead_slot: u32,
+    /// Tail-counter slot (written by readers).
+    pub qtail_slot: u32,
+    /// Ring base.
+    pub qbuf: u32,
+    /// Ring mask.
+    pub qmask: u32,
+    /// Interrupt gauge slot (for the scheduler).
+    pub gauge_slot: u32,
+    /// Reader-waiting flag slot.
+    pub waiters_slot: u32,
+    /// The tty device's DATA register address.
+    pub data_reg: u32,
+}
+
+impl TtyServer {
+    /// Allocate the server's kernel memory.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the kernel heap is exhausted.
+    pub fn allocate(
+        m: &mut Machine,
+        heap: &mut FastFit,
+        data_reg: u32,
+    ) -> Result<TtyServer, OutOfMemory> {
+        let slots = heap.alloc(16)?;
+        let qbuf = heap.alloc(RAW_RING)?;
+        for off in (0..16).step_by(4) {
+            m.mem.poke(slots + off, Size::L, 0);
+        }
+        Ok(TtyServer {
+            qhead_slot: slots,
+            qtail_slot: slots + 4,
+            gauge_slot: slots + 8,
+            waiters_slot: slots + 12,
+            qbuf,
+            qmask: RAW_RING - 1,
+            data_reg,
+        })
+    }
+
+    /// Characters currently buffered in the raw ring.
+    #[must_use]
+    pub fn available(&self, m: &Machine) -> u32 {
+        m.mem
+            .peek(self.qhead_slot, Size::L)
+            .wrapping_sub(m.mem.peek(self.qtail_slot, Size::L))
+    }
+}
+
+/// The cooked-tty read routine: reads raw characters (inline dedicated-
+/// queue `get` — the collapsed layer), interprets erase/kill, echoes to
+/// the screen, and returns at newline or when the buffer is full.
+///
+/// Arguments per the read ABI (`a0` buffer, `d1` max). Returns the line
+/// length in `d0` (including the newline).
+///
+/// Holes: `qhead`, `qtail`, `qbuf`, `qmask`, `tty_data` (echo register),
+/// `gauge`.
+#[must_use]
+pub fn cooked_read_template() -> Template {
+    let mut a = Asm::new("cooked_read");
+    let qhead = a.abs_hole("qhead");
+    let qtail = a.abs_hole("qtail");
+    let qbuf = a.imm_hole("qbuf");
+    let qmask = a.imm_hole("qmask");
+    let tty_data = a.abs_hole("tty_data");
+    let gauge = a.abs_hole("gauge");
+
+    let get_retry = a.label();
+    let have = a.label();
+    let not_erase = a.label();
+    let not_kill = a.label();
+    let no_undo = a.label();
+    let store = a.label();
+    let done = a.label();
+
+    a.move_(L, Ar(0), Ar(2)); // line start (for erase/kill and count)
+
+    // --- get one raw character into d0 (collapsed dedicated-queue get).
+    a.bind(get_retry);
+    let top = a.here();
+    a.move_(L, qtail, Dr(2));
+    a.cmp(L, qhead, Dr(2));
+    a.bcc(Cond::Ne, have);
+    a.kcall(crate::syscall::kcalls::WAIT_TTY);
+    a.bra(get_retry);
+    a.bind(have);
+    a.move_(L, Dr(2), Dr(3));
+    a.and(L, qmask, Dr(3));
+    a.move_(L, qbuf, Ar(1));
+    a.move_i(L, 0, Dr(0));
+    a.move_(B, Idx(0, 1, IndexSpec::d(3, 1)), Dr(0));
+    a.add(L, Imm(1), Dr(2));
+    a.move_(L, Dr(2), qtail);
+
+    // --- the discipline.
+    a.cmp(L, Imm(CH_ERASE), Dr(0));
+    a.bcc(Cond::Ne, not_erase);
+    // Erase: drop the last character, if any; echo the backspace.
+    a.cmp(L, Ar(0), Ar(2)); // start - cursor... flags of (a2 - a0)
+    a.bcc(Cond::Eq, no_undo);
+    a.sub(L, Imm(1), Ar(0));
+    a.move_(L, Dr(0), tty_data);
+    a.bind(no_undo);
+    a.bra(top);
+    a.bind(not_erase);
+    a.cmp(L, Imm(CH_KILL), Dr(0));
+    a.bcc(Cond::Ne, not_kill);
+    // Kill: restart the line; echo a newline.
+    a.move_(L, Ar(2), Ar(0));
+    a.move_i(L, 10, Dr(2));
+    a.move_(L, Dr(2), tty_data);
+    a.bra(top);
+    a.bind(not_kill);
+    // Ordinary character: store, echo, stop at newline or full buffer.
+    a.bind(store);
+    a.move_(B, Dr(0), PostInc(0));
+    a.move_(L, Dr(0), tty_data); // echo
+    a.cmp(L, Imm(10), Dr(0));
+    a.bcc(Cond::Eq, done);
+    a.move_(L, Ar(0), Dr(2));
+    a.sub(L, Ar(2), Dr(2)); // length so far
+    a.cmp(L, Dr(2), Dr(1)); // max - length
+    a.bcc(Cond::Hi, top); // room left: keep reading
+    a.bind(done);
+    a.move_(L, Ar(0), Dr(0));
+    a.sub(L, Ar(2), Dr(0)); // line length
+    a.add(L, Imm(1), gauge);
+    a.rte();
+    Template::from_asm(a).expect("assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synthesis_codegen::verify;
+
+    #[test]
+    fn cooked_template_verifies() {
+        verify::verify(&cooked_read_template()).unwrap();
+    }
+
+    #[test]
+    fn tty_server_allocates_ring() {
+        let mut m = Machine::new(quamachine::machine::MachineConfig::sun3_emulation());
+        let mut heap = FastFit::new(
+            crate::layout::KERNEL_HEAP_BASE,
+            crate::layout::KERNEL_HEAP_LEN,
+        );
+        let t = TtyServer::allocate(&mut m, &mut heap, 0xFF00_0000).unwrap();
+        assert_eq!(t.available(&m), 0);
+        m.mem.poke(t.qhead_slot, Size::L, 5);
+        assert_eq!(t.available(&m), 5);
+    }
+}

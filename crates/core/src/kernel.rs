@@ -1,0 +1,1905 @@
+//! The Synthesis kernel: boot, threads, kernel calls, and the run loop.
+//!
+//! The kernel is host-side Rust that *generates and patches* the
+//! simulated code that actually runs: synthesized context switches chain
+//! the ready queue (Figure 3), synthesized `read`/`write` land behind
+//! per-thread trap vectors (Section 5.3), and interrupt handlers feed
+//! kernel queues. Cold bookkeeping reaches the host through `kcall`
+//! hypercalls, each charging honest cycles (see [`crate::charges`]).
+
+use std::collections::{BTreeMap, HashMap};
+
+use quamachine::devices::audio::Audio;
+use quamachine::devices::disk::Disk;
+use quamachine::devices::fb::FrameBuffer;
+use quamachine::devices::null::NullDev;
+use quamachine::devices::timer::Timer;
+use quamachine::devices::tty::Tty;
+use quamachine::devices::{dev_reg_addr, timer as timer_regs, tty as tty_regs};
+use quamachine::error::Exception;
+use quamachine::isa::{Instr, Operand, Size};
+use quamachine::machine::{Machine, MachineConfig, RunExit};
+use quamachine::mem::AddressMap;
+use synthesis_codegen::creator::{QuajectCreator, SynthError, SynthesisOptions, Synthesized};
+use synthesis_codegen::execds::{ChainNode, JumpChain};
+use synthesis_codegen::template::Bindings;
+
+use crate::alloc::FastFit;
+use crate::charges;
+use crate::fs::Fs;
+use crate::io::pipe::{Pipe, DEFAULT_PIPE_SIZE};
+use crate::io::tty::TtyServer;
+use crate::layout;
+use crate::syscall::{errno, general, kcalls};
+use crate::templates;
+use crate::thread::tte::{off, FdObject};
+use crate::thread::{Thread, ThreadState, Tid, WaitObject};
+
+/// Interrupt levels assigned to devices.
+pub mod irq_levels {
+    /// Disk completion.
+    pub const DISK: u8 = 2;
+    /// One-shot alarms.
+    pub const ALARM: u8 = 3;
+    /// Tty receive.
+    pub const TTY: u8 = 4;
+    /// A/D sample.
+    pub const AUDIO: u8 = 5;
+    /// CPU quantum.
+    pub const QUANTUM: u8 = 6;
+}
+
+/// Kernel construction parameters.
+#[derive(Debug, Clone)]
+pub struct KernelConfig {
+    /// The machine configuration (clock, wait states).
+    pub machine: MachineConfig,
+    /// Which synthesis stages run (the ablation switchboard).
+    pub synthesis: SynthesisOptions,
+    /// Initial per-thread CPU quantum in µs ("a typical quantum is on the
+    /// order of a few hundred microseconds", Section 4.4).
+    pub default_quantum_us: u32,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig {
+            machine: MachineConfig {
+                mem_size: layout::MEM_SIZE,
+                ..MachineConfig::sun3_emulation()
+            },
+            synthesis: SynthesisOptions::full(),
+            default_quantum_us: 200,
+        }
+    }
+}
+
+impl KernelConfig {
+    /// Full-speed (50 MHz) configuration.
+    #[must_use]
+    pub fn full_speed() -> KernelConfig {
+        KernelConfig {
+            machine: MachineConfig {
+                mem_size: layout::MEM_SIZE,
+                ..MachineConfig::full_speed()
+            },
+            ..KernelConfig::default()
+        }
+    }
+}
+
+/// Attached device indices.
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceIdx {
+    /// The quantum timer.
+    pub timer: usize,
+    /// The alarm timer.
+    pub alarm: usize,
+    /// The tty.
+    pub tty: usize,
+    /// The audio (A/D, D/A) device.
+    pub audio: usize,
+    /// The disk.
+    pub disk: usize,
+    /// The framebuffer.
+    pub fb: usize,
+    /// `/dev/null`'s backing device.
+    pub null: usize,
+}
+
+/// Shared (per-boot, not per-thread) synthesized code addresses.
+#[derive(Debug)]
+struct SharedCode {
+    trampoline: u32,
+    ebadf: u32,
+    fp_trap: u32,
+    alarm: u32,
+    tty_rx: u32,
+    disk_done: u32,
+    spurious: u32,
+    user_exit_stub: u32,
+}
+
+/// Kernel errors surfaced to the embedder.
+#[derive(Debug)]
+pub enum KernelError {
+    /// Code synthesis failed.
+    Synth(SynthError),
+    /// Out of kernel heap.
+    NoMem,
+    /// No such thread.
+    NoThread(Tid),
+    /// Machine-level failure.
+    Machine(quamachine::error::MachineError),
+    /// Invalid operation (e.g. stopping the idle thread).
+    Invalid(&'static str),
+}
+
+impl From<SynthError> for KernelError {
+    fn from(e: SynthError) -> Self {
+        KernelError::Synth(e)
+    }
+}
+
+impl From<crate::alloc::fastfit::OutOfMemory> for KernelError {
+    fn from(_: crate::alloc::fastfit::OutOfMemory) -> Self {
+        KernelError::NoMem
+    }
+}
+
+impl From<quamachine::error::MachineError> for KernelError {
+    fn from(e: quamachine::error::MachineError) -> Self {
+        KernelError::Machine(e)
+    }
+}
+
+impl std::fmt::Display for KernelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KernelError::Synth(e) => write!(f, "synthesis: {e}"),
+            KernelError::NoMem => write!(f, "kernel heap exhausted"),
+            KernelError::NoThread(t) => write!(f, "no thread {t}"),
+            KernelError::Machine(e) => write!(f, "machine: {e}"),
+            KernelError::Invalid(s) => write!(f, "invalid operation: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+/// The Synthesis kernel.
+pub struct Kernel {
+    /// The machine.
+    pub m: Machine,
+    /// The quaject creator (code synthesis + code space).
+    pub creator: QuajectCreator,
+    /// The kernel heap (fast-fit).
+    pub heap: FastFit,
+    /// The file system.
+    pub fs: Fs,
+    /// Threads by id.
+    pub threads: BTreeMap<Tid, Thread>,
+    /// The executable ready queue.
+    pub ready: JumpChain,
+    /// Device indices.
+    pub dev: DeviceIdx,
+    /// The tty server state.
+    pub tty_srv: TtyServer,
+    /// Kernel pipes.
+    pub pipes: Vec<Pipe>,
+    /// The synthesis switchboard in effect.
+    pub opts: SynthesisOptions,
+    /// Default quantum for new threads.
+    pub default_quantum_us: u32,
+    /// Console output collected from `PUTC`.
+    pub console: Vec<u8>,
+    /// Threads that have exited.
+    pub exited: std::collections::HashSet<Tid>,
+    /// The idle thread's id.
+    pub idle_tid: Tid,
+
+    shared: SharedCode,
+    next_tid: Tid,
+    vbr_to_tid: HashMap<u32, Tid>,
+    installed_map_id: u32,
+    maps: HashMap<u32, AddressMap>,
+    waiters: HashMap<WaitObject, Vec<Tid>>,
+    sig_stash: HashMap<Tid, ([u32; 15], u32)>,
+    alarm_pending: bool,
+    /// When set, [`Kernel::run`] returns `Breakpoint(tid)` as soon as
+    /// this thread exits (instead of idling out the cycle budget).
+    pub watch_exit: Option<Tid>,
+}
+
+impl Kernel {
+    /// Boot the kernel: build the machine, attach devices, install
+    /// templates, synthesize the shared handlers, and start the idle
+    /// thread.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if initial synthesis fails (a bug, not a runtime
+    /// condition).
+    pub fn boot(cfg: KernelConfig) -> Result<Kernel, KernelError> {
+        let mut m = Machine::new(cfg.machine);
+        let timer = m.attach_device(Box::new(Timer::new(irq_levels::QUANTUM)));
+        let alarm = m.attach_device(Box::new(Timer::new(irq_levels::ALARM)));
+        let tty = m.attach_device(Box::new(Tty::new(irq_levels::TTY)));
+        let audio = m.attach_device(Box::new(Audio::new(irq_levels::AUDIO)));
+        let disk = m.attach_device(Box::new(Disk::new(irq_levels::DISK, 4096)));
+        let fb = m.attach_device(Box::new(FrameBuffer::new()));
+        let null = m.attach_device(Box::new(NullDev::new()));
+        let dev = DeviceIdx {
+            timer,
+            alarm,
+            tty,
+            audio,
+            disk,
+            fb,
+            null,
+        };
+
+        let mut creator = QuajectCreator::new(layout::CODE_BASE, layout::CODE_LEN);
+        templates::install_all(&mut creator.lib);
+        creator.lib.add(crate::io::tty::cooked_read_template());
+
+        let mut heap = FastFit::new(layout::KERNEL_HEAP_BASE, layout::KERNEL_HEAP_LEN);
+        let tty_srv =
+            TtyServer::allocate(&mut m, &mut heap, dev_reg_addr(tty, tty_regs::REG_DATA))?;
+
+        // Shared handlers.
+        let opts = cfg.synthesis;
+        let trampoline = creator
+            .synthesize(&mut m, "kcall_trampoline", &Bindings::new(), opts)?
+            .base;
+        let ebadf = creator
+            .synthesize(&mut m, "ebadf", &Bindings::new(), opts)?
+            .base;
+        let fp_trap = creator
+            .synthesize(&mut m, "trap_fp_unavail", &Bindings::new(), opts)?
+            .base;
+        let alarm_code = creator
+            .synthesize(
+                &mut m,
+                "irq_alarm",
+                Bindings::new().bind("timer_ack", dev_reg_addr(alarm, timer_regs::REG_ACK)),
+                opts,
+            )?
+            .base;
+        let tty_rx = creator
+            .synthesize(
+                &mut m,
+                "irq_tty_rx",
+                Bindings::new()
+                    .bind("tty_data", tty_srv.data_reg)
+                    .bind("qhead", tty_srv.qhead_slot)
+                    .bind("qbuf", tty_srv.qbuf)
+                    .bind("qmask", tty_srv.qmask)
+                    .bind("gauge", tty_srv.gauge_slot)
+                    .bind("waiters", tty_srv.waiters_slot),
+                opts,
+            )?
+            .base;
+        // Disk-completion and spurious-interrupt stubs.
+        let disk_done = {
+            let mut a = quamachine::asm::Asm::new("irq_disk_done");
+            a.kcall(kcalls::DISK_DONE);
+            a.rte();
+            let t = synthesis_codegen::template::Template::from_asm(a).expect("assembles");
+            creator
+                .synthesize_template(&mut m, &t, &Bindings::new(), opts)?
+                .base
+        };
+        let spurious = {
+            let mut a = quamachine::asm::Asm::new("irq_spurious");
+            a.rte();
+            let t = synthesis_codegen::template::Template::from_asm(a).expect("assembles");
+            creator
+                .synthesize_template(&mut m, &t, &Bindings::new(), opts)?
+                .base
+        };
+        // The default user error stub: exit the thread.
+        let user_exit_stub = {
+            let mut a = quamachine::asm::Asm::new("user_exit_stub");
+            a.move_i(Size::L, general::EXIT, Operand::Dr(0));
+            a.trap(crate::syscall::traps::GENERAL);
+            let loop_ = a.here();
+            a.bcc(quamachine::isa::Cond::T, loop_);
+            let t = synthesis_codegen::template::Template::from_asm(a).expect("assembles");
+            creator
+                .synthesize_template(&mut m, &t, &Bindings::new(), opts)?
+                .base
+        };
+
+        let mut k = Kernel {
+            m,
+            creator,
+            heap,
+            fs: Fs::new(),
+            threads: BTreeMap::new(),
+            ready: JumpChain::new(),
+            dev,
+            tty_srv,
+            pipes: Vec::new(),
+            opts,
+            default_quantum_us: cfg.default_quantum_us,
+            console: Vec::new(),
+            exited: std::collections::HashSet::new(),
+            idle_tid: 0,
+            shared: SharedCode {
+                trampoline,
+                ebadf,
+                fp_trap,
+                alarm: alarm_code,
+                tty_rx,
+                disk_done,
+                spurious,
+                user_exit_stub,
+            },
+            next_tid: 0,
+            vbr_to_tid: HashMap::new(),
+            installed_map_id: u32::MAX,
+            maps: HashMap::new(),
+            waiters: HashMap::new(),
+            sig_stash: HashMap::new(),
+            alarm_pending: false,
+            watch_exit: None,
+        };
+
+        // The idle thread: a supervisor-mode `stop`/loop. It anchors the
+        // ready chain so the executable queue is never empty.
+        let idle_code = {
+            let mut a = quamachine::asm::Asm::new("idle");
+            let top = a.here();
+            a.stop(0x2000);
+            a.bra(top);
+            let t = synthesis_codegen::template::Template::from_asm(a).expect("assembles");
+            k.creator
+                .synthesize_template(&mut k.m, &t, &Bindings::new(), k.opts)?
+        };
+        let idle = k.create_thread_inner(idle_code.base, 0, AddressMap::default(), 0x2000)?;
+        k.idle_tid = idle;
+        k.start(idle)?;
+        // Park the machine entering the idle thread.
+        let sw_in = k.threads[&idle].sw_in;
+        k.m.cpu.pc = sw_in;
+        Ok(k)
+    }
+
+    // --- Thread lifecycle -------------------------------------------------
+
+    /// Create a thread that will start executing at `entry` in user mode
+    /// with user stack pointer `user_sp` and address map `map`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on heap or code-space exhaustion.
+    pub fn create_thread(
+        &mut self,
+        entry: u32,
+        user_sp: u32,
+        map: AddressMap,
+    ) -> Result<Tid, KernelError> {
+        self.create_thread_inner(entry, user_sp, map, 0x0000)
+    }
+
+    fn create_thread_inner(
+        &mut self,
+        entry: u32,
+        user_sp: u32,
+        map: AddressMap,
+        initial_sr: u16,
+    ) -> Result<Tid, KernelError> {
+        let tid = self.next_tid;
+        self.next_tid += 1;
+
+        // Allocation stage: TTE, vector table, kernel stack.
+        let tte = self.heap.alloc(layout::TTE_LEN)?;
+        self.charge_alloc();
+        let vt = self.heap.alloc(layout::VECTOR_TABLE_LEN)?;
+        self.charge_alloc();
+        let kstack = self.heap.alloc(layout::KSTACK_LEN)?;
+        self.charge_alloc();
+
+        // TTE fill (the paper's ~100 µs for ~1 KB).
+        for a in (tte..tte + layout::TTE_LEN).step_by(4) {
+            self.m.mem.poke(a, Size::L, 0);
+        }
+        let c = charges::mem_init(&self.m.cost, layout::TTE_LEN);
+        self.m.charge(c);
+
+        // Factorization + optimization: the per-thread switch code.
+        let quantum = self.default_quantum_us;
+        let sw = self.synth_switch(tid, tte, vt, quantum, false)?;
+        let (sw_out, sw_in, sw_in_mmu, jmp_at) = Kernel::switch_entries(&self.m, &sw);
+
+        // Per-thread trap dispatchers and error handler.
+        let d1 = self.creator.synthesize(
+            &mut self.m,
+            "dispatch_trap1",
+            Bindings::new().bind("fdtable", tte + off::FD_TABLE),
+            self.opts,
+        )?;
+        let d2 = self.creator.synthesize(
+            &mut self.m,
+            "dispatch_trap2",
+            Bindings::new().bind("fdtable", tte + off::FD_TABLE),
+            self.opts,
+        )?;
+        let errh = self.creator.synthesize(
+            &mut self.m,
+            "trap_error",
+            Bindings::new()
+                .bind("err_pc_slot", tte + off::ERR_PC)
+                .bind("handler", self.shared.user_exit_stub),
+            self.opts,
+        )?;
+
+        // Vector table: errors, FP, interrupts, traps.
+        self.fill_vector_table(vt, sw_out, d1.base, d2.base, errh.base);
+        let c = charges::mem_init(&self.m.cost, layout::VECTOR_TABLE_LEN);
+        self.m.charge(c);
+
+        // fd table: every slot EBADF.
+        for fd in 0..crate::thread::tte::FD_MAX {
+            self.m
+                .mem
+                .poke(tte + off::FD_TABLE + fd * 8, Size::L, self.shared.ebadf);
+            self.m
+                .mem
+                .poke(tte + off::FD_TABLE + fd * 8 + 4, Size::L, self.shared.ebadf);
+        }
+
+        // Fabricate the initial exception frame on the kernel stack so
+        // sw_in's rte drops into `entry`.
+        let frame = tte_frame_top(kstack) - 6;
+        self.m.mem.poke(frame, Size::W, u32::from(initial_sr));
+        self.m.mem.poke(frame + 2, Size::L, entry);
+        self.m.mem.poke(tte + off::SSP, Size::L, frame);
+        self.m.mem.poke(tte + off::USP, Size::L, user_sp);
+        self.m.mem.poke(tte + off::QUANTUM, Size::L, quantum);
+
+        self.maps.insert(map.id, map.clone());
+        self.vbr_to_tid.insert(vt, tid);
+        // CONTRACT: aux_code order is [trap-1 read dispatcher, trap-2
+        // write dispatcher, error-trap handler]. The UNIX emulator binds
+        // its dispatcher to aux_code[0]/aux_code[1] by position.
+        let thread = Thread {
+            tid,
+            tte,
+            vt,
+            kstack,
+            sw,
+            sw_out,
+            sw_in,
+            sw_in_mmu,
+            jmp_at,
+            aux_code: vec![d1, d2, errh],
+            uses_fp: false,
+            quantum_us: quantum,
+            state: ThreadState::Stopped,
+            map,
+            fds: (0..crate::thread::tte::FD_MAX)
+                .map(|_| FdObject::Free)
+                .collect(),
+            last_gauge: 0,
+        };
+        self.threads.insert(tid, thread);
+        Ok(tid)
+    }
+
+    /// Synthesize (or resynthesize) a thread's context-switch code.
+    fn synth_switch(
+        &mut self,
+        tid: Tid,
+        tte: u32,
+        vt: u32,
+        quantum: u32,
+        fp: bool,
+    ) -> Result<Synthesized, KernelError> {
+        let mut b = Bindings::new();
+        b.bind("save", tte + off::REGS)
+            .bind("usp_slot", tte + off::USP)
+            .bind("ssp_slot", tte + off::SSP)
+            .bind("vt", vt)
+            .bind("quantum", quantum)
+            .bind(
+                "timer_qreg",
+                dev_reg_addr(self.dev.timer, timer_regs::REG_QUANTUM_US),
+            )
+            .bind(
+                "timer_ack",
+                dev_reg_addr(self.dev.timer, timer_regs::REG_ACK),
+            )
+            .bind("tid", tid)
+            .bind("next", 0);
+        if fp {
+            b.bind("fp_save", tte + off::FP);
+        }
+        let name = if fp { "sw_fp" } else { "sw_basic" };
+        Ok(self.creator.synthesize(&mut self.m, name, &b, self.opts)?)
+    }
+
+    /// Locate the switch code's entries and its patchable jump.
+    fn switch_entries(m: &Machine, sw: &Synthesized) -> (u32, u32, u32, u32) {
+        let sw_out = sw.entries.get("sw_out").copied().unwrap_or(sw.base);
+        let sw_in = sw.entries["sw_in"];
+        let sw_in_mmu = sw.entries["sw_in_mmu"];
+        let block = m.code.block(sw.base).expect("installed");
+        let jmp_idx = block
+            .instrs
+            .iter()
+            .position(|i| matches!(i, Instr::Jmp(Operand::Abs(_))))
+            .expect("switch code contains the chain jmp");
+        let jmp_at = m.code.addr_of(sw.base, jmp_idx).expect("in range");
+        (sw_out, sw_in, sw_in_mmu, jmp_at)
+    }
+
+    fn fill_vector_table(&mut self, vt: u32, sw_out: u32, d1: u32, d2: u32, errh: u32) {
+        let poke = |m: &mut Machine, vec: u32, addr: u32| {
+            m.mem.poke(vt + 4 * vec, Size::L, addr);
+        };
+        // Error traps (Section 4.3): bus error, address error, illegal,
+        // zero divide, privilege violation.
+        for vec in [2, 3, 4, 5, 8] {
+            poke(&mut self.m, vec, errh);
+        }
+        // Lazy FP.
+        poke(&mut self.m, 11, self.shared.fp_trap);
+        // Interrupt levels.
+        for level in 1..=7u32 {
+            poke(&mut self.m, 24 + level, self.shared.spurious);
+        }
+        poke(
+            &mut self.m,
+            24 + u32::from(irq_levels::DISK),
+            self.shared.disk_done,
+        );
+        poke(
+            &mut self.m,
+            24 + u32::from(irq_levels::ALARM),
+            self.shared.alarm,
+        );
+        poke(
+            &mut self.m,
+            24 + u32::from(irq_levels::TTY),
+            self.shared.tty_rx,
+        );
+        poke(
+            &mut self.m,
+            24 + u32::from(irq_levels::AUDIO),
+            self.shared.spurious,
+        );
+        // The timer vector points straight at THIS thread's sw_out —
+        // Figure 3's "the interrupt is vectored to thread-0's
+        // context-switch-out procedure".
+        poke(&mut self.m, 24 + u32::from(irq_levels::QUANTUM), sw_out);
+        // Traps.
+        for t in 0..16u32 {
+            poke(&mut self.m, 32 + t, self.shared.trampoline);
+        }
+        poke(&mut self.m, 32 + u32::from(crate::syscall::traps::READ), d1);
+        poke(
+            &mut self.m,
+            32 + u32::from(crate::syscall::traps::WRITE),
+            d2,
+        );
+    }
+
+    /// Install a handler address into a thread's vector table (used by
+    /// the UNIX emulator and device servers).
+    pub fn set_vector(&mut self, tid: Tid, vector: u32, handler: u32) -> Result<(), KernelError> {
+        let vt = self.threads.get(&tid).ok_or(KernelError::NoThread(tid))?.vt;
+        self.m.mem.poke(vt + 4 * vector, Size::L, handler);
+        let c = charges::code_patch(&self.m.cost);
+        self.m.charge(c);
+        Ok(())
+    }
+
+    /// Start (or restart) a thread: insert its TTE into the executable
+    /// ready queue, in front (Section 4.4's unblocking rule).
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown or dead threads.
+    pub fn start(&mut self, tid: Tid) -> Result<(), KernelError> {
+        self.ensure_safe_point();
+        let t = self.threads.get(&tid).ok_or(KernelError::NoThread(tid))?;
+        if matches!(t.state, ThreadState::Dead) {
+            return Err(KernelError::Invalid("starting a dead thread"));
+        }
+        if self.ready.position(tid).is_some() {
+            return Ok(());
+        }
+        let node = ChainNode {
+            id: tid,
+            entry: t.sw_in,
+            jmp_at: t.jmp_at,
+        };
+        let at = self
+            .current_tid()
+            .and_then(|cur| self.ready.position(cur))
+            .or_else(|| if self.ready.is_empty() { None } else { Some(0) });
+        self.ready.insert_front(&mut self.m, at, node)?;
+        self.threads.get_mut(&tid).expect("exists").state = ThreadState::Ready;
+        self.balance_idle()?;
+        self.fix_chain_entries()?;
+        let c = 2 * charges::code_patch(&self.m.cost) + charges::kcall_overhead(&self.m.cost);
+        self.m.charge(c);
+        self.kick_idle();
+        Ok(())
+    }
+
+    /// If the machine is currently in (or parked before) the idle thread,
+    /// cut the running quantum short so the newly runnable thread gets
+    /// the CPU immediately instead of waiting out idle's quantum —
+    /// Section 4.4's "minimize response time to events".
+    fn kick_idle(&mut self) {
+        let cur = self.current_tid();
+        if cur.is_none() || cur == Some(self.idle_tid) {
+            let qreg = dev_reg_addr(self.dev.timer, timer_regs::REG_QUANTUM_US);
+            self.m.host_reg_write(qreg, 1);
+        }
+    }
+
+    /// Stop a thread: remove its TTE from the ready queue.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown threads or the idle thread.
+    pub fn stop(&mut self, tid: Tid) -> Result<(), KernelError> {
+        if tid == self.idle_tid {
+            return Err(KernelError::Invalid("stopping the idle thread"));
+        }
+        self.ensure_safe_point();
+        if !self.threads.contains_key(&tid) {
+            return Err(KernelError::NoThread(tid));
+        }
+        let was_current = self.current_tid() == Some(tid);
+        if was_current {
+            self.suspend_current_state();
+        }
+        self.ready.remove(&mut self.m, tid)?;
+        self.threads.get_mut(&tid).expect("exists").state = ThreadState::Stopped;
+        self.balance_idle()?;
+        self.fix_chain_entries()?;
+        let c = charges::code_patch(&self.m.cost) + charges::kcall_overhead(&self.m.cost);
+        self.m.charge(c);
+        if was_current {
+            self.enter_next();
+        }
+        Ok(())
+    }
+
+    /// Keep the idle thread out of the ready chain whenever real threads
+    /// are runnable: the idle thread otherwise consumes a full quantum
+    /// per rotation (it sleeps in `stop` until its own quantum expires),
+    /// which would tax every runnable thread by a whole idle quantum.
+    fn balance_idle(&mut self) -> Result<(), KernelError> {
+        let idle = self.idle_tid;
+        let others = self.ready.nodes().iter().any(|n| n.id != idle);
+        let idle_in = self.ready.position(idle).is_some();
+        if others && idle_in {
+            // If the machine is currently executing idle (or its switch
+            // code), leave it for now; the next quantum moves on anyway.
+            self.ready.remove(&mut self.m, idle)?;
+            // Idle's own jmp must keep pointing somewhere valid in case
+            // the machine is mid-idle right now: route it into the chain.
+            let first = self.ready.nodes()[0];
+            let t = &self.threads[&first.id];
+            let idle_t = &self.threads[&idle];
+            let entry = if idle_t.map.id == t.map.id {
+                t.sw_in
+            } else {
+                t.sw_in_mmu
+            };
+            self.m.code.patch_jmp_target(idle_t.jmp_at, entry)?;
+            self.threads.get_mut(&idle).expect("idle exists").state = ThreadState::Stopped;
+        } else if !others && !idle_in {
+            let t = &self.threads[&idle];
+            let node = ChainNode {
+                id: idle,
+                entry: t.sw_in,
+                jmp_at: t.jmp_at,
+            };
+            self.ready.insert_front(&mut self.m, None, node)?;
+            self.threads.get_mut(&idle).expect("idle exists").state = ThreadState::Ready;
+        }
+        Ok(())
+    }
+
+    /// Re-point each chain node's jump at the successor's `sw_in` or
+    /// `sw_in_mmu` depending on whether the address space changes
+    /// (Figure 3's two entry points).
+    fn fix_chain_entries(&mut self) -> Result<(), KernelError> {
+        let nodes: Vec<ChainNode> = self.ready.nodes().to_vec();
+        for (i, node) in nodes.iter().enumerate() {
+            let next = &nodes[(i + 1) % nodes.len()];
+            let a = &self.threads[&node.id];
+            let b = &self.threads[&next.id];
+            let entry = if a.map.id == b.map.id {
+                b.sw_in
+            } else {
+                b.sw_in_mmu
+            };
+            self.m.code.patch_jmp_target(node.jmp_at, entry)?;
+        }
+        Ok(())
+    }
+
+    /// The currently executing thread, identified by the installed VBR.
+    #[must_use]
+    pub fn current_tid(&self) -> Option<Tid> {
+        self.vbr_to_tid.get(&self.m.cpu.vbr).copied()
+    }
+
+    /// Whether `pc` is inside any thread's context-switch code — the
+    /// window during which CPU contents and the VBR identity are
+    /// transitional, so host-side surgery would corrupt thread state.
+    fn in_switch_code(&self, pc: u32) -> bool {
+        self.threads
+            .values()
+            .any(|t| pc >= t.sw.base && pc < t.sw.base + t.sw.size)
+    }
+
+    /// Step the machine out of any context-switch window so host-side
+    /// operations (stop, signal, step, destroy) see consistent state.
+    /// Kernel calls encountered on the way are serviced.
+    pub fn ensure_safe_point(&mut self) {
+        for _ in 0..10_000 {
+            if !self.in_switch_code(self.m.cpu.pc) {
+                return;
+            }
+            match self.m.step() {
+                Ok(None) => {}
+                Ok(Some(RunExit::KCall(sel))) => {
+                    let _ = self.handle_kcall(sel);
+                }
+                _ => return,
+            }
+        }
+    }
+
+    /// Save the machine's register state into the current thread's TTE
+    /// and fabricate a resume frame on its kernel stack — the host-side
+    /// mirror of `sw_out`, used when the kernel switches away inside a
+    /// kernel call. The fabricated frame makes the later `sw_in`'s `rte`
+    /// resume exactly where the `kcall` left off (mid-routine, in
+    /// supervisor mode), so the synthesized routine finishes normally.
+    fn suspend_current_state(&mut self) {
+        let Some(tid) = self.current_tid() else {
+            return;
+        };
+        let t = &self.threads[&tid];
+        let tte = t.tte;
+        let uses_fp = t.uses_fp;
+        for i in 0..8 {
+            let v = self.m.cpu.d[i];
+            self.m.mem.poke(tte + off::REGS + 4 * i as u32, Size::L, v);
+        }
+        for i in 0..7 {
+            let v = self.m.cpu.a[i];
+            self.m
+                .mem
+                .poke(tte + off::REGS + 32 + 4 * i as u32, Size::L, v);
+        }
+        let usp = self.m.cpu.usp();
+        self.m.mem.poke(tte + off::USP, Size::L, usp);
+        // Fabricate the resume frame below the current SSP.
+        let frame = self.m.cpu.ssp().wrapping_sub(6);
+        self.m.mem.poke(frame, Size::W, u32::from(self.m.cpu.sr));
+        self.m.mem.poke(frame + 2, Size::L, self.m.cpu.pc);
+        self.m.mem.poke(tte + off::SSP, Size::L, frame);
+        if uses_fp {
+            for i in 0..8u32 {
+                let bits = self.m.cpu.fp[i as usize].to_bits();
+                self.m
+                    .mem
+                    .poke(tte + off::FP + 8 * i, Size::L, (bits >> 32) as u32);
+                self.m
+                    .mem
+                    .poke(tte + off::FP + 8 * i + 4, Size::L, bits as u32);
+            }
+        }
+        let c = charges::mem_copy(&self.m.cost, 74);
+        self.m.charge(c);
+    }
+
+    /// Point the machine at the next ready thread's switch-in.
+    fn enter_next(&mut self) {
+        let node = self.ready.nodes().first().copied();
+        if let Some(node) = node {
+            self.enter(node.id);
+        }
+    }
+
+    /// Point the machine at `tid`'s switch-in (it must have a valid frame
+    /// and saved state).
+    fn enter(&mut self, tid: Tid) {
+        let t = &self.threads[&tid];
+        let need_map = t.map.id != self.installed_map_id;
+        self.m.cpu.pc = if need_map { t.sw_in_mmu } else { t.sw_in };
+        // Supervisor mode (sw_in uses privileged instructions) with
+        // interrupts masked: a pending interrupt accepted before sw_in's
+        // first instruction would vector through the *previous* thread's
+        // table and corrupt its just-saved state. The incoming thread's
+        // rte restores its own mask.
+        let sr = (self.m.cpu.sr | quamachine::cpu::sr_bits::S) | 0x0700;
+        self.m.cpu.write_sr(sr);
+    }
+
+    /// Destroy a thread, freeing everything it owns.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown threads or the idle thread.
+    pub fn destroy(&mut self, tid: Tid) -> Result<(), KernelError> {
+        if tid == self.idle_tid {
+            return Err(KernelError::Invalid("destroying the idle thread"));
+        }
+        self.ensure_safe_point();
+        let was_current = self.current_tid() == Some(tid);
+        if self.ready.position(tid).is_some() {
+            self.ready.remove(&mut self.m, tid)?;
+            self.balance_idle()?;
+            self.fix_chain_entries()?;
+        }
+        let mut t = self
+            .threads
+            .remove(&tid)
+            .ok_or(KernelError::NoThread(tid))?;
+        // Close fds.
+        for fd in 0..t.fds.len() {
+            let obj = std::mem::replace(&mut t.fds[fd], FdObject::Free);
+            self.release_fd_object(obj);
+        }
+        self.creator.destroy(&mut self.m, &t.sw);
+        for s in &t.aux_code {
+            self.creator.destroy(&mut self.m, s);
+        }
+        self.heap.free(t.tte, layout::TTE_LEN);
+        self.heap.free(t.vt, layout::VECTOR_TABLE_LEN);
+        self.heap.free(t.kstack, layout::KSTACK_LEN);
+        self.vbr_to_tid.remove(&t.vt);
+        t.state = ThreadState::Dead;
+        self.exited.insert(tid);
+        let c = charges::kcall_overhead(&self.m.cost) + charges::alloc_op(&self.m.cost, 3) * 3;
+        self.m.charge(c);
+        if was_current {
+            self.enter_next();
+        }
+        Ok(())
+    }
+
+    fn release_fd_object(&mut self, obj: FdObject) {
+        match obj {
+            FdObject::Free => {}
+            FdObject::Null { code } | FdObject::Tty { code } => {
+                for s in &code {
+                    self.creator.destroy(&mut self.m, s);
+                }
+            }
+            FdObject::File {
+                fid,
+                offset_slot,
+                code,
+            } => {
+                for s in &code {
+                    self.creator.destroy(&mut self.m, s);
+                }
+                self.heap.free(offset_slot, 4);
+                if let Some(f) = self.fs.file_mut(fid) {
+                    f.opens = f.opens.saturating_sub(1);
+                }
+            }
+            FdObject::Pipe {
+                pid,
+                read_end,
+                code,
+            } => {
+                for s in &code {
+                    self.creator.destroy(&mut self.m, s);
+                }
+                // The pipe may not (yet) be registered if endpoint setup
+                // failed partway; nothing further to release in that case.
+                if self.pipes.get(pid as usize).is_none() {
+                    return;
+                }
+                let release = {
+                    let p = &mut self.pipes[pid as usize];
+                    if read_end {
+                        p.readers = p.readers.saturating_sub(1);
+                    } else {
+                        p.writers = p.writers.saturating_sub(1);
+                    }
+                    p.readers == 0 && p.writers == 0
+                };
+                if release {
+                    // Free the ring; keep the table slot (ids are stable).
+                    let p = &self.pipes[pid as usize];
+                    let (hs, buf, sz) = (p.head_slot, p.buf, p.size);
+                    self.heap.free(hs, 16);
+                    self.heap.free(buf, sz);
+                }
+            }
+        }
+    }
+
+    /// `step`: make a stopped thread execute one instruction (Table 3:
+    /// the debugger primitive).
+    ///
+    /// # Errors
+    ///
+    /// The thread must exist and be stopped.
+    pub fn step_thread(&mut self, tid: Tid) -> Result<(), KernelError> {
+        let t = self.threads.get(&tid).ok_or(KernelError::NoThread(tid))?;
+        if !matches!(t.state, ThreadState::Stopped) {
+            return Err(KernelError::Invalid("step requires a stopped thread"));
+        }
+        let (tte, vt) = (t.tte, t.vt);
+        // Host-side sw_in: load the thread's state into the CPU,
+        // including its address map (one user-mode instruction is about
+        // to run under it).
+        let saved_cpu = self.m.cpu.clone();
+        let saved_map = std::mem::replace(&mut self.m.mem.map, t.map.clone());
+        let frame = self.m.mem.peek(tte + off::SSP, Size::L);
+        let sr = self.m.mem.peek(frame, Size::W) as u16;
+        let pc = self.m.mem.peek(frame + 2, Size::L);
+        for i in 0..8 {
+            self.m.cpu.d[i] = self.m.mem.peek(tte + off::REGS + 4 * i as u32, Size::L);
+        }
+        for i in 0..7 {
+            self.m.cpu.a[i] = self
+                .m
+                .mem
+                .peek(tte + off::REGS + 32 + 4 * i as u32, Size::L);
+        }
+        self.m.cpu.vbr = vt;
+        self.m.cpu.pc = pc;
+        // Build the mode: supervisor bit per the frame, but with
+        // interrupts masked so the single step executes the thread's
+        // instruction rather than accepting a pending interrupt.
+        let masked = (sr & !0x0700) | 0x0700;
+        self.m.cpu.write_sr(masked | quamachine::cpu::sr_bits::S); // temporarily super
+        self.m.cpu.a[7] = frame + 6;
+        let usp = self.m.mem.peek(tte + off::USP, Size::L);
+        self.m.cpu.set_usp(usp);
+        self.m.cpu.write_sr(masked);
+        if !self.m.cpu.supervisor() {
+            self.m.cpu.a[7] = usp;
+        }
+        let _ = self.m.step();
+        // Save back (restoring the thread's real interrupt mask) and
+        // refabricate the frame.
+        let npc = self.m.cpu.pc;
+        let nsr = (self.m.cpu.sr & !0x0700) | (sr & 0x0700);
+        for i in 0..8 {
+            let v = self.m.cpu.d[i];
+            self.m.mem.poke(tte + off::REGS + 4 * i as u32, Size::L, v);
+        }
+        for i in 0..7 {
+            let v = self.m.cpu.a[i];
+            self.m
+                .mem
+                .poke(tte + off::REGS + 32 + 4 * i as u32, Size::L, v);
+        }
+        let nusp = self.m.cpu.usp();
+        let nframe = self.m.cpu.ssp() - 6;
+        self.m.mem.poke(nframe, Size::W, u32::from(nsr));
+        self.m.mem.poke(nframe + 2, Size::L, npc);
+        self.m.mem.poke(tte + off::SSP, Size::L, nframe);
+        self.m.mem.poke(tte + off::USP, Size::L, nusp);
+        self.m.cpu = saved_cpu;
+        self.m.mem.map = saved_map;
+        let c = 2 * charges::mem_copy(&self.m.cost, 68) + charges::kcall_overhead(&self.m.cost);
+        self.m.charge(c);
+        Ok(())
+    }
+
+    /// Send a signal: the target will run its signal handler the next
+    /// time it is activated (Section 4.3). Host API: callable between
+    /// [`Kernel::run`] slices.
+    ///
+    /// # Errors
+    ///
+    /// The target must exist and have a handler installed.
+    pub fn signal(&mut self, target: Tid, sig: u32) -> Result<(), KernelError> {
+        self.ensure_safe_point();
+        if self.current_tid() == Some(target) {
+            // The target's live state is on the CPU (the machine is
+            // parked between instructions): park it properly first, then
+            // deliver as to a parked thread, and resume it through its
+            // switch-in so the fabricated frames unwind in order.
+            self.suspend_current_state();
+            self.signal_parked(target, sig)?;
+            self.enter(target);
+            return Ok(());
+        }
+        self.signal_parked(target, sig)
+    }
+
+    /// Deliver a signal to a thread whose state is in its TTE (or to the
+    /// calling thread from inside its own kernel call).
+    pub(crate) fn signal_from_kcall(&mut self, target: Tid, sig: u32) -> Result<(), KernelError> {
+        let t = self
+            .threads
+            .get(&target)
+            .ok_or(KernelError::NoThread(target))?;
+        let tte = t.tte;
+        let handler = self.m.mem.peek(tte + off::SIG_HANDLER, Size::L);
+        if handler == 0 {
+            return Err(KernelError::Invalid("no signal handler installed"));
+        }
+        if self.current_tid() == Some(target) {
+            // Running target: rewrite the active trap frame (we are in a
+            // kernel call from it). Park the old PC and swap in the
+            // handler.
+            let sp = self.m.cpu.a[7];
+            let old_pc = self.m.mem.peek(sp + 2, Size::L);
+            self.m.mem.poke(tte + off::SIG_PC, Size::L, old_pc);
+            self.m.mem.poke(sp + 2, Size::L, handler);
+            // Stash registers for SIG_RETURN.
+            let mut regs = [0u32; 15];
+            regs[..8].copy_from_slice(&self.m.cpu.d);
+            regs[8..].copy_from_slice(&self.m.cpu.a[..7]);
+            self.sig_stash.insert(target, (regs, self.m.cpu.usp()));
+        } else {
+            return self.signal_parked(target, sig);
+        }
+        let c = charges::kcall_overhead(&self.m.cost) + 3 * charges::code_patch(&self.m.cost);
+        self.m.charge(c);
+        Ok(())
+    }
+
+    /// Deliver to a thread whose state lives in its TTE: push a
+    /// fabricated frame so its next `rte` runs the handler; `SIG_RETURN`
+    /// then falls back to the real frame.
+    fn signal_parked(&mut self, target: Tid, _sig: u32) -> Result<(), KernelError> {
+        let t = self
+            .threads
+            .get(&target)
+            .ok_or(KernelError::NoThread(target))?;
+        let tte = t.tte;
+        let handler = self.m.mem.peek(tte + off::SIG_HANDLER, Size::L);
+        if handler == 0 {
+            return Err(KernelError::Invalid("no signal handler installed"));
+        }
+        let ssp = self.m.mem.peek(tte + off::SSP, Size::L);
+        let fake = ssp - 6;
+        self.m.mem.poke(fake, Size::W, 0); // user mode
+        self.m.mem.poke(fake + 2, Size::L, handler);
+        self.m.mem.poke(tte + off::SSP, Size::L, fake);
+        let mut regs = [0u32; 15];
+        for i in 0..15u32 {
+            regs[i as usize] = self.m.mem.peek(tte + off::REGS + 4 * i, Size::L);
+        }
+        let usp = self.m.mem.peek(tte + off::USP, Size::L);
+        self.sig_stash.insert(target, (regs, usp));
+        let c = charges::kcall_overhead(&self.m.cost) + 3 * charges::code_patch(&self.m.cost);
+        self.m.charge(c);
+        Ok(())
+    }
+
+    // --- Blocking / waking -------------------------------------------------
+
+    /// Block the current thread on `wait` and switch away.
+    fn block_current(&mut self, wait: WaitObject) {
+        let Some(tid) = self.current_tid() else {
+            return;
+        };
+        if tid == self.idle_tid {
+            return; // the idle thread never blocks
+        }
+        // Raise the waiter flag the synthesized producers test.
+        if let Some(slot) = self.wait_flag_slot(wait) {
+            self.m.mem.poke(slot, Size::L, 1);
+        }
+        self.suspend_current_state();
+        let _ = self.ready.remove(&mut self.m, tid);
+        let _ = self.balance_idle();
+        let _ = self.fix_chain_entries();
+        self.threads.get_mut(&tid).expect("current exists").state = ThreadState::Blocked(wait);
+        self.waiters.entry(wait).or_default().push(tid);
+        self.enter_next();
+    }
+
+    /// Wake every thread blocked on `wait` (front of the ready queue:
+    /// "giving it immediate access to the CPU").
+    fn wake(&mut self, wait: WaitObject) {
+        let Some(tids) = self.waiters.remove(&wait) else {
+            return;
+        };
+        if let Some(slot) = self.wait_flag_slot(wait) {
+            self.m.mem.poke(slot, Size::L, 0);
+        }
+        for tid in tids {
+            let t = self.threads.get_mut(&tid).expect("waiter exists");
+            t.state = ThreadState::Ready;
+            let node = ChainNode {
+                id: tid,
+                entry: t.sw_in,
+                jmp_at: t.jmp_at,
+            };
+            let at = self
+                .current_tid()
+                .and_then(|cur| self.ready.position(cur))
+                .or(if self.ready.is_empty() { None } else { Some(0) });
+            let _ = self.ready.insert_front(&mut self.m, at, node);
+        }
+        let _ = self.balance_idle();
+        let _ = self.fix_chain_entries();
+        self.kick_idle();
+    }
+
+    fn wait_flag_slot(&self, wait: WaitObject) -> Option<u32> {
+        match wait {
+            WaitObject::TtyInput => Some(self.tty_srv.waiters_slot),
+            WaitObject::PipeData(p) => self.pipes.get(p as usize).map(|p| p.r_wait_slot),
+            WaitObject::PipeSpace(p) => self.pipes.get(p as usize).map(|p| p.w_wait_slot),
+            WaitObject::Alarm | WaitObject::Disk => None,
+        }
+    }
+
+    // --- The run loop -------------------------------------------------------
+
+    /// Run the kernel for up to `max_cycles`, servicing kernel calls.
+    ///
+    /// Returns when the budget expires, on a fatal machine error, or on a
+    /// `kcall` the kernel does not own (so embedders like the UNIX
+    /// emulator can extend the kernel and then call [`Kernel::run`]
+    /// again).
+    pub fn run(&mut self, max_cycles: u64) -> RunExit {
+        let deadline = self.m.meter.cycles.saturating_add(max_cycles);
+        loop {
+            let now = self.m.meter.cycles;
+            if now >= deadline {
+                return RunExit::CycleLimit;
+            }
+            match self.m.run(deadline - now) {
+                RunExit::KCall(sel) => {
+                    if !self.handle_kcall(sel) {
+                        return RunExit::KCall(sel);
+                    }
+                    if let Some(w) = self.watch_exit {
+                        if self.exited.contains(&w) {
+                            return RunExit::Breakpoint(w);
+                        }
+                    }
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Run until thread `tid` exits (or the cycle budget is spent).
+    /// Returns `true` if it exited.
+    pub fn run_until_exit(&mut self, tid: Tid, max_cycles: u64) -> bool {
+        let deadline = self.m.meter.cycles.saturating_add(max_cycles);
+        let prev_watch = self.watch_exit.replace(tid);
+        while !self.exited.contains(&tid) && self.m.meter.cycles < deadline {
+            match self.run(deadline - self.m.meter.cycles) {
+                RunExit::CycleLimit => break,
+                RunExit::KCall(_) => break, // unowned kcall with no embedder
+                RunExit::Halted => break,
+                // A watched-exit notification (or a debugger breakpoint):
+                // re-check the loop condition.
+                RunExit::Breakpoint(_) => {}
+                RunExit::Error(e) => panic!("machine error: {e}"),
+            }
+        }
+        self.watch_exit = prev_watch;
+        self.exited.contains(&tid)
+    }
+
+    /// Service one kernel call; `false` means the selector is not ours.
+    #[allow(clippy::too_many_lines)]
+    fn handle_kcall(&mut self, sel: u16) -> bool {
+        match sel {
+            kcalls::GENERAL => {
+                let call = self.m.cpu.d[0];
+                self.general_call(call);
+            }
+            kcalls::SET_MAP => {
+                let tid = self.m.cpu.d[0];
+                if let Some(t) = self.threads.get(&tid) {
+                    let map = t.map.clone();
+                    self.installed_map_id = map.id;
+                    self.m.mem.map = map;
+                }
+                let c = charges::kcall_overhead(&self.m.cost);
+                self.m.charge(c);
+            }
+            kcalls::FP_RESYNTH => {
+                self.fp_resynthesize();
+            }
+            kcalls::ALARM => {
+                self.alarm_pending = false;
+                self.wake(WaitObject::Alarm);
+            }
+            kcalls::AD_ADVANCE => {
+                // Device servers built on the specialized A/D handlers
+                // register themselves via the audio-server module; the
+                // default kernel just acknowledges.
+                let c = charges::kcall_overhead(&self.m.cost);
+                self.m.charge(c);
+            }
+            kcalls::DISK_DONE => {
+                let addr = dev_reg_addr(self.dev.disk, quamachine::devices::disk::REG_STATUS);
+                let _ = self.m.host_reg_read(addr); // acknowledge
+                self.wake(WaitObject::Disk);
+            }
+            kcalls::WAIT_TTY => {
+                // Re-check under the "lock" (host atomicity) to avoid a
+                // lost wakeup between the guest's test and the kcall.
+                if self.tty_srv.available(&self.m) == 0 {
+                    self.block_current(WaitObject::TtyInput);
+                }
+            }
+            kcalls::WAIT_PIPE_DATA => {
+                let pid = self.m.cpu.d[2];
+                let empty = self
+                    .pipes
+                    .get(pid as usize)
+                    .is_some_and(|p| p.available(&self.m) == 0);
+                if empty {
+                    self.block_current(WaitObject::PipeData(pid));
+                }
+            }
+            kcalls::WAIT_PIPE_SPACE => {
+                let pid = self.m.cpu.d[2];
+                let full = self
+                    .pipes
+                    .get(pid as usize)
+                    .is_some_and(|p| p.space(&self.m) == 0);
+                if full {
+                    self.block_current(WaitObject::PipeSpace(pid));
+                }
+            }
+            kcalls::WAKE_TTY => self.wake(WaitObject::TtyInput),
+            kcalls::WAKE_PIPE_DATA => {
+                let pid = self.m.cpu.d[2];
+                self.wake(WaitObject::PipeData(pid));
+            }
+            kcalls::WAKE_PIPE_SPACE => {
+                let pid = self.m.cpu.d[2];
+                self.wake(WaitObject::PipeSpace(pid));
+            }
+            _ => return false,
+        }
+        true
+    }
+
+    /// The general kernel call (trap #0).
+    fn general_call(&mut self, call: u32) {
+        let d1 = self.m.cpu.d[1];
+        let d2 = self.m.cpu.d[2];
+        let a0 = self.m.cpu.a[0];
+        let c = charges::kcall_overhead(&self.m.cost);
+        self.m.charge(c);
+        let result: i64 = match call {
+            general::EXIT => {
+                if let Some(tid) = self.current_tid() {
+                    let _ = self.destroy(tid);
+                }
+                0
+            }
+            general::THREAD_CREATE => {
+                let map = self
+                    .current_tid()
+                    .map(|t| self.threads[&t].map.clone())
+                    .unwrap_or_default();
+                match self.create_thread(d1, d2, map) {
+                    Ok(tid) => i64::from(tid),
+                    Err(_) => -i64::from(errno::ENOMEM),
+                }
+            }
+            general::THREAD_START => match self.start(d1) {
+                Ok(()) => 0,
+                Err(_) => -i64::from(errno::EINVAL),
+            },
+            general::THREAD_STOP => match self.stop(d1) {
+                Ok(()) => 0,
+                Err(_) => -i64::from(errno::EINVAL),
+            },
+            general::THREAD_DESTROY => match self.destroy(d1) {
+                Ok(()) => 0,
+                Err(_) => -i64::from(errno::EINVAL),
+            },
+            general::SIGNAL => match self.signal_from_kcall(d1, d2) {
+                Ok(()) => 0,
+                Err(_) => -i64::from(errno::EINVAL),
+            },
+            general::OPEN => {
+                let path = self.read_user_string(a0);
+                match self.open(&path) {
+                    Ok(fd) => i64::from(fd),
+                    Err(e) => -i64::from(e),
+                }
+            }
+            general::CLOSE => match self.close(d1) {
+                Ok(()) => 0,
+                Err(e) => -i64::from(e),
+            },
+            general::YIELD => {
+                self.yield_current();
+                0
+            }
+            general::GETTID => i64::from(self.current_tid().unwrap_or(0)),
+            general::SET_SIG_HANDLER => {
+                if let Some(tid) = self.current_tid() {
+                    let tte = self.threads[&tid].tte;
+                    self.m.mem.poke(tte + off::SIG_HANDLER, Size::L, d1);
+                }
+                0
+            }
+            general::SIG_RETURN => {
+                if let Some(tid) = self.current_tid() {
+                    if let Some((regs, usp)) = self.sig_stash.remove(&tid) {
+                        self.m.cpu.d.copy_from_slice(&regs[..8]);
+                        self.m.cpu.a[..7].copy_from_slice(&regs[8..]);
+                        self.m.cpu.set_usp(usp);
+                    }
+                    // Drop the handler's trap frame; the original frame
+                    // (or the parked PC) sits right above it.
+                    let sp = self.m.cpu.a[7];
+                    let tte = self.threads[&tid].tte;
+                    let parked = self.m.mem.peek(tte + off::SIG_PC, Size::L);
+                    if parked != 0 {
+                        // Signal was delivered to a running thread: reuse
+                        // this frame, restoring the parked PC.
+                        self.m.mem.poke(sp + 2, Size::L, parked);
+                        self.m.mem.poke(tte + off::SIG_PC, Size::L, 0);
+                    } else {
+                        // Parked-thread delivery: discard this frame.
+                        self.m.cpu.a[7] = sp + 6;
+                    }
+                }
+                return; // d0 intentionally preserved from the stash
+            }
+            general::PIPE => match self.pipe() {
+                Ok((rfd, wfd)) => i64::from((rfd << 8) | wfd),
+                Err(e) => -i64::from(e),
+            },
+            general::SET_ALARM => {
+                self.set_alarm(d1);
+                0
+            }
+            general::WAIT_ALARM => {
+                if self.alarm_pending {
+                    self.block_current(WaitObject::Alarm);
+                }
+                0
+            }
+            general::PUTC => {
+                self.console.push(d1 as u8);
+                0
+            }
+            general::SEEK => self.seek(d1, d2),
+            _ => -i64::from(errno::EINVAL),
+        };
+        self.m.cpu.d[0] = result as u32;
+    }
+
+    fn yield_current(&mut self) {
+        let Some(tid) = self.current_tid() else {
+            return;
+        };
+        self.suspend_current_state();
+        // Enter the next thread in the chain after us.
+        if let Some(pos) = self.ready.position(tid) {
+            let next = self.ready.next_of(pos).id;
+            if next != tid {
+                self.enter(next);
+            }
+        }
+    }
+
+    /// Program a one-shot alarm `us` µs from now (Table 5: set alarm).
+    pub fn set_alarm(&mut self, us: u32) {
+        self.alarm_pending = true;
+        let addr = dev_reg_addr(self.dev.alarm, timer_regs::REG_ALARM_US);
+        self.m.host_reg_write(addr, us);
+        let c = charges::kcall_overhead(&self.m.cost);
+        self.m.charge(c);
+    }
+
+    fn seek(&mut self, fd: u32, pos: u32) -> i64 {
+        let Some(tid) = self.current_tid() else {
+            return -i64::from(errno::EBADF);
+        };
+        let t = &self.threads[&tid];
+        match t.fds.get(fd as usize) {
+            Some(FdObject::File { offset_slot, .. }) => {
+                let slot = *offset_slot;
+                self.m.mem.poke(slot, Size::L, pos);
+                i64::from(pos)
+            }
+            _ => -i64::from(errno::EBADF),
+        }
+    }
+
+    /// Read a NUL-terminated string from the caller's space.
+    fn read_user_string(&self, addr: u32) -> String {
+        let mut s = Vec::new();
+        for i in 0..256 {
+            let b = self.m.mem.peek(addr + i, Size::B) as u8;
+            if b == 0 {
+                break;
+            }
+            s.push(b);
+        }
+        String::from_utf8_lossy(&s).into_owned()
+    }
+
+    // --- open / close / pipe ------------------------------------------------
+
+    /// Open `path` for the current thread: find the object, synthesize
+    /// its `read`/`write`, dynamic-link them into the fd table.
+    ///
+    /// # Errors
+    ///
+    /// Returns an errno.
+    pub fn open(&mut self, path: &str) -> Result<u32, u32> {
+        let tid = self.current_tid().ok_or(errno::EINVAL as u32)?;
+        self.open_for(tid, path)
+    }
+
+    /// Open on behalf of a specific thread (host API).
+    ///
+    /// # Errors
+    ///
+    /// Returns an errno.
+    pub fn open_for(&mut self, tid: Tid, path: &str) -> Result<u32, u32> {
+        let t = self.threads.get(&tid).ok_or(errno::EINVAL as u32)?;
+        let fd = t.free_fd().ok_or(errno::EMFILE as u32)?;
+        let tte = t.tte;
+        let gauge = tte + off::GAUGE;
+        let opts = self.opts;
+
+        let obj: FdObject = match path {
+            "/dev/null" => {
+                let r = self
+                    .creator
+                    .synthesize(
+                        &mut self.m,
+                        "read_null",
+                        Bindings::new().bind("gauge", gauge),
+                        opts,
+                    )
+                    .map_err(|_| errno::ENOMEM as u32)?;
+                let w = match self.creator.synthesize(
+                    &mut self.m,
+                    "write_null",
+                    Bindings::new().bind("gauge", gauge),
+                    opts,
+                ) {
+                    Ok(w) => w,
+                    Err(_) => {
+                        self.creator.destroy(&mut self.m, &r);
+                        return Err(errno::ENOMEM as u32);
+                    }
+                };
+                self.link_fd(tid, fd, r.base, w.base);
+                FdObject::Null { code: vec![r, w] }
+            }
+            "/dev/tty" | "/dev/tty-raw" => {
+                let cooked = path == "/dev/tty";
+                let mut rb = Bindings::new();
+                rb.bind("qhead", self.tty_srv.qhead_slot)
+                    .bind("qtail", self.tty_srv.qtail_slot)
+                    .bind("qbuf", self.tty_srv.qbuf)
+                    .bind("qmask", self.tty_srv.qmask)
+                    .bind("gauge", gauge);
+                if cooked {
+                    rb.bind("tty_data", self.tty_srv.data_reg);
+                }
+                let rname = if cooked { "cooked_read" } else { "read_tty" };
+                let r = self
+                    .creator
+                    .synthesize(&mut self.m, rname, &rb, opts)
+                    .map_err(|_| errno::ENOMEM as u32)?;
+                let w = match self.creator.synthesize(
+                    &mut self.m,
+                    "write_tty",
+                    Bindings::new()
+                        .bind("tty_data", self.tty_srv.data_reg)
+                        .bind("gauge", gauge),
+                    opts,
+                ) {
+                    Ok(w) => w,
+                    Err(_) => {
+                        self.creator.destroy(&mut self.m, &r);
+                        return Err(errno::ENOMEM as u32);
+                    }
+                };
+                self.link_fd(tid, fd, r.base, w.base);
+                FdObject::Tty { code: vec![r, w] }
+            }
+            _ => {
+                // The name lookup: charge per character actually scanned
+                // (Section 6.3: ~60% of open's cost).
+                let (found, scanned) = self.fs.lookup(path);
+                let c = charges::name_scan(&self.m.cost, scanned as u32);
+                self.m.charge(c);
+                let fid = found.ok_or(errno::ENOENT as u32)?;
+                let f = self.fs.file(fid).expect("fid valid");
+                let (buf, cap, len_slot) = (f.buf, f.cap, f.len_slot);
+                let offset_slot = self.heap.alloc(4).map_err(|_| errno::ENOMEM as u32)?;
+                self.m.mem.poke(offset_slot, Size::L, 0);
+                let r = match self.creator.synthesize(
+                    &mut self.m,
+                    "read_file",
+                    Bindings::new()
+                        .bind("offset_slot", offset_slot)
+                        .bind("len_slot", len_slot)
+                        .bind("buf", buf)
+                        .bind("gauge", gauge),
+                    opts,
+                ) {
+                    Ok(r) => r,
+                    Err(_) => {
+                        self.heap.free(offset_slot, 4);
+                        return Err(errno::ENOMEM as u32);
+                    }
+                };
+                let w = match self.creator.synthesize(
+                    &mut self.m,
+                    "write_file",
+                    Bindings::new()
+                        .bind("offset_slot", offset_slot)
+                        .bind("len_slot", len_slot)
+                        .bind("buf", buf)
+                        .bind("cap", cap)
+                        .bind("gauge", gauge),
+                    opts,
+                ) {
+                    Ok(w) => w,
+                    Err(_) => {
+                        self.creator.destroy(&mut self.m, &r);
+                        self.heap.free(offset_slot, 4);
+                        return Err(errno::ENOMEM as u32);
+                    }
+                };
+                self.fs.file_mut(fid).expect("fid valid").opens += 1;
+                self.link_fd(tid, fd, r.base, w.base);
+                FdObject::File {
+                    fid,
+                    offset_slot,
+                    code: vec![r, w],
+                }
+            }
+        };
+        self.threads.get_mut(&tid).expect("exists").fds[fd as usize] = obj;
+        Ok(fd)
+    }
+
+    /// The dynamic-link stage: store the synthesized entry points into
+    /// the thread's fd table.
+    fn link_fd(&mut self, tid: Tid, fd: u32, read_entry: u32, write_entry: u32) {
+        let t = &self.threads[&tid];
+        let (rs, ws) = (t.fd_read_slot(fd), t.fd_write_slot(fd));
+        self.m.mem.poke(rs, Size::L, read_entry);
+        self.m.mem.poke(ws, Size::L, write_entry);
+        let c = 2 * charges::code_patch(&self.m.cost);
+        self.m.charge(c);
+    }
+
+    /// Close fd `fd` of the current thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns an errno.
+    pub fn close(&mut self, fd: u32) -> Result<(), u32> {
+        let tid = self.current_tid().ok_or(errno::EINVAL as u32)?;
+        self.close_for(tid, fd)
+    }
+
+    /// Close on behalf of a thread (host API).
+    ///
+    /// # Errors
+    ///
+    /// Returns an errno.
+    pub fn close_for(&mut self, tid: Tid, fd: u32) -> Result<(), u32> {
+        let t = self.threads.get_mut(&tid).ok_or(errno::EINVAL as u32)?;
+        let slot = t.fds.get_mut(fd as usize).ok_or(errno::EBADF as u32)?;
+        if matches!(slot, FdObject::Free) {
+            return Err(errno::EBADF as u32);
+        }
+        let obj = std::mem::replace(slot, FdObject::Free);
+        let ebadf = self.shared.ebadf;
+        self.link_fd(tid, fd, ebadf, ebadf);
+        self.release_fd_object(obj);
+        Ok(())
+    }
+
+    /// Create a pipe for the current thread; returns `(read_fd, write_fd)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an errno.
+    pub fn pipe(&mut self) -> Result<(u32, u32), u32> {
+        let tid = self.current_tid().ok_or(errno::EINVAL as u32)?;
+        self.pipe_for(tid)
+    }
+
+    /// Create a pipe on behalf of a thread (host API).
+    ///
+    /// # Errors
+    ///
+    /// Returns an errno.
+    pub fn pipe_for(&mut self, tid: Tid) -> Result<(u32, u32), u32> {
+        let pid = self.pipes.len() as u32;
+        let p = Pipe::allocate(&mut self.m, &mut self.heap, pid, DEFAULT_PIPE_SIZE)
+            .map_err(|_| errno::ENOMEM as u32)?;
+        match self.pipe_attach_inner(tid, &p) {
+            Ok((rfd, wfd)) => {
+                self.pipes.push(p);
+                Ok((rfd, wfd))
+            }
+            Err(e) => {
+                // Endpoint setup unwound its fds; release the ring too.
+                p.release(&mut self.heap);
+                Err(e)
+            }
+        }
+    }
+
+    /// Attach an existing pipe to another thread (cross-thread pipes);
+    /// returns `(read_fd, write_fd)` in that thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns an errno.
+    pub fn pipe_attach(&mut self, tid: Tid, pid: u32) -> Result<(u32, u32), u32> {
+        let p = std::mem::replace(
+            self.pipes
+                .get_mut(pid as usize)
+                .ok_or(errno::EINVAL as u32)?,
+            // Temporarily take the pipe out to satisfy the borrow checker;
+            // the placeholder is never observed.
+            Pipe {
+                pid,
+                head_slot: 0,
+                tail_slot: 0,
+                buf: 0,
+                size: 1,
+                r_wait_slot: 0,
+                w_wait_slot: 0,
+                readers: 0,
+                writers: 0,
+            },
+        );
+        let r = self.pipe_attach_inner(tid, &p);
+        let slot = self.pipes.get_mut(pid as usize).expect("checked");
+        *slot = p;
+        if r.is_ok() {
+            slot.readers += 1;
+            slot.writers += 1;
+        }
+        r
+    }
+
+    fn pipe_attach_inner(&mut self, tid: Tid, p: &Pipe) -> Result<(u32, u32), u32> {
+        let t = self.threads.get(&tid).ok_or(errno::EINVAL as u32)?;
+        let gauge = t.tte + off::GAUGE;
+        let rfd = t.free_fd().ok_or(errno::EMFILE as u32)?;
+        let mut b = Bindings::new();
+        b.bind("head_slot", p.head_slot)
+            .bind("tail_slot", p.tail_slot)
+            .bind("buf", p.buf)
+            .bind("size", p.size)
+            .bind("mask", p.size - 1)
+            .bind("gauge", gauge)
+            .bind("pid", p.pid)
+            .bind("r_wait", p.r_wait_slot)
+            .bind("w_wait", p.w_wait_slot);
+        let rcode = self
+            .creator
+            .synthesize(&mut self.m, "pipe_read", &b, self.opts)
+            .map_err(|_| errno::ENOMEM as u32)?;
+        let ebadf = self.shared.ebadf;
+        self.link_fd(tid, rfd, rcode.base, ebadf);
+        self.threads.get_mut(&tid).expect("exists").fds[rfd as usize] = FdObject::Pipe {
+            pid: p.pid,
+            read_end: true,
+            code: vec![rcode],
+        };
+
+        // The write end; if it cannot be created, unwind the read end so
+        // no fd is left pointing at a pipe that was never registered.
+        let unwind_read = |k: &mut Kernel| {
+            let obj = std::mem::replace(
+                &mut k.threads.get_mut(&tid).expect("exists").fds[rfd as usize],
+                FdObject::Free,
+            );
+            let ebadf = k.shared.ebadf;
+            k.link_fd(tid, rfd, ebadf, ebadf);
+            k.release_fd_object(obj);
+        };
+        let t = &self.threads[&tid];
+        let Some(wfd) = t.free_fd() else {
+            unwind_read(self);
+            return Err(errno::EMFILE as u32);
+        };
+        let wcode = match self
+            .creator
+            .synthesize(&mut self.m, "pipe_write", &b, self.opts)
+        {
+            Ok(w) => w,
+            Err(_) => {
+                unwind_read(self);
+                return Err(errno::ENOMEM as u32);
+            }
+        };
+        self.link_fd(tid, wfd, ebadf, wcode.base);
+        self.threads.get_mut(&tid).expect("exists").fds[wfd as usize] = FdObject::Pipe {
+            pid: p.pid,
+            read_end: false,
+            code: vec![wcode],
+        };
+        Ok((rfd, wfd))
+    }
+
+    // --- Lazy FP -------------------------------------------------------------
+
+    /// Resynthesize the current thread's switch code onto the FP variant
+    /// (Section 4.2: invoked from the coprocessor-unavailable trap).
+    fn fp_resynthesize(&mut self) {
+        let Some(tid) = self.current_tid() else {
+            return;
+        };
+        let t = &self.threads[&tid];
+        if t.uses_fp {
+            self.m.cpu.fpu_enabled = true; // already resynthesized
+            return;
+        }
+        let (tte, vt, quantum, old_sw) = (t.tte, t.vt, t.quantum_us, t.sw.clone());
+        let in_chain = self.ready.position(tid).is_some();
+        if in_chain {
+            let _ = self.ready.remove(&mut self.m, tid);
+        }
+        self.creator.destroy(&mut self.m, &old_sw);
+        let sw = self
+            .synth_switch(tid, tte, vt, quantum, true)
+            .expect("FP resynthesis");
+        let (sw_out, sw_in, sw_in_mmu, jmp_at) = Kernel::switch_entries(&self.m, &sw);
+        {
+            let t = self.threads.get_mut(&tid).expect("exists");
+            t.sw = sw;
+            t.sw_out = sw_out;
+            t.sw_in = sw_in;
+            t.sw_in_mmu = sw_in_mmu;
+            t.jmp_at = jmp_at;
+            t.uses_fp = true;
+        }
+        // The timer vector must point at the NEW sw_out.
+        self.m.mem.poke(
+            vt + 4 * (24 + u32::from(irq_levels::QUANTUM)),
+            Size::L,
+            sw_out,
+        );
+        if in_chain {
+            let t = &self.threads[&tid];
+            let node = ChainNode {
+                id: tid,
+                entry: t.sw_in,
+                jmp_at: t.jmp_at,
+            };
+            let at = if self.ready.is_empty() { None } else { Some(0) };
+            let _ = self.ready.insert_front(&mut self.m, at, node);
+            let _ = self.fix_chain_entries();
+        }
+        self.m.cpu.fpu_enabled = true;
+    }
+
+    // --- Misc host services ---------------------------------------------------
+
+    /// Load a user program assembled by the embedder; returns its entry.
+    ///
+    /// # Errors
+    ///
+    /// Fails on code-space exhaustion or overlap.
+    pub fn load_user_program(
+        &mut self,
+        block: quamachine::code::CodeBlock,
+    ) -> Result<u32, KernelError> {
+        let size = block.size_bytes();
+        let base = self
+            .creator
+            .codebuf
+            .alloc(size)
+            .map_err(SynthError::CodeBuf)?;
+        self.m.load_block(base, block)?;
+        Ok(base)
+    }
+
+    /// Raise a guest-visible exception on the current thread (testing and
+    /// emulation support).
+    ///
+    /// # Errors
+    ///
+    /// Propagates double faults.
+    pub fn inject_exception(&mut self, e: Exception) -> Result<(), KernelError> {
+        let pc = self.m.cpu.pc;
+        self.m.take_exception(e, pc)?;
+        Ok(())
+    }
+
+    /// Create a file whose contents are loaded from the disk through the
+    /// Section 5.1 pipeline: the raw disk server DMAs sectors straight
+    /// into the file's cache buffer under the disk scheduler, and the
+    /// machine's virtual time advances by the modelled seek, rotation,
+    /// and transfer latency.
+    ///
+    /// `len` is rounded up to whole sectors for the transfer; the file's
+    /// length is set to `len`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on heap exhaustion or if the disk never completes (a bug).
+    pub fn load_file_from_disk(
+        &mut self,
+        name: &str,
+        sector: u32,
+        len: u32,
+    ) -> Result<u32, KernelError> {
+        use quamachine::devices::disk::SECTOR_SIZE;
+        let sectors = len.div_ceil(SECTOR_SIZE);
+        let cap = (sectors * SECTOR_SIZE).max(SECTOR_SIZE);
+        let fid = self
+            .fs
+            .create(&mut self.m, &mut self.heap, name, cap)
+            .map_err(|_| KernelError::NoMem)?;
+        let f = self.fs.file(fid).expect("just created");
+        let (buf, len_slot) = (f.buf, f.len_slot);
+
+        let mut sched = crate::io::disk::DiskScheduler::new(self.dev.disk);
+        sched.submit(
+            &mut self.m,
+            crate::io::disk::DiskRequest {
+                sector,
+                count: sectors,
+                addr: buf,
+                read: true,
+                cookie: 0,
+            },
+        );
+        // Wait for completion: advance virtual time through the event
+        // queue and poll the controller's STATUS (which also acknowledges
+        // the interrupt). Boot-time load; no thread runs meanwhile.
+        let status_reg = dev_reg_addr(self.dev.disk, quamachine::devices::disk::REG_STATUS);
+        let mut guard = 0;
+        loop {
+            self.m.process_events();
+            let status = self.m.host_reg_read(status_reg);
+            if status & quamachine::devices::disk::STATUS_DONE != 0 {
+                self.m.irq.clear(irq_levels::DISK);
+                sched.on_complete(&mut self.m);
+                break;
+            }
+            match self.m.events.next_due() {
+                Some(t) => {
+                    self.m.meter.cycles = self.m.meter.cycles.max(t).max(self.m.meter.cycles + 1)
+                }
+                None => return Err(KernelError::Invalid("disk never completed")),
+            }
+            guard += 1;
+            if guard > 1_000_000 {
+                return Err(KernelError::Invalid("disk wait guard tripped"));
+            }
+        }
+        self.m.mem.poke(len_slot, Size::L, len);
+        Ok(fid)
+    }
+
+    fn charge_alloc(&mut self) {
+        let steps = self.heap.last_steps;
+        let c = charges::alloc_op(&self.m.cost, steps);
+        self.m.charge(c);
+    }
+}
+
+/// Top of a kernel stack (stacks grow down).
+fn tte_frame_top(kstack: u32) -> u32 {
+    kstack + layout::KSTACK_LEN
+}

@@ -1,0 +1,59 @@
+//! The kernel quaspace memory layout.
+//!
+//! Synthesis has a single physical address space partitioned into
+//! quaspaces (Section 2.1). The kernel occupies the low region; user
+//! quaspaces are carved from the high region. The 2.5 MB total matches
+//! the real Quamachine's memory (Section 6.1).
+
+/// Total physical memory (2.5 MB, like the Quamachine).
+pub const MEM_SIZE: u32 = 2_621_440;
+
+/// Boot/default vector table (also thread 0's until it gets its own).
+pub const BOOT_VECTORS: u32 = 0x0000_0000;
+
+/// Kernel static data: shared handlers' state, device-server queues.
+pub const KERNEL_DATA_BASE: u32 = 0x0000_0400;
+/// Size of the kernel static-data region.
+pub const KERNEL_DATA_LEN: u32 = 0x0003_FC00; // up to 0x40000
+
+/// Kernel dynamic data: TTEs, vector tables, queues, file buffers
+/// (managed by the fast-fit allocator).
+pub const KERNEL_HEAP_BASE: u32 = 0x0004_0000;
+/// Size of the kernel heap.
+pub const KERNEL_HEAP_LEN: u32 = 0x000C_0000; // 768 KB, up to 0x100000
+
+/// Synthesized-code buffer (managed by the quaject creator).
+pub const CODE_BASE: u32 = 0x0010_0000;
+/// Size of the code buffer.
+pub const CODE_LEN: u32 = 0x0008_0000; // 512 KB, up to 0x180000
+
+/// User quaspace area.
+pub const USER_BASE: u32 = 0x0018_0000;
+/// Size of the user area.
+pub const USER_LEN: u32 = MEM_SIZE - USER_BASE;
+
+/// Bytes reserved for each per-thread kernel stack.
+pub const KSTACK_LEN: u32 = 0x800;
+
+/// Bytes in a thread's vector table (48 vectors × 4, rounded up).
+pub const VECTOR_TABLE_LEN: u32 = 0x100;
+
+/// Bytes in a TTE. "About 100 [µs] are needed to fill approximately
+/// 1 KBytes in the TTE" (Section 6.3): the TTE is 1 KB.
+pub const TTE_LEN: u32 = 0x400;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // the point IS the constants
+    fn regions_are_disjoint_and_ordered() {
+        assert!(BOOT_VECTORS < KERNEL_DATA_BASE);
+        assert_eq!(KERNEL_DATA_BASE + KERNEL_DATA_LEN, KERNEL_HEAP_BASE);
+        assert_eq!(KERNEL_HEAP_BASE + KERNEL_HEAP_LEN, CODE_BASE);
+        assert_eq!(CODE_BASE + CODE_LEN, USER_BASE);
+        assert!(USER_BASE + USER_LEN <= MEM_SIZE);
+        assert!(USER_LEN >= 0x10_0000, "at least 1 MB of user space");
+    }
+}

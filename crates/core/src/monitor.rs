@@ -1,0 +1,76 @@
+//! The kernel monitor's measurement interface (Section 6.3).
+//!
+//! "To obtain direct timings of Synthesis kernel call times (in
+//! microseconds), we use the Synthesis kernel monitor execution trace,
+//! which records in memory the instructions executed by the current
+//! thread. Using this trace, we can calculate the exact kernel call times
+//! by counting the memory references and each instruction execution
+//! time." The machine's meter does that counting; this module packages
+//! interval measurements and the Section 6.4 size accounting.
+
+use quamachine::trace::MeterSnapshot;
+
+use crate::kernel::Kernel;
+
+/// An interval measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// CPU cycles elapsed.
+    pub cycles: u64,
+    /// Microseconds at the machine's clock.
+    pub us: f64,
+    /// Instructions executed.
+    pub instrs: u64,
+    /// Exceptions taken.
+    pub exceptions: u64,
+}
+
+/// Measure the work done by `f` on the kernel.
+pub fn measure<R>(k: &mut Kernel, f: impl FnOnce(&mut Kernel) -> R) -> (R, Measurement) {
+    let before = k.m.meter.snapshot();
+    let r = f(k);
+    let after = k.m.meter.snapshot();
+    (r, delta(k, before, after))
+}
+
+/// Convert a snapshot pair into a [`Measurement`].
+#[must_use]
+pub fn delta(k: &Kernel, before: MeterSnapshot, after: MeterSnapshot) -> Measurement {
+    let d = before.delta(&after);
+    Measurement {
+        cycles: d.cycles,
+        us: k.m.cost.cycles_to_us(d.cycles),
+        instrs: d.instr_count,
+        exceptions: d.exception_count,
+    }
+}
+
+/// The Section 6.4 kernel-size report.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeReport {
+    /// Bytes of synthesized code currently resident.
+    pub code_resident: u64,
+    /// Bytes of code ever synthesized.
+    pub code_total: u64,
+    /// Kernel heap bytes in use (TTEs, queues, buffers).
+    pub heap_in_use: u32,
+    /// Kernel heap high-water mark.
+    pub heap_high_water: u32,
+    /// Live threads.
+    pub threads: usize,
+    /// Installed code blocks.
+    pub code_blocks: usize,
+}
+
+/// Snapshot the kernel's space consumption.
+#[must_use]
+pub fn size_report(k: &Kernel) -> SizeReport {
+    SizeReport {
+        code_resident: k.m.code.resident_bytes(),
+        code_total: k.m.code.bytes_loaded,
+        heap_in_use: k.heap.in_use,
+        heap_high_water: k.heap.high_water,
+        threads: k.threads.len(),
+        code_blocks: k.m.code.block_count(),
+    }
+}

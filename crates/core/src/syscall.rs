@@ -1,0 +1,102 @@
+//! Kernel-call selectors and the user-visible system-call surface.
+//!
+//! System calls are `trap` instructions (Section 4.1: "When a Synthesis
+//! thread makes a kernel call, we say that the thread is executing in the
+//! kernel mode"). The hot calls — `read` and `write` — vector through
+//! per-thread dispatchers straight into synthesized code (traps `#1` and
+//! `#2`). Everything else goes through the general call: `trap #0` with a
+//! selector in `d0`.
+
+/// Trap numbers.
+pub mod traps {
+    /// General kernel call (selector in `d0`).
+    pub const GENERAL: u8 = 0;
+    /// `read(fd = d0, buf = a0, count = d1) -> d0`.
+    pub const READ: u8 = 1;
+    /// `write(fd = d0, buf = a0, count = d1) -> d0`.
+    pub const WRITE: u8 = 2;
+    /// Reserved for the UNIX emulator (the `synthesis-unix` crate).
+    pub const UNIX: u8 = 3;
+}
+
+/// Selectors for the general kernel call (`trap #0`, selector in `d0`).
+pub mod general {
+    /// Terminate the calling thread.
+    pub const EXIT: u32 = 1;
+    /// `d1` = entry address, `d2` = initial user SP; returns the new tid.
+    pub const THREAD_CREATE: u32 = 2;
+    /// Start thread `d1`.
+    pub const THREAD_START: u32 = 3;
+    /// Stop thread `d1`.
+    pub const THREAD_STOP: u32 = 4;
+    /// Destroy thread `d1`.
+    pub const THREAD_DESTROY: u32 = 5;
+    /// Send signal `d2` to thread `d1`.
+    pub const SIGNAL: u32 = 6;
+    /// Open: `a0` = path address (NUL-terminated in the caller's space);
+    /// returns an fd or a negative error.
+    pub const OPEN: u32 = 7;
+    /// Close fd `d1`.
+    pub const CLOSE: u32 = 8;
+    /// Yield the CPU.
+    pub const YIELD: u32 = 9;
+    /// Returns the calling thread's id.
+    pub const GETTID: u32 = 10;
+    /// Install signal handler `d1` for the calling thread.
+    pub const SET_SIG_HANDLER: u32 = 11;
+    /// Return from a signal handler.
+    pub const SIG_RETURN: u32 = 12;
+    /// Create a pipe; returns `(read_fd << 8) | write_fd`.
+    pub const PIPE: u32 = 13;
+    /// Set a one-shot alarm `d1` µs from now.
+    pub const SET_ALARM: u32 = 14;
+    /// Block until the next alarm fires.
+    pub const WAIT_ALARM: u32 = 15;
+    /// Write the low byte of `d1` to the host console (debug).
+    pub const PUTC: u32 = 16;
+    /// Seek fd `d1` to absolute offset `d2`; returns the offset.
+    pub const SEEK: u32 = 17;
+}
+
+/// Errors returned (negated) in `d0`.
+pub mod errno {
+    /// Bad file descriptor.
+    pub const EBADF: i32 = 9;
+    /// No such file.
+    pub const ENOENT: i32 = 2;
+    /// Out of some resource.
+    pub const ENOMEM: i32 = 12;
+    /// Invalid argument.
+    pub const EINVAL: i32 = 22;
+    /// Too many open files.
+    pub const EMFILE: i32 = 24;
+}
+
+/// `kcall` selectors used by synthesized code (see the template modules
+/// for the producers).
+pub mod kcalls {
+    /// General kernel call (selector in `d0`).
+    pub const GENERAL: u16 = 0x00;
+    /// Install the address map of the thread id in `d0`.
+    pub const SET_MAP: u16 = 0x10;
+    /// Lazy-FP resynthesis.
+    pub const FP_RESYNTH: u16 = 0x11;
+    /// Alarm fired.
+    pub const ALARM: u16 = 0x12;
+    /// Advance the A/D buffered queue to its next element.
+    pub const AD_ADVANCE: u16 = 0x13;
+    /// Disk request completed.
+    pub const DISK_DONE: u16 = 0x14;
+    /// Block: tty input needed.
+    pub const WAIT_TTY: u16 = 0x20;
+    /// Block: pipe (`d2`) space needed.
+    pub const WAIT_PIPE_SPACE: u16 = 0x21;
+    /// Block: pipe (`d2`) data needed.
+    pub const WAIT_PIPE_DATA: u16 = 0x22;
+    /// Wake tty-input waiters.
+    pub const WAKE_TTY: u16 = 0x23;
+    /// Wake pipe-data waiters (pipe id in `d2`).
+    pub const WAKE_PIPE_DATA: u16 = 0x24;
+    /// Wake pipe-space waiters (pipe id in `d2`).
+    pub const WAKE_PIPE_SPACE: u16 = 0x25;
+}

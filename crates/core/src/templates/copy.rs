@@ -1,0 +1,98 @@
+//! The block-copy building block.
+//!
+//! "The generated code loads long words from one quaspace into registers
+//! and stores them back in the other quaspace. With unrolled loops this
+//! achieves the data transfer rate of about 8 MB per second" (Section
+//! 6.2). `emit_copy` emits exactly that: a four-long unrolled `dbf` loop
+//! plus a byte tail, inlined (Collapsing Layers) wherever data moves.
+
+use quamachine::asm::Asm;
+use quamachine::isa::{Cond, Operand::*, ShiftKind, Size::*};
+
+/// Emit code copying `d{len}` bytes from `(a{src})+` to `(a{dst})+`.
+///
+/// Clobbers `d{len}` and `d{scratch}`; on exit the address registers
+/// point past the copied data. `len` may be 0.
+pub fn emit_copy(a: &mut Asm, src: u8, dst: u8, len: u8, scratch: u8) {
+    let done = a.label();
+    let tail = a.label();
+    let byte_loop = a.label();
+
+    // scratch = len / 16 = number of unrolled iterations.
+    a.move_(L, Dr(len), Dr(scratch));
+    a.shift(ShiftKind::Lsr, L, Imm(4), Dr(scratch));
+    a.tst(L, Dr(scratch));
+    a.bcc(Cond::Eq, tail);
+    // The unrolled loop wants iterations-1 in the dbf counter; dbf counts
+    // the low word, and scratch < 2^16 iterations covers 1 MB copies.
+    a.sub(L, Imm(1), Dr(scratch));
+    let unrolled = a.here();
+    a.move_(L, PostInc(src), PostInc(dst));
+    a.move_(L, PostInc(src), PostInc(dst));
+    a.move_(L, PostInc(src), PostInc(dst));
+    a.move_(L, PostInc(src), PostInc(dst));
+    a.dbf(scratch, unrolled);
+
+    a.bind(tail);
+    // Remaining bytes: len & 15.
+    a.and(L, Imm(15), Dr(len));
+    a.bcc(Cond::Eq, done);
+    a.sub(L, Imm(1), Dr(len));
+    a.bind(byte_loop);
+    a.move_(B, PostInc(src), PostInc(dst));
+    a.dbf(len, byte_loop);
+    a.bind(done);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quamachine::machine::{Machine, MachineConfig, RunExit};
+
+    fn run_copy(len: u32) -> Machine {
+        let mut m = Machine::new(MachineConfig::sun3_emulation());
+        for i in 0..len.max(1) {
+            m.mem.poke(0x2000 + i, B, (i * 7 + 3) & 0xFF);
+        }
+        let mut a = Asm::new("copytest");
+        a.lea(Abs(0x2000), 0);
+        a.lea(Abs(0x8000), 1);
+        a.move_i(L, len, Dr(0));
+        emit_copy(&mut a, 0, 1, 0, 1);
+        a.halt();
+        let e = m.load_block(0x1000, a.assemble().unwrap()).unwrap();
+        m.cpu.pc = e;
+        m.cpu.a[7] = 0xF000;
+        assert_eq!(m.run(10_000_000), RunExit::Halted);
+        m
+    }
+
+    #[test]
+    fn copies_exact_lengths() {
+        for len in [0u32, 1, 3, 4, 15, 16, 17, 64, 100, 1024, 4096] {
+            let m = run_copy(len);
+            for i in 0..len {
+                assert_eq!(
+                    m.mem.peek(0x8000 + i, B),
+                    (i * 7 + 3) & 0xFF,
+                    "byte {i} of {len}"
+                );
+            }
+            // The byte after the copy is untouched.
+            assert_eq!(m.mem.peek(0x8000 + len, B), 0);
+        }
+    }
+
+    #[test]
+    fn transfer_rate_is_near_8mb_per_second() {
+        // 4 KB at 16 MHz + 1 ws through the unrolled loop.
+        let mut m = run_copy(4096);
+        let us = m.now_us();
+        let rate_mb_s = 4096.0 / us; // bytes/µs == MB/s
+        assert!(
+            (5.0..12.0).contains(&rate_mb_s),
+            "copy rate = {rate_mb_s:.1} MB/s (paper: ~8)"
+        );
+        let _ = &mut m;
+    }
+}

@@ -1,0 +1,172 @@
+//! Context-switch templates (paper Figure 3, Section 4.2).
+//!
+//! Each thread gets its own specialized switch code: the TTE field
+//! addresses, vector-table address, and CPU quantum are folded in as
+//! constants. The block has three entries:
+//!
+//! - `sw_out` — the timer-interrupt vector target: acknowledge the timer,
+//!   save the registers being used, and `jmp` to the *next* thread's
+//!   `sw_in` (the jump target is patched by the executable ready queue);
+//! - `sw_in_mmu` — entered when an address-space change is required:
+//!   installs the thread's address map, then falls into `sw_in`;
+//! - `sw_in` — load the kernel stack, the VBR (per-thread vector table),
+//!   the quantum, the user stack pointer, the registers, and `rte` into
+//!   the thread.
+//!
+//! The floating-point variant (`sw_fp`) additionally saves/restores
+//! `fp0`–`fp7`; threads start on the non-FP variant and are resynthesized
+//! onto `sw_fp` at their first FP instruction (Section 4.2's lazy
+//! floating-point switch — Table 4's 11 µs vs 21 µs).
+
+use quamachine::asm::Asm;
+use quamachine::isa::{FpRegList, Operand::*, RegList, Size::*};
+use synthesis_codegen::template::Template;
+
+/// `kcall` selector: install the current thread's address map; the thread
+/// id is in `d0`.
+pub const KCALL_SET_MAP: u16 = 0x10;
+
+/// Build the context-switch template.
+///
+/// Holes: `save` (register save area), `usp_slot`, `ssp_slot`, `vt`
+/// (vector-table address), `quantum` (µs), `timer_qreg` / `timer_ack`
+/// (timer device registers), `tid`, `next` (the patched jump target), and
+/// — in the FP variant — `fp_save`.
+#[must_use]
+pub fn switch_template(fp: bool) -> Template {
+    let name = if fp { "sw_fp" } else { "sw_basic" };
+    let mut a = Asm::new(name);
+    let save = a.abs_hole("save");
+    let usp_slot = a.abs_hole("usp_slot");
+    let ssp_slot = a.abs_hole("ssp_slot");
+    let vt = a.imm_hole("vt");
+    let quantum = a.imm_hole("quantum");
+    let timer_qreg = a.abs_hole("timer_qreg");
+    let timer_ack = a.abs_hole("timer_ack");
+    let tid = a.imm_hole("tid");
+    let next = a.abs_hole("next");
+    let fp_save = if fp {
+        Some(a.abs_hole("fp_save"))
+    } else {
+        None
+    };
+
+    // --- sw_out ---------------------------------------------------------
+    a.mark("sw_out");
+    // Acknowledge the quantum interrupt so it does not immediately recur.
+    a.move_i(L, 0, timer_ack);
+    // "We switch only the part of the context being used, not all of it."
+    a.movem_save(RegList::ALL_BUT_SP, save);
+    a.emit(quamachine::isa::Instr::MoveUsp {
+        to_usp: false,
+        areg: 0,
+    });
+    a.move_(L, Ar(0), usp_slot);
+    if let Some(fps) = fp_save {
+        a.fmovem_save(FpRegList::ALL, fps);
+    }
+    a.move_(L, Ar(7), ssp_slot);
+    // "A jmp instruction ... points to the context-switch-in procedure of
+    // the following thread." Patched by the ready queue.
+    a.jmp(next);
+
+    // --- sw_in_mmu ------------------------------------------------------
+    a.mark("sw_in_mmu");
+    a.move_(L, tid, Dr(0));
+    a.kcall(KCALL_SET_MAP);
+    // Falls through into sw_in.
+
+    // --- sw_in ----------------------------------------------------------
+    a.mark("sw_in");
+    a.move_(L, ssp_slot, Ar(7));
+    a.move_to_vbr(vt);
+    // Program this thread's CPU quantum (fine-grain scheduling patches
+    // this immediate in place to adapt it).
+    a.move_(L, quantum, timer_qreg);
+    a.move_(L, usp_slot, Ar(0));
+    a.emit(quamachine::isa::Instr::MoveUsp {
+        to_usp: true,
+        areg: 0,
+    });
+    if let Some(fps) = fp_save {
+        a.fmovem_load(fps, FpRegList::ALL);
+    }
+    a.movem_load(save, RegList::ALL_BUT_SP);
+    a.rte();
+
+    Template::from_asm(a).expect("ctxsw template assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quamachine::cost::CostModel;
+    use synthesis_codegen::factor;
+    use synthesis_codegen::template::Bindings;
+
+    fn bindings(fp: bool) -> Bindings {
+        let mut b = Bindings::new();
+        b.bind("save", 0x2000)
+            .bind("usp_slot", 0x203C)
+            .bind("ssp_slot", 0x2040)
+            .bind("vt", 0x3000)
+            .bind("quantum", 200)
+            .bind("timer_qreg", 0xFF00_0108)
+            .bind("timer_ack", 0xFF00_010C)
+            .bind("tid", 1)
+            .bind("next", 0x4000);
+        if fp {
+            b.bind("fp_save", 0x2044);
+        }
+        b
+    }
+
+    #[test]
+    fn template_has_all_three_entries() {
+        for fp in [false, true] {
+            let t = switch_template(fp);
+            assert!(t.marks.contains_key("sw_out"));
+            assert!(t.marks.contains_key("sw_in"));
+            assert!(t.marks.contains_key("sw_in_mmu"));
+            assert_eq!(t.marks["sw_out"], 0);
+            assert!(t.marks["sw_in_mmu"] < t.marks["sw_in"]);
+        }
+    }
+
+    /// The headline Table 4 calibration: the specialized switch path plus
+    /// interrupt entry lands near the paper's 11 µs (no FP) / 21 µs (FP)
+    /// at 16 MHz + 1 wait state. Ours runs a few µs over because it also
+    /// acknowledges the timer, saves/restores the USP, and reprograms the
+    /// per-thread quantum — work the paper's figure does not itemize (see
+    /// EXPERIMENTS.md).
+    #[test]
+    fn switch_path_cost_matches_table_4() {
+        let cost = CostModel::sun3_emulation();
+        for (fp, lo, hi) in [(false, 9.0, 17.0), (true, 18.0, 30.0)] {
+            let t = switch_template(fp);
+            let spec = factor::factor(&t, &bindings(fp)).unwrap();
+            // Sum static costs over the executed path: every instruction
+            // except the sw_in_mmu prologue (the non-MMU switch skips it).
+            let skip_lo = spec.marks["sw_in_mmu"];
+            let skip_hi = spec.marks["sw_in"];
+            let mut cycles = 0u64;
+            for (i, ins) in spec.instrs.iter().enumerate() {
+                if (skip_lo..skip_hi).contains(&i) {
+                    continue;
+                }
+                let (b, r) = quamachine::cost::instr_cost(ins);
+                cycles += b + r * cost.bus_cycles();
+            }
+            // Add the timer-interrupt acceptance the dispatcher rides in
+            // on (exception processing), which Table 4 includes.
+            cycles += quamachine::cost::IACK_BASE
+                + quamachine::cost::EXCEPTION_BASE
+                + quamachine::cost::EXCEPTION_REFS * cost.bus_cycles();
+            let us = cost.cycles_to_us(cycles);
+            assert!(
+                (lo..hi).contains(&us),
+                "fp={fp}: switch = {us:.1} µs, expected in [{lo}, {hi})"
+            );
+        }
+    }
+}

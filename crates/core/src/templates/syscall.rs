@@ -1,0 +1,78 @@
+//! Trap-dispatch templates.
+//!
+//! "As new quajects are opened (such as files, devices, threads, and
+//! others), the thread's system call vectors are changed to point to the
+//! synthesized procedures" (Section 5.3). Each thread's `trap #1`/`#2`
+//! vectors point at a per-thread dispatcher that jumps through the fd
+//! table in the thread's TTE — three instructions from trap to the
+//! synthesized routine.
+
+use quamachine::asm::Asm;
+use quamachine::isa::{IndexSpec, Operand::*, Size::*};
+use synthesis_codegen::template::Template;
+
+/// `kcall` selector for the general kernel call (selector in `d0`).
+pub const KCALL_GENERAL: u16 = 0x00;
+
+/// Per-thread `read`/`write` dispatcher.
+///
+/// `trap_no` 1 dispatches reads (fd-table entry offset 0), 2 writes
+/// (offset 4). Hole: `fdtable` — the thread's fd table (16 entries of two
+/// longs: read entry, write entry).
+#[must_use]
+pub fn rw_dispatch_template(trap_no: u8) -> Template {
+    let name = format!("dispatch_trap{trap_no}");
+    let entry_off = if trap_no == 1 { 0i8 } else { 4i8 };
+    let mut a = Asm::new(name);
+    let fdtable = a.imm_hole("fdtable");
+    // d0 = fd; mask to table range rather than test-and-branch (frugality:
+    // a bad fd lands on the EBADF routine installed in every free slot).
+    a.move_(L, Dr(0), Dr(2));
+    a.and(L, Imm(15), Dr(2));
+    a.move_(L, fdtable, Ar(1));
+    a.move_(L, Idx(entry_off, 1, IndexSpec::d(2, 8)), Ar(1));
+    a.jmp(Ind(1));
+    Template::from_asm(a).expect("assembles")
+}
+
+/// The shared `EBADF` routine every unused fd slot points at.
+#[must_use]
+pub fn ebadf_template() -> Template {
+    let mut a = Asm::new("ebadf");
+    a.move_i(L, (-9i32) as u32, Dr(0)); // -EBADF
+    a.rte();
+    Template::from_asm(a).expect("assembles")
+}
+
+/// `trap #0` handler: the general kernel call. The host services it (the
+/// selector is in `d0`, arguments in `d1`/`d2`/`a0`) and charges honest
+/// cycles; `rte` returns to the caller.
+#[must_use]
+pub fn kcall_trampoline_template() -> Template {
+    let mut a = Asm::new("kcall_trampoline");
+    a.kcall(KCALL_GENERAL);
+    a.rte();
+    Template::from_asm(a).expect("assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatcher_is_three_instructions_plus_mask() {
+        let t = rw_dispatch_template(1);
+        assert!(
+            t.instrs.len() <= 5,
+            "dispatch must stay tiny, got {:?}",
+            t.instrs
+        );
+    }
+
+    #[test]
+    fn read_and_write_use_different_entry_offsets() {
+        let r = rw_dispatch_template(1);
+        let w = rw_dispatch_template(2);
+        assert_ne!(r.instrs, w.instrs);
+    }
+}

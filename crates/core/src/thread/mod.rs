@@ -1,0 +1,5 @@
+//! Synthesis threads (paper Section 4).
+
+pub mod tte;
+
+pub use tte::{FdObject, Thread, ThreadState, Tid, WaitObject};

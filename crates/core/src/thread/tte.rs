@@ -1,0 +1,223 @@
+//! The Thread Table Entry (paper Figure 3).
+//!
+//! "The thread state is completely described by its TTE, containing: the
+//! register save area; the vector table ...; the address map tables; and
+//! the context-switch-in and context-switch-out procedures" (Section
+//! 4.1). The TTE proper is a 1 KB block in the kernel quaspace ("about
+//! 100 [µs] are needed to fill approximately 1 KBytes in the TTE",
+//! Section 6.3); the vector table, kernel stack, and switch code are
+//! separate allocations pointed to by it.
+//!
+//! Code Isolation applies: "each thread updates its own TTE exclusively.
+//! Therefore, we can synthesize short code to manipulate the TTE without
+//! synchronization" (Section 3.1).
+
+use quamachine::mem::AddressMap;
+use synthesis_codegen::creator::Synthesized;
+
+/// Thread identifier.
+pub type Tid = u32;
+
+/// TTE field offsets (bytes from the TTE base).
+pub mod off {
+    /// `d0`–`d7`/`a0`–`a6` register save area (15 longs).
+    pub const REGS: u32 = 0x00;
+    /// Saved user stack pointer.
+    pub const USP: u32 = 0x3C;
+    /// Saved supervisor stack pointer.
+    pub const SSP: u32 = 0x40;
+    /// Floating-point save area (`fp0`–`fp7`, 8 doubles).
+    pub const FP: u32 = 0x44;
+    /// The fd table: 16 entries × (read entry, write entry) longs.
+    pub const FD_TABLE: u32 = 0x84;
+    /// The thread's CPU quantum in µs (mirrored in its `sw_in` code).
+    pub const QUANTUM: u32 = 0x104;
+    /// The thread's I/O gauge: synthesized I/O code increments it; the
+    /// fine-grain scheduler reads it (Section 4.4).
+    pub const GAUGE: u32 = 0x108;
+    /// The thread's signal-handler address.
+    pub const SIG_HANDLER: u32 = 0x10C;
+    /// Parking slot for the faulting PC used by the error-trap handler.
+    pub const ERR_PC: u32 = 0x110;
+    /// Parking slot for the interrupted PC during signal delivery.
+    pub const SIG_PC: u32 = 0x114;
+    /// Scratch area for synthesized per-thread code.
+    pub const SCRATCH: u32 = 0x120;
+}
+
+/// Number of fd slots per thread.
+pub const FD_MAX: u32 = 16;
+
+/// Thread lifecycle state (host-side bookkeeping; the authoritative
+/// machine state lives in the TTE).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThreadState {
+    /// In the ready chain (possibly the one running).
+    Ready,
+    /// Removed from the chain by `stop` (debugger) or not yet started.
+    Stopped,
+    /// Removed from the chain, waiting on an event.
+    Blocked(WaitObject),
+    /// Destroyed (kept briefly for diagnostics).
+    Dead,
+}
+
+/// What a blocked thread waits for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WaitObject {
+    /// Raw tty input.
+    TtyInput,
+    /// Data in pipe `n`.
+    PipeData(u32),
+    /// Space in pipe `n`.
+    PipeSpace(u32),
+    /// An alarm tick.
+    Alarm,
+    /// Disk-request completion.
+    Disk,
+}
+
+/// What each fd refers to (host mirror of the synthesized routines).
+#[derive(Debug)]
+pub enum FdObject {
+    /// The slot is free (points at the shared `EBADF` routine).
+    Free,
+    /// `/dev/null`.
+    Null {
+        /// The synthesized read/write code.
+        code: Vec<Synthesized>,
+    },
+    /// The tty.
+    Tty {
+        /// The synthesized read/write code.
+        code: Vec<Synthesized>,
+    },
+    /// A cached file.
+    File {
+        /// File identifier in the [`crate::fs::Fs`].
+        fid: u32,
+        /// This open's offset slot in kernel memory.
+        offset_slot: u32,
+        /// The synthesized read/write code.
+        code: Vec<Synthesized>,
+    },
+    /// One end of a pipe.
+    Pipe {
+        /// Pipe identifier.
+        pid: u32,
+        /// Whether this is the read end.
+        read_end: bool,
+        /// The synthesized code.
+        code: Vec<Synthesized>,
+    },
+}
+
+/// Host-side thread bookkeeping.
+#[derive(Debug)]
+pub struct Thread {
+    /// Thread id.
+    pub tid: Tid,
+    /// TTE base address in kernel memory.
+    pub tte: u32,
+    /// Vector-table address (loaded into the VBR when running).
+    pub vt: u32,
+    /// Kernel stack base (the stack grows down from `kstack + KSTACK_LEN`).
+    pub kstack: u32,
+    /// The synthesized context-switch code.
+    pub sw: Synthesized,
+    /// `sw_out` entry (the timer vector target and ready-chain jmp owner).
+    pub sw_out: u32,
+    /// `sw_in` entry.
+    pub sw_in: u32,
+    /// `sw_in_mmu` entry.
+    pub sw_in_mmu: u32,
+    /// Address of the patchable `jmp` inside `sw_out`.
+    pub jmp_at: u32,
+    /// The per-thread trap dispatchers and error handler (freed on
+    /// destroy).
+    pub aux_code: Vec<Synthesized>,
+    /// Whether this thread's switch includes the FP registers.
+    pub uses_fp: bool,
+    /// Current CPU quantum in µs.
+    pub quantum_us: u32,
+    /// Lifecycle state.
+    pub state: ThreadState,
+    /// The thread's quaspace (installed by `sw_in_mmu`).
+    pub map: AddressMap,
+    /// Open files.
+    pub fds: Vec<FdObject>,
+    /// Gauge value at the scheduler's last adaptation pass.
+    pub last_gauge: u64,
+}
+
+impl Thread {
+    /// Address of a TTE field.
+    #[must_use]
+    pub fn field(&self, offset: u32) -> u32 {
+        self.tte + offset
+    }
+
+    /// Address of fd slot `fd`'s read entry.
+    #[must_use]
+    pub fn fd_read_slot(&self, fd: u32) -> u32 {
+        self.tte + off::FD_TABLE + fd * 8
+    }
+
+    /// Address of fd slot `fd`'s write entry.
+    #[must_use]
+    pub fn fd_write_slot(&self, fd: u32) -> u32 {
+        self.tte + off::FD_TABLE + fd * 8 + 4
+    }
+
+    /// Find a free fd slot.
+    #[must_use]
+    pub fn free_fd(&self) -> Option<u32> {
+        self.fds
+            .iter()
+            .position(|f| matches!(f, FdObject::Free))
+            .map(|i| i as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // layout invariants
+    fn tte_fields_fit_in_one_kb() {
+        assert!(off::SCRATCH < crate::layout::TTE_LEN);
+        assert!(off::FD_TABLE + FD_MAX * 8 <= off::QUANTUM);
+    }
+
+    #[test]
+    fn fd_slot_addresses() {
+        let t = Thread {
+            tid: 1,
+            tte: 0x4000,
+            vt: 0,
+            kstack: 0,
+            sw: synthesis_codegen::creator::Synthesized {
+                base: 0,
+                size: 0,
+                entries: std::collections::HashMap::new(),
+                instrs_in: 0,
+                instrs_out: 0,
+                synth_cycles: 0,
+            },
+            sw_out: 0,
+            sw_in: 0,
+            sw_in_mmu: 0,
+            jmp_at: 0,
+            aux_code: Vec::new(),
+            uses_fp: false,
+            quantum_us: 200,
+            state: ThreadState::Stopped,
+            map: AddressMap::default(),
+            fds: Vec::new(),
+            last_gauge: 0,
+        };
+        assert_eq!(t.fd_read_slot(0), 0x4000 + off::FD_TABLE);
+        assert_eq!(t.fd_write_slot(2), 0x4000 + off::FD_TABLE + 20);
+    }
+}

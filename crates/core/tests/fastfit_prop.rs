@@ -1,0 +1,76 @@
+//! Property tests for the fast-fit allocator: no overlap, exact
+//! accounting, and full coalescing after arbitrary alloc/free traffic.
+
+use proptest::prelude::*;
+use synthesis_core::alloc::fastfit::{FastFit, ALIGN};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc(u32),
+    Free(usize),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => (8u32..512).prop_map(Op::Alloc),
+            2 => any::<usize>().prop_map(Op::Free),
+        ],
+        1..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn no_overlap_and_exact_accounting(ops in ops()) {
+        let base = 0x1000u32;
+        let len = 0x8000u32;
+        let mut h = FastFit::new(base, len);
+        let mut live: Vec<(u32, u32)> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Alloc(size) => {
+                    if let Ok(a) = h.alloc(size) {
+                        let rounded = size.div_ceil(ALIGN) * ALIGN;
+                        prop_assert!(a >= base && a + rounded <= base + len, "in bounds");
+                        for &(b, bl) in &live {
+                            prop_assert!(a + rounded <= b || b + bl <= a, "no overlap");
+                        }
+                        live.push((a, rounded));
+                    }
+                }
+                Op::Free(i) => {
+                    if !live.is_empty() {
+                        let (a, l) = live.swap_remove(i % live.len());
+                        h.free(a, l);
+                    }
+                }
+            }
+            let total: u32 = live.iter().map(|&(_, l)| l).sum();
+            prop_assert_eq!(h.in_use, total, "in_use tracks live bytes exactly");
+            prop_assert_eq!(h.free_bytes(), len - total);
+        }
+        // Release everything: the arena must coalesce back to one block.
+        for (a, l) in live {
+            h.free(a, l);
+        }
+        prop_assert_eq!(h.fragments(), 1);
+        prop_assert_eq!(h.largest_free(), len);
+    }
+
+    #[test]
+    fn alloc_succeeds_whenever_a_block_fits(sizes in proptest::collection::vec(8u32..256, 1..40)) {
+        // With no frees, allocation only fails when genuinely out of
+        // space (the tree's max augmentation must not lie).
+        let len = 0x2000u32;
+        let mut h = FastFit::new(0, len);
+        for size in sizes {
+            let rounded = size.div_ceil(ALIGN) * ALIGN;
+            let fits = h.largest_free() >= rounded;
+            let r = h.alloc(size);
+            prop_assert_eq!(r.is_ok(), fits, "alloc({}) with largest_free {}", size, h.largest_free());
+        }
+    }
+}

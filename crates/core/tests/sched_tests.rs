@@ -1,0 +1,140 @@
+//! Fine-grain scheduling: gauges drive quanta, and the quantum lands as
+//! a patched immediate inside live switch code.
+
+use quamachine::asm::Asm;
+use quamachine::isa::{Cond, Instr, Operand, Operand::*, Size, Size::*};
+use quamachine::mem::AddressMap;
+use synthesis_core::kernel::{Kernel, KernelConfig};
+use synthesis_core::layout;
+use synthesis_core::sched::{set_quantum, FineGrain, QUANTUM_MAX_US, QUANTUM_MIN_US};
+use synthesis_core::syscall::{general, traps};
+use synthesis_core::thread::tte::off;
+
+const USTACK: u32 = layout::USER_BASE + 0x1_0000;
+const UPATH: u32 = layout::USER_BASE + 0x2_8000;
+
+fn user_map() -> AddressMap {
+    AddressMap::single(1, layout::USER_BASE, layout::USER_LEN)
+}
+
+fn boot() -> Kernel {
+    Kernel::boot(KernelConfig::default()).unwrap()
+}
+
+#[test]
+fn set_quantum_patches_the_switch_code() {
+    let mut k = boot();
+    let mut a = Asm::new("spin");
+    let top = a.here();
+    a.bcc(Cond::T, top);
+    let entry = k.load_user_program(a.assemble().unwrap()).unwrap();
+    let tid = k.create_thread(entry, USTACK, user_map()).unwrap();
+
+    set_quantum(&mut k, tid, 333).unwrap();
+    assert_eq!(k.threads[&tid].quantum_us, 333);
+    // The TTE mirror updated...
+    let tte = k.threads[&tid].tte;
+    assert_eq!(k.m.mem.peek(tte + off::QUANTUM, Size::L), 333);
+    // ...and the immediate inside the installed sw_in changed.
+    let base = k.threads[&tid].sw.base;
+    let qreg =
+        quamachine::devices::dev_reg_addr(k.dev.timer, quamachine::devices::timer::REG_QUANTUM_US);
+    let block = k.m.code.block(base).unwrap();
+    assert!(
+        block.instrs.iter().any(|i| matches!(
+            i,
+            Instr::Move(Size::L, Operand::Imm(333), Operand::Abs(r)) if *r == qreg
+        )),
+        "patched immediate present in the switch code"
+    );
+}
+
+#[test]
+fn adapt_rewards_io_bound_threads() {
+    let mut k = boot();
+    // I/O thread: writes /dev/null forever.
+    let mut io = Asm::new("io");
+    io.move_i(L, general::OPEN, Dr(0));
+    io.lea(Abs(UPATH), 0);
+    io.trap(traps::GENERAL);
+    io.move_(L, Dr(0), Dr(5));
+    let top = io.here();
+    io.move_(L, Dr(5), Dr(0));
+    io.lea(Abs(layout::USER_BASE + 0x2_0000), 0);
+    io.move_i(L, 8, Dr(1));
+    io.trap(traps::WRITE);
+    io.bcc(Cond::T, top);
+    let io_entry = k.load_user_program(io.assemble().unwrap()).unwrap();
+
+    let mut cpu = Asm::new("cpu");
+    let ctop = cpu.here();
+    cpu.add(L, Imm(1), Dr(0));
+    cpu.bcc(Cond::T, ctop);
+    let cpu_entry = k.load_user_program(cpu.assemble().unwrap()).unwrap();
+
+    k.m.mem.poke_bytes(UPATH, b"/dev/null\0");
+    let t_io = k.create_thread(io_entry, USTACK, user_map()).unwrap();
+    let t_cpu = k
+        .create_thread(cpu_entry, USTACK + 0x1000, user_map())
+        .unwrap();
+    k.start(t_io).unwrap();
+    k.start(t_cpu).unwrap();
+
+    let mut policy = FineGrain::new();
+    for _ in 0..3 {
+        k.run(6_000_000);
+        policy.adapt(&mut k);
+    }
+    let io_q = k.threads[&t_io].quantum_us;
+    let cpu_q = k.threads[&t_cpu].quantum_us;
+    assert!(
+        io_q > cpu_q,
+        "I/O-bound got the larger quantum: {io_q} vs {cpu_q}"
+    );
+    assert!(io_q <= QUANTUM_MAX_US && cpu_q >= QUANTUM_MIN_US);
+    assert!(policy.adjustments > 0, "adaptation actually changed quanta");
+
+    // And with the I/O stopped, quanta converge again.
+    k.stop(t_io).unwrap();
+    for _ in 0..3 {
+        k.run(6_000_000);
+        policy.adapt(&mut k);
+    }
+    let io_q2 = k.threads[&t_io].quantum_us;
+    assert!(
+        io_q2 < io_q,
+        "idle I/O thread loses its bonus: {io_q} -> {io_q2}"
+    );
+}
+
+#[test]
+fn gauges_count_synthesized_io() {
+    let mut k = boot();
+    let mut a = Asm::new("g");
+    a.move_i(L, general::OPEN, Dr(0));
+    a.lea(Abs(UPATH), 0);
+    a.trap(traps::GENERAL);
+    a.move_(L, Dr(0), Dr(5));
+    a.move_i(L, 10, Dr(7));
+    let top = a.here();
+    a.move_(L, Dr(5), Dr(0));
+    a.lea(Abs(layout::USER_BASE + 0x2_0000), 0);
+    a.move_i(L, 4, Dr(1));
+    a.trap(traps::WRITE);
+    a.sub(L, Imm(1), Dr(7));
+    a.bcc(Cond::Ne, top);
+    a.move_i(L, general::EXIT, Dr(0));
+    a.trap(traps::GENERAL);
+    let dead = a.here();
+    a.bcc(Cond::T, dead);
+    let entry = k.load_user_program(a.assemble().unwrap()).unwrap();
+    k.m.mem.poke_bytes(UPATH, b"/dev/null\0");
+    let tid = k.create_thread(entry, USTACK, user_map()).unwrap();
+    let tte = k.threads[&tid].tte;
+    k.start(tid).unwrap();
+    assert!(k.run_until_exit(tid, 2_000_000_000));
+    // 10 writes; the gauge slot survives the thread (TTE freed but the
+    // memory is still readable in this test since nothing reused it).
+    let gauge = k.m.mem.peek(tte + off::GAUGE, Size::L);
+    assert_eq!(gauge, 10, "each synthesized write bumped the gauge");
+}

@@ -1,0 +1,298 @@
+//! Code memory: instruction blocks registered at simulated addresses.
+//!
+//! Synthesized code lives at real addresses in the machine's address space
+//! so that vector tables, `jmp`-chained executable data structures, and
+//! return addresses all work exactly as on hardware. Instructions are kept
+//! structurally (not encoded to bits), each occupying its realistic encoded
+//! size; the PC walks byte offsets within a block.
+//!
+//! Blocks support in-place *patching* — the mechanism behind executable
+//! data structures: the ready queue patches the `jmp` at the end of each
+//! thread's context-switch-out code when threads enter or leave the queue
+//! (paper Figure 3).
+
+use std::collections::BTreeMap;
+
+use crate::error::MachineError;
+use crate::isa::{encode, Instr, Operand};
+
+/// An assembled block of code, positioned at a base address.
+#[derive(Debug, Clone)]
+pub struct CodeBlock {
+    /// Name, for the monitor and disassembly listings.
+    pub name: String,
+    /// Instructions.
+    pub instrs: Vec<Instr>,
+    /// Byte offset of each instruction, plus the total size at the end.
+    pub offsets: Vec<u32>,
+}
+
+impl CodeBlock {
+    /// Build a block from instructions, computing offsets.
+    #[must_use]
+    pub fn new(name: impl Into<String>, instrs: Vec<Instr>) -> CodeBlock {
+        let offsets = encode::offsets(&instrs);
+        CodeBlock {
+            name: name.into(),
+            instrs,
+            offsets,
+        }
+    }
+
+    /// Total encoded size in bytes.
+    #[must_use]
+    pub fn size_bytes(&self) -> u32 {
+        *self
+            .offsets
+            .last()
+            .expect("offsets always has a final entry")
+    }
+
+    /// The instruction index whose offset is exactly `off`, if any.
+    #[must_use]
+    pub fn index_at(&self, off: u32) -> Option<usize> {
+        // Offsets are strictly increasing; binary search.
+        self.offsets[..self.instrs.len()].binary_search(&off).ok()
+    }
+}
+
+/// A position in code memory: which block and which instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodeLoc {
+    /// Base address of the containing block.
+    pub block_base: u32,
+    /// Instruction index within the block.
+    pub index: usize,
+}
+
+/// The registry of code blocks.
+#[derive(Debug, Default)]
+pub struct CodeMem {
+    blocks: BTreeMap<u32, CodeBlock>,
+    /// Total bytes ever loaded (for the Section 6.4 size accounting).
+    pub bytes_loaded: u64,
+    /// Total bytes freed.
+    pub bytes_freed: u64,
+}
+
+impl CodeMem {
+    /// Create an empty code memory.
+    #[must_use]
+    pub fn new() -> CodeMem {
+        CodeMem::default()
+    }
+
+    /// Register a block at `base`. Returns the entry address (= `base`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the block would overlap an existing block.
+    pub fn load(&mut self, base: u32, block: CodeBlock) -> Result<u32, MachineError> {
+        let size = block.size_bytes();
+        let end = u64::from(base) + u64::from(size);
+        // Check the previous block does not run into us, and we do not run
+        // into the next block.
+        if let Some((pb, prev)) = self.blocks.range(..=base).next_back() {
+            if u64::from(*pb) + u64::from(prev.size_bytes()) > u64::from(base) {
+                return Err(MachineError::CodeOverlap(base));
+            }
+        }
+        if let Some((nb, _)) = self.blocks.range(base..).next() {
+            if u64::from(*nb) < end {
+                return Err(MachineError::CodeOverlap(*nb));
+            }
+        }
+        self.bytes_loaded += u64::from(size);
+        self.blocks.insert(base, block);
+        Ok(base)
+    }
+
+    /// Remove the block based at `base`, returning it.
+    pub fn unload(&mut self, base: u32) -> Option<CodeBlock> {
+        let b = self.blocks.remove(&base);
+        if let Some(ref blk) = b {
+            self.bytes_freed += u64::from(blk.size_bytes());
+        }
+        b
+    }
+
+    /// Bytes of code currently resident.
+    #[must_use]
+    pub fn resident_bytes(&self) -> u64 {
+        self.bytes_loaded - self.bytes_freed
+    }
+
+    /// Number of resident blocks.
+    #[must_use]
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Resolve an address to a code location.
+    #[must_use]
+    pub fn locate(&self, addr: u32) -> Option<CodeLoc> {
+        let (base, block) = self.blocks.range(..=addr).next_back()?;
+        let off = addr - base;
+        if off >= block.size_bytes() {
+            return None;
+        }
+        let index = block.index_at(off)?;
+        Some(CodeLoc {
+            block_base: *base,
+            index,
+        })
+    }
+
+    /// The instruction at a location.
+    #[must_use]
+    pub fn instr(&self, loc: CodeLoc) -> Option<&Instr> {
+        self.blocks.get(&loc.block_base)?.instrs.get(loc.index)
+    }
+
+    /// The block based at `base`.
+    #[must_use]
+    pub fn block(&self, base: u32) -> Option<&CodeBlock> {
+        self.blocks.get(&base)
+    }
+
+    /// The address of instruction `index` within the block at `base`.
+    #[must_use]
+    pub fn addr_of(&self, base: u32, index: usize) -> Option<u32> {
+        let b = self.blocks.get(&base)?;
+        b.offsets.get(index).map(|o| base + o)
+    }
+
+    /// Iterate over `(base, block)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &CodeBlock)> {
+        self.blocks.iter().map(|(b, blk)| (*b, blk))
+    }
+
+    /// Patch the instruction at `addr` in place.
+    ///
+    /// The replacement must have the same encoded size (otherwise every
+    /// later address in the block would shift); this is exactly the
+    /// constraint real self-modifying code has.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no instruction starts at `addr` or the size would change.
+    pub fn patch(&mut self, addr: u32, new: Instr) -> Result<(), MachineError> {
+        let loc = self.locate(addr).ok_or(MachineError::BadPatch(addr))?;
+        let block = self
+            .blocks
+            .get_mut(&loc.block_base)
+            .ok_or(MachineError::BadPatch(addr))?;
+        let old_size = encode::size_bytes(&block.instrs[loc.index]);
+        let new_size = encode::size_bytes(&new);
+        if old_size != new_size {
+            return Err(MachineError::BadPatch(addr));
+        }
+        block.instrs[loc.index] = new;
+        Ok(())
+    }
+
+    /// Patch the target of the `jmp` instruction at `addr` — the primitive
+    /// operation on executable data structures.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the instruction at `addr` is not `jmp (abs).l`.
+    pub fn patch_jmp_target(&mut self, addr: u32, target: u32) -> Result<(), MachineError> {
+        let loc = self.locate(addr).ok_or(MachineError::BadPatch(addr))?;
+        let block = self
+            .blocks
+            .get_mut(&loc.block_base)
+            .ok_or(MachineError::BadPatch(addr))?;
+        match &mut block.instrs[loc.index] {
+            Instr::Jmp(op @ (Operand::Abs(_) | Operand::AbsHole(_))) => {
+                *op = Operand::Abs(target);
+                Ok(())
+            }
+            _ => Err(MachineError::BadPatch(addr)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Operand::*, Size};
+
+    fn block3() -> CodeBlock {
+        CodeBlock::new(
+            "t",
+            vec![
+                Instr::Nop,                          // 2 bytes @0
+                Instr::Move(Size::L, Imm(1), Dr(0)), // 6 bytes @2
+                Instr::Jmp(Abs(0x100)),              // 6 bytes @8
+            ],
+        )
+    }
+
+    #[test]
+    fn load_and_locate() {
+        let mut cm = CodeMem::new();
+        cm.load(0x1000, block3()).unwrap();
+        let l = cm.locate(0x1000).unwrap();
+        assert_eq!(l.index, 0);
+        let l = cm.locate(0x1002).unwrap();
+        assert_eq!(l.index, 1);
+        let l = cm.locate(0x1008).unwrap();
+        assert_eq!(l.index, 2);
+        // Mid-instruction addresses do not resolve.
+        assert!(cm.locate(0x1003).is_none());
+        // Past the end.
+        assert!(cm.locate(0x100E).is_none());
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let mut cm = CodeMem::new();
+        cm.load(0x1000, block3()).unwrap(); // occupies 0x1000..0x100E
+        assert!(cm.load(0x100C, block3()).is_err());
+        assert!(cm.load(0x0FF8, block3()).is_err());
+        assert!(cm.load(0x100E, block3()).is_ok());
+    }
+
+    #[test]
+    fn unload_frees_space() {
+        let mut cm = CodeMem::new();
+        cm.load(0x1000, block3()).unwrap();
+        assert_eq!(cm.resident_bytes(), 14);
+        cm.unload(0x1000).unwrap();
+        assert_eq!(cm.resident_bytes(), 0);
+        assert!(cm.locate(0x1000).is_none());
+        assert!(cm.load(0x1000, block3()).is_ok());
+    }
+
+    #[test]
+    fn patch_jmp() {
+        let mut cm = CodeMem::new();
+        cm.load(0x1000, block3()).unwrap();
+        cm.patch_jmp_target(0x1008, 0x2222).unwrap();
+        let loc = cm.locate(0x1008).unwrap();
+        assert_eq!(cm.instr(loc), Some(&Instr::Jmp(Abs(0x2222))));
+        // Patching a non-jmp fails.
+        assert!(cm.patch_jmp_target(0x1000, 0).is_err());
+    }
+
+    #[test]
+    fn patch_rejects_size_change() {
+        let mut cm = CodeMem::new();
+        cm.load(0x1000, block3()).unwrap();
+        // Nop (2 bytes) -> move.l #imm (6 bytes) must fail.
+        assert!(cm
+            .patch(0x1000, Instr::Move(Size::L, Imm(1), Dr(1)))
+            .is_err());
+        // Same-size replacement succeeds.
+        assert!(cm.patch(0x1000, Instr::Rts).is_ok());
+    }
+
+    #[test]
+    fn addr_of_matches_offsets() {
+        let mut cm = CodeMem::new();
+        cm.load(0x1000, block3()).unwrap();
+        assert_eq!(cm.addr_of(0x1000, 0), Some(0x1000));
+        assert_eq!(cm.addr_of(0x1000, 2), Some(0x1008));
+    }
+}

@@ -1,0 +1,213 @@
+//! The raw disk device: sector-addressed DMA with a seek/rotation model.
+//!
+//! The paper's machine had a 390 MB hard disk behind a raw disk device
+//! server, fronted by the disk scheduler and the buffer cache (Section
+//! 5.1). This device does DMA transfers after a modelled latency:
+//!
+//! ```text
+//! latency = SEEK_BASE_US + |Δtrack| × SEEK_PER_TRACK_US
+//!         + AVG_ROTATION_US + sectors × TRANSFER_PER_SECTOR_US
+//! ```
+//!
+//! Registers:
+//!
+//! | offset | meaning |
+//! |---|---|
+//! | `0x00` `SECTOR` | first sector of the transfer |
+//! | `0x04` `ADDR` | DMA memory address |
+//! | `0x08` `COUNT` | sectors to transfer |
+//! | `0x0C` `CMD` | 1 = read, 2 = write (starts the operation) |
+//! | `0x10` `STATUS` | bit 0: busy, bit 1: done (read clears done) |
+
+use std::any::Any;
+
+use super::{DevCtx, Device};
+
+/// Bytes per sector.
+pub const SECTOR_SIZE: u32 = 512;
+/// Sectors per track (for the seek model).
+pub const SECTORS_PER_TRACK: u32 = 32;
+
+/// `SECTOR` register offset.
+pub const REG_SECTOR: u32 = 0x00;
+/// `ADDR` register offset.
+pub const REG_ADDR: u32 = 0x04;
+/// `COUNT` register offset.
+pub const REG_COUNT: u32 = 0x08;
+/// `CMD` register offset.
+pub const REG_CMD: u32 = 0x0C;
+/// `STATUS` register offset.
+pub const REG_STATUS: u32 = 0x10;
+
+/// Command: read sectors into memory.
+pub const CMD_READ: u32 = 1;
+/// Command: write memory to sectors.
+pub const CMD_WRITE: u32 = 2;
+
+/// Status bit: an operation is in flight.
+pub const STATUS_BUSY: u32 = 1;
+/// Status bit: the last operation completed (cleared by reading STATUS).
+pub const STATUS_DONE: u32 = 2;
+
+/// Fixed seek overhead in microseconds.
+pub const SEEK_BASE_US: u64 = 1_000;
+/// Additional seek time per track moved.
+pub const SEEK_PER_TRACK_US: u64 = 30;
+/// Average rotational delay (half a revolution at 3600 rpm).
+pub const AVG_ROTATION_US: u64 = 8_333;
+/// Transfer time per sector.
+pub const TRANSFER_PER_SECTOR_US: u64 = 170;
+
+const EV_COMPLETE: u32 = 1;
+
+/// The disk device.
+pub struct Disk {
+    irq_level: u8,
+    data: Vec<u8>,
+    head_track: u32,
+    sector: u32,
+    addr: u32,
+    count: u32,
+    busy: bool,
+    done: bool,
+    pending_cmd: u32,
+    /// Completed operations (host-side statistics).
+    pub ops_completed: u64,
+    /// Total modelled latency across operations, in cycles.
+    pub busy_cycles: u64,
+}
+
+impl Disk {
+    /// A disk of `sectors` sectors interrupting at `irq_level`.
+    #[must_use]
+    pub fn new(irq_level: u8, sectors: u32) -> Disk {
+        Disk {
+            irq_level,
+            data: vec![0; (sectors * SECTOR_SIZE) as usize],
+            head_track: 0,
+            sector: 0,
+            addr: 0,
+            count: 0,
+            busy: false,
+            done: false,
+            pending_cmd: 0,
+            ops_completed: 0,
+            busy_cycles: 0,
+        }
+    }
+
+    /// The configured interrupt level.
+    #[must_use]
+    pub fn irq_level(&self) -> u8 {
+        self.irq_level
+    }
+
+    /// Number of sectors.
+    #[must_use]
+    pub fn sectors(&self) -> u32 {
+        self.data.len() as u32 / SECTOR_SIZE
+    }
+
+    /// Host: write bytes directly to the platter (image loading).
+    pub fn load_image(&mut self, sector: u32, bytes: &[u8]) {
+        let off = (sector * SECTOR_SIZE) as usize;
+        self.data[off..off + bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Host: read bytes directly from the platter.
+    #[must_use]
+    pub fn peek_image(&self, sector: u32, len: u32) -> Vec<u8> {
+        let off = (sector * SECTOR_SIZE) as usize;
+        self.data[off..off + len as usize].to_vec()
+    }
+
+    fn latency_us(&self, target_sector: u32, count: u32) -> u64 {
+        let target_track = target_sector / SECTORS_PER_TRACK;
+        let delta = target_track.abs_diff(self.head_track);
+        SEEK_BASE_US
+            + u64::from(delta) * SEEK_PER_TRACK_US
+            + AVG_ROTATION_US
+            + u64::from(count) * TRANSFER_PER_SECTOR_US
+    }
+}
+
+impl Device for Disk {
+    fn name(&self) -> &'static str {
+        "disk"
+    }
+
+    fn read_reg(&mut self, off: u32, ctx: &mut DevCtx) -> u32 {
+        match off {
+            REG_STATUS => {
+                let mut s = 0;
+                if self.busy {
+                    s |= STATUS_BUSY;
+                }
+                if self.done {
+                    s |= STATUS_DONE;
+                    self.done = false;
+                    ctx.irq.clear(self.irq_level);
+                }
+                s
+            }
+            REG_SECTOR => self.sector,
+            REG_ADDR => self.addr,
+            REG_COUNT => self.count,
+            _ => 0,
+        }
+    }
+
+    fn write_reg(&mut self, off: u32, val: u32, ctx: &mut DevCtx) {
+        match off {
+            REG_SECTOR => self.sector = val,
+            REG_ADDR => self.addr = val,
+            REG_COUNT => self.count = val,
+            REG_CMD if !self.busy && (val == CMD_READ || val == CMD_WRITE) => {
+                let end = u64::from(self.sector) + u64::from(self.count);
+                if end > u64::from(self.sectors()) {
+                    // Bad request: complete immediately with done (a real
+                    // controller would set an error bit; the kernel driver
+                    // validates requests before issuing them).
+                    self.done = true;
+                    ctx.irq.raise(self.irq_level);
+                    return;
+                }
+                self.busy = true;
+                self.pending_cmd = val;
+                let us = self.latency_us(self.sector, self.count);
+                let cycles = us * ctx.clock_hz / 1_000_000;
+                self.busy_cycles += cycles;
+                ctx.schedule_in(cycles.max(1), EV_COMPLETE);
+            }
+            _ => {}
+        }
+    }
+
+    fn tick(&mut self, what: u32, ctx: &mut DevCtx) {
+        if what != EV_COMPLETE {
+            return;
+        }
+        let bytes = (self.count * SECTOR_SIZE) as usize;
+        let off = (self.sector * SECTOR_SIZE) as usize;
+        match self.pending_cmd {
+            CMD_READ => {
+                let chunk = self.data[off..off + bytes].to_vec();
+                ctx.mem.poke_bytes(self.addr, &chunk);
+            }
+            CMD_WRITE => {
+                let chunk = ctx.mem.peek_bytes(self.addr, bytes as u32);
+                self.data[off..off + bytes].copy_from_slice(&chunk);
+            }
+            _ => {}
+        }
+        self.head_track = (self.sector + self.count) / SECTORS_PER_TRACK;
+        self.busy = false;
+        self.done = true;
+        self.ops_completed += 1;
+        ctx.irq.raise(self.irq_level);
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}

@@ -1,0 +1,97 @@
+//! The framebuffer: a 2K×2K×8-bit display with a trivial blit port.
+//!
+//! The Quamachine had "a 2Kx2Kx8-bit framebuffer with graphics
+//! co-processor" (Section 6.1). We model a cursor-addressed pixel port —
+//! enough for the passive-producer/passive-consumer `xclock` pump example
+//! of Section 5.2.
+//!
+//! Registers:
+//!
+//! | offset | meaning |
+//! |---|---|
+//! | `0x00` `X` | cursor x |
+//! | `0x04` `Y` | cursor y |
+//! | `0x08` `PIXEL` | write: store pixel at cursor, advance x |
+
+use std::any::Any;
+
+use super::{DevCtx, Device};
+
+/// Framebuffer width in pixels.
+pub const WIDTH: u32 = 2048;
+/// Framebuffer height in pixels.
+pub const HEIGHT: u32 = 2048;
+
+/// `X` register offset.
+pub const REG_X: u32 = 0x00;
+/// `Y` register offset.
+pub const REG_Y: u32 = 0x04;
+/// `PIXEL` register offset.
+pub const REG_PIXEL: u32 = 0x08;
+
+/// The framebuffer device.
+pub struct FrameBuffer {
+    x: u32,
+    y: u32,
+    /// Pixel store, row-major (host-visible).
+    pub pixels: Vec<u8>,
+    /// Pixels written.
+    pub writes: u64,
+}
+
+impl Default for FrameBuffer {
+    fn default() -> Self {
+        FrameBuffer::new()
+    }
+}
+
+impl FrameBuffer {
+    /// A cleared framebuffer.
+    #[must_use]
+    pub fn new() -> FrameBuffer {
+        FrameBuffer {
+            x: 0,
+            y: 0,
+            pixels: vec![0; (WIDTH * HEIGHT) as usize],
+            writes: 0,
+        }
+    }
+
+    /// The pixel at `(x, y)`.
+    #[must_use]
+    pub fn pixel(&self, x: u32, y: u32) -> u8 {
+        self.pixels[(y * WIDTH + x) as usize]
+    }
+}
+
+impl Device for FrameBuffer {
+    fn name(&self) -> &'static str {
+        "fb"
+    }
+
+    fn read_reg(&mut self, off: u32, _ctx: &mut DevCtx) -> u32 {
+        match off {
+            REG_X => self.x,
+            REG_Y => self.y,
+            REG_PIXEL => u32::from(self.pixel(self.x % WIDTH, self.y % HEIGHT)),
+            _ => 0,
+        }
+    }
+
+    fn write_reg(&mut self, off: u32, val: u32, _ctx: &mut DevCtx) {
+        match off {
+            REG_X => self.x = val % WIDTH,
+            REG_Y => self.y = val % HEIGHT,
+            REG_PIXEL => {
+                self.pixels[(self.y * WIDTH + self.x) as usize] = val as u8;
+                self.writes += 1;
+                self.x = (self.x + 1) % WIDTH;
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}

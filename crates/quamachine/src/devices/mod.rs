@@ -1,0 +1,86 @@
+//! Memory-mapped devices.
+//!
+//! The Quamachine's unusual I/O complement (paper Section 6.1): tty, disk,
+//! two-channel 16-bit analog I/O (the 44.1 kHz A/D of Section 5.4), a
+//! compact-disc-player-style sample source folded into the audio device, an
+//! interval timer with microsecond resolution, a framebuffer, and
+//! `/dev/null`.
+//!
+//! Each device occupies a 256-byte register window starting at
+//! [`DEV_BASE`] + 256 × its index. Device registers are supervisor-only.
+
+use std::any::Any;
+
+use crate::event::EventQueue;
+use crate::irq::IrqController;
+use crate::mem::Memory;
+
+pub mod audio;
+pub mod disk;
+pub mod fb;
+pub mod null;
+pub mod timer;
+pub mod tty;
+
+/// Base address of the device register space.
+pub const DEV_BASE: u32 = 0xFF00_0000;
+
+/// Size of each device's register window.
+pub const DEV_WINDOW: u32 = 0x100;
+
+/// The register address of register `reg` of device `dev_index`.
+#[must_use]
+pub fn dev_reg_addr(dev_index: usize, reg: u32) -> u32 {
+    DEV_BASE + dev_index as u32 * DEV_WINDOW + reg
+}
+
+/// Machine facilities a device may use while handling an access or event.
+pub struct DevCtx<'a> {
+    /// The interrupt controller (to raise/clear levels).
+    pub irq: &'a mut IrqController,
+    /// The event queue (to schedule future work, keyed by absolute cycle).
+    pub events: &'a mut EventQueue,
+    /// Physical memory (for DMA).
+    pub mem: &'a mut Memory,
+    /// Current cycle count.
+    pub now: u64,
+    /// This device's index (needed to schedule events for itself).
+    pub dev_index: usize,
+    /// CPU clock, for converting real-time rates to cycles.
+    pub clock_hz: u64,
+}
+
+impl DevCtx<'_> {
+    /// Schedule an event for this device `delta` cycles from now.
+    pub fn schedule_in(&mut self, delta: u64, what: u32) {
+        self.events.schedule(self.now + delta, self.dev_index, what);
+    }
+
+    /// Cycles per event at a given real-time rate (events per second).
+    #[must_use]
+    pub fn cycles_per_event(&self, rate_hz: u64) -> u64 {
+        (self.clock_hz / rate_hz).max(1)
+    }
+}
+
+/// A memory-mapped device.
+pub trait Device {
+    /// Short device name (for diagnostics).
+    fn name(&self) -> &'static str;
+
+    /// Called once when the device is attached, with its index assigned.
+    fn attach(&mut self, _ctx: &mut DevCtx) {}
+
+    /// Read a register at byte offset `off` within the window.
+    fn read_reg(&mut self, off: u32, ctx: &mut DevCtx) -> u32;
+
+    /// Write a register.
+    fn write_reg(&mut self, off: u32, val: u32, ctx: &mut DevCtx);
+
+    /// A previously scheduled event fired.
+    fn tick(&mut self, _what: u32, _ctx: &mut DevCtx) {}
+
+    /// Downcast support so the embedder can reach device-specific state
+    /// (inject tty input, load disk images, drain output...).
+    fn as_any(&mut self) -> &mut dyn Any;
+}

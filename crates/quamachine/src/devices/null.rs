@@ -1,0 +1,49 @@
+//! `/dev/null`: the simplest device, used by the paper's open/close and
+//! read benchmarks (Tables 1 and 2).
+
+use std::any::Any;
+
+use super::{DevCtx, Device};
+
+/// `DATA` register offset: reads return 0, writes are discarded.
+pub const REG_DATA: u32 = 0x00;
+
+/// The null device.
+#[derive(Default)]
+pub struct NullDev {
+    /// Reads performed.
+    pub reads: u64,
+    /// Writes discarded.
+    pub writes: u64,
+}
+
+impl NullDev {
+    /// A fresh null device.
+    #[must_use]
+    pub fn new() -> NullDev {
+        NullDev::default()
+    }
+}
+
+impl Device for NullDev {
+    fn name(&self) -> &'static str {
+        "null"
+    }
+
+    fn read_reg(&mut self, off: u32, _ctx: &mut DevCtx) -> u32 {
+        if off == REG_DATA {
+            self.reads += 1;
+        }
+        0
+    }
+
+    fn write_reg(&mut self, off: u32, _val: u32, _ctx: &mut DevCtx) {
+        if off == REG_DATA {
+            self.writes += 1;
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}

@@ -1,0 +1,134 @@
+//! The interval timer: a microsecond clock, a one-shot alarm, and the
+//! periodic quantum timer that drives preemptive scheduling.
+//!
+//! The Quamachine had "a microsecond-resolution interval timer" (Section
+//! 6.1). The Synthesis dispatcher runs off this device: when a thread's
+//! time quantum expires, "the interrupt is vectored to thread-0's
+//! context-switch-out procedure" (Section 4.2). Table 5 times `set alarm`
+//! (9 µs) and the alarm interrupt (7 µs).
+//!
+//! Registers:
+//!
+//! | offset | meaning |
+//! |---|---|
+//! | `0x00` `NOW_US` | current time in µs (32-bit, wraps) |
+//! | `0x04` `ALARM_US` | write: one-shot alarm this many µs from now (0 cancels) |
+//! | `0x08` `QUANTUM_US` | write: periodic interrupt every this many µs (0 stops) |
+//! | `0x0C` `ACK` | write: acknowledge (clear) the timer interrupt |
+
+use std::any::Any;
+
+use super::{DevCtx, Device};
+
+/// `NOW_US` register offset.
+pub const REG_NOW_US: u32 = 0x00;
+/// `ALARM_US` register offset.
+pub const REG_ALARM_US: u32 = 0x04;
+/// `QUANTUM_US` register offset.
+pub const REG_QUANTUM_US: u32 = 0x08;
+/// `ACK` register offset.
+pub const REG_ACK: u32 = 0x0C;
+
+const EV_ALARM: u32 = 1;
+const EV_QUANTUM: u32 = 2;
+
+/// The timer device.
+pub struct Timer {
+    irq_level: u8,
+    quantum_us: u32,
+    /// Generation counters so stale scheduled events are ignored after a
+    /// cancel/re-arm.
+    alarm_gen: u32,
+    quantum_gen: u32,
+    /// Quantum interrupts delivered.
+    pub quantum_fires: u64,
+    /// Alarm interrupts delivered.
+    pub alarm_fires: u64,
+}
+
+impl Timer {
+    /// A timer interrupting at `irq_level`.
+    #[must_use]
+    pub fn new(irq_level: u8) -> Timer {
+        Timer {
+            irq_level,
+            quantum_us: 0,
+            alarm_gen: 0,
+            quantum_gen: 0,
+            quantum_fires: 0,
+            alarm_fires: 0,
+        }
+    }
+
+    /// The configured interrupt level.
+    #[must_use]
+    pub fn irq_level(&self) -> u8 {
+        self.irq_level
+    }
+
+    fn us_to_cycles(us: u32, ctx: &DevCtx) -> u64 {
+        (u64::from(us) * ctx.clock_hz / 1_000_000).max(1)
+    }
+}
+
+impl Device for Timer {
+    fn name(&self) -> &'static str {
+        "timer"
+    }
+
+    fn read_reg(&mut self, off: u32, ctx: &mut DevCtx) -> u32 {
+        match off {
+            REG_NOW_US => (ctx.now * 1_000_000 / ctx.clock_hz) as u32,
+            REG_QUANTUM_US => self.quantum_us,
+            _ => 0,
+        }
+    }
+
+    fn write_reg(&mut self, off: u32, val: u32, ctx: &mut DevCtx) {
+        match off {
+            REG_ALARM_US => {
+                self.alarm_gen = self.alarm_gen.wrapping_add(1);
+                if val > 0 {
+                    let delta = Timer::us_to_cycles(val, ctx);
+                    // Tag the event with the generation so a cancel or
+                    // re-arm invalidates it.
+                    ctx.schedule_in(delta, EV_ALARM | (self.alarm_gen << 8));
+                }
+            }
+            REG_QUANTUM_US => {
+                self.quantum_gen = self.quantum_gen.wrapping_add(1);
+                self.quantum_us = val;
+                if val > 0 {
+                    let delta = Timer::us_to_cycles(val, ctx);
+                    ctx.schedule_in(delta, EV_QUANTUM | (self.quantum_gen << 8));
+                }
+            }
+            REG_ACK => ctx.irq.clear(self.irq_level),
+            _ => {}
+        }
+    }
+
+    fn tick(&mut self, what: u32, ctx: &mut DevCtx) {
+        let kind = what & 0xFF;
+        let gen = what >> 8;
+        match kind {
+            EV_ALARM if gen == self.alarm_gen => {
+                self.alarm_fires += 1;
+                ctx.irq.raise(self.irq_level);
+            }
+            EV_QUANTUM if gen == self.quantum_gen => {
+                self.quantum_fires += 1;
+                ctx.irq.raise(self.irq_level);
+                if self.quantum_us > 0 {
+                    let delta = Timer::us_to_cycles(self.quantum_us, ctx);
+                    ctx.schedule_in(delta, EV_QUANTUM | (self.quantum_gen << 8));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&mut self) -> &mut dyn Any {
+        self
+    }
+}

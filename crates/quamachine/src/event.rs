@@ -1,0 +1,146 @@
+//! The cycle-driven event queue that gives devices a sense of time.
+//!
+//! Devices schedule callbacks at absolute cycle counts ("raise my IRQ when
+//! the disk seek finishes", "next A/D sample in `clock/44100` cycles"). The
+//! machine pops due events between instructions.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A scheduled event: fire `what` on device `dev` at cycle `when`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Absolute cycle count at which the event fires.
+    pub when: u64,
+    /// Index of the device in the machine's device table.
+    pub dev: usize,
+    /// Device-private event tag.
+    pub what: u32,
+    /// Monotonic sequence number to make ordering deterministic for
+    /// simultaneous events (FIFO among equals).
+    seq: u64,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.when, self.seq).cmp(&(other.when, other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A min-heap of events keyed by cycle count.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<Event>>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Create an empty queue.
+    #[must_use]
+    pub fn new() -> EventQueue {
+        EventQueue::default()
+    }
+
+    /// Schedule `what` for device `dev` at absolute cycle `when`.
+    pub fn schedule(&mut self, when: u64, dev: usize, what: u32) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Event {
+            when,
+            dev,
+            what,
+            seq,
+        }));
+    }
+
+    /// Pop the next event if it is due at or before `now`.
+    pub fn pop_due(&mut self, now: u64) -> Option<Event> {
+        if self.heap.peek().is_some_and(|Reverse(e)| e.when <= now) {
+            self.heap.pop().map(|Reverse(e)| e)
+        } else {
+            None
+        }
+    }
+
+    /// The cycle of the earliest scheduled event, if any.
+    #[must_use]
+    pub fn next_due(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse(e)| e.when)
+    }
+
+    /// Number of scheduled events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are scheduled.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Remove all events for a device (used when resetting a device).
+    pub fn cancel_device(&mut self, dev: usize) {
+        let keep: Vec<_> = self
+            .heap
+            .drain()
+            .filter(|Reverse(e)| e.dev != dev)
+            .collect();
+        self.heap = keep.into_iter().collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, 0, 3);
+        q.schedule(10, 1, 1);
+        q.schedule(20, 2, 2);
+        assert_eq!(q.pop_due(100).unwrap().what, 1);
+        assert_eq!(q.pop_due(100).unwrap().what, 2);
+        assert_eq!(q.pop_due(100).unwrap().what, 3);
+        assert!(q.pop_due(100).is_none());
+    }
+
+    #[test]
+    fn not_due_yet() {
+        let mut q = EventQueue::new();
+        q.schedule(50, 0, 1);
+        assert!(q.pop_due(49).is_none());
+        assert_eq!(q.next_due(), Some(50));
+        assert!(q.pop_due(50).is_some());
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(10, 0, 1);
+        q.schedule(10, 0, 2);
+        q.schedule(10, 0, 3);
+        assert_eq!(q.pop_due(10).unwrap().what, 1);
+        assert_eq!(q.pop_due(10).unwrap().what, 2);
+        assert_eq!(q.pop_due(10).unwrap().what, 3);
+    }
+
+    #[test]
+    fn cancel_device_removes_only_that_device() {
+        let mut q = EventQueue::new();
+        q.schedule(10, 0, 1);
+        q.schedule(20, 1, 2);
+        q.schedule(30, 0, 3);
+        q.cancel_device(0);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_due(100).unwrap().what, 2);
+    }
+}

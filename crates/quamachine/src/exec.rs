@@ -1,0 +1,840 @@
+//! The fetch/execute loop.
+//!
+//! Executes instructions structurally, charging cycles per the
+//! [`CostModel`](crate::cost::CostModel), counting instructions and memory
+//! references, accepting interrupts between instructions, and vectoring
+//! exceptions through the table at the VBR — so per-thread vector tables,
+//! procedure chaining (return-address rewriting), and synthesized handlers
+//! all behave as on the real machine.
+
+use crate::code::CodeLoc;
+use crate::cost::{
+    instr_cost, BRANCH_TAKEN_EXTRA, EXCEPTION_BASE, EXCEPTION_REFS, IACK_BASE, RTE_BASE, RTE_REFS,
+};
+use crate::error::{Exception, MachineError};
+use crate::isa::{BranchTarget, Instr, Operand, ShiftKind, Size};
+use crate::machine::{Machine, RunExit};
+use crate::trace::TraceRecord;
+
+/// A non-fatal or fatal execution fault.
+enum Fault {
+    /// A guest-visible exception: vector through the guest's handlers.
+    Exc(Exception),
+    /// A simulation bug: abort the run.
+    Fatal(MachineError),
+}
+
+impl From<Exception> for Fault {
+    fn from(e: Exception) -> Fault {
+        Fault::Exc(e)
+    }
+}
+
+impl From<MachineError> for Fault {
+    fn from(e: MachineError) -> Fault {
+        Fault::Fatal(e)
+    }
+}
+
+/// A resolved operand location.
+#[derive(Debug, Clone, Copy)]
+enum Place {
+    /// Data register.
+    D(usize),
+    /// Address register.
+    A(usize),
+    /// Memory at an absolute address.
+    M(u32),
+}
+
+impl Machine {
+    /// Execute instructions until `max_cycles` more cycles have elapsed, a
+    /// `halt`/`kcall` executes, a breakpoint is hit, or a fatal error
+    /// occurs.
+    pub fn run(&mut self, max_cycles: u64) -> RunExit {
+        let limit = self.meter.cycles.saturating_add(max_cycles);
+        let mut first = true;
+        loop {
+            if !first && self.breakpoints.contains(&self.cpu.pc) {
+                return RunExit::Breakpoint(self.cpu.pc);
+            }
+            first = false;
+            match self.step() {
+                Ok(None) => {}
+                Ok(Some(exit)) => return exit,
+                Err(e) => return RunExit::Error(e),
+            }
+            if self.meter.cycles >= limit {
+                return RunExit::CycleLimit;
+            }
+        }
+    }
+
+    /// Execute one instruction (or service one interrupt / idle tick).
+    ///
+    /// Returns `Ok(Some(_))` when control should return to the embedder.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MachineError`] on fatal simulation problems (bad PC,
+    /// unfilled hole, double fault).
+    pub fn step(&mut self) -> Result<Option<RunExit>, MachineError> {
+        self.process_events();
+
+        // Interrupt acceptance between instructions.
+        if let Some(level) = self.irq.acceptable(self.cpu.int_mask()) {
+            self.irq.accept(level);
+            self.cpu.stopped = false;
+            self.meter.cycles += IACK_BASE;
+            self.take_exception(Exception::Interrupt(level), self.cpu.pc)?;
+            return Ok(None);
+        }
+
+        // STOP state: sleep until the next device event can raise an IRQ.
+        if self.cpu.stopped {
+            return match self.events.next_due() {
+                Some(next) => {
+                    self.meter.cycles = self.meter.cycles.max(next);
+                    Ok(None)
+                }
+                // Stopped forever: nothing will ever wake us.
+                None => Ok(Some(RunExit::Halted)),
+            };
+        }
+
+        let pc = self.cpu.pc;
+        let loc = self
+            .code
+            .locate(pc)
+            .ok_or(MachineError::BadCodeAddress(pc))?;
+        let instr = *self
+            .code
+            .instr(loc)
+            .ok_or(MachineError::BadCodeAddress(pc))?;
+        if instr.has_hole() {
+            return Err(MachineError::UnfilledHole(pc));
+        }
+
+        self.meter.instr_count += 1;
+        if self.meter.tracing {
+            self.meter.record(TraceRecord {
+                pc,
+                instr,
+                cycle: self.meter.cycles,
+            });
+        }
+        let (base, refs) = instr_cost(&instr);
+        self.meter.cycles += base + refs * self.cost.bus_cycles();
+
+        // Default fallthrough: the next instruction in the block (or the
+        // first byte past the block, which faults on the next step if
+        // actually reached).
+        let next_pc = self
+            .code
+            .addr_of(loc.block_base, loc.index + 1)
+            .expect("offsets include the end sentinel");
+        self.cpu.pc = next_pc;
+
+        match self.exec_instr(&instr, loc) {
+            Ok(exit) => Ok(exit),
+            Err(Fault::Fatal(e)) => Err(e),
+            Err(Fault::Exc(e)) => {
+                // Faults re-point at the faulting instruction so handlers
+                // can fix the cause and retry (the lazy-FP resynthesis
+                // depends on this); traps and zero-divide resume after.
+                let push_pc = match e {
+                    Exception::Trap(_) | Exception::ZeroDivide => next_pc,
+                    _ => pc,
+                };
+                self.take_exception(e, push_pc)?;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Vector an exception: push PC and SR on the supervisor stack, switch
+    /// to supervisor mode, read the handler from the vector table, jump.
+    ///
+    /// # Errors
+    ///
+    /// A fault during exception processing (unreadable or null vector) is
+    /// a double fault, which is fatal.
+    pub fn take_exception(&mut self, e: Exception, push_pc: u32) -> Result<(), MachineError> {
+        self.meter.exception_count += 1;
+        self.meter.cycles += EXCEPTION_BASE + EXCEPTION_REFS * self.cost.bus_cycles();
+
+        let old_sr = self.cpu.sr;
+        if !self.cpu.supervisor() {
+            self.cpu.write_sr(old_sr | crate::cpu::sr_bits::S);
+        }
+        if let Exception::Interrupt(level) = e {
+            self.cpu.set_int_mask(level);
+        }
+
+        // Frame: PC at SP+2, SR at SP (68000 layout).
+        let sp = self.cpu.a[7].wrapping_sub(6);
+        self.cpu.a[7] = sp;
+        let w1 = self.mem.write(sp.wrapping_add(2), Size::L, push_pc, true);
+        let w2 = self.mem.write(sp, Size::W, u32::from(old_sr), true);
+        if w1.is_err() || w2.is_err() {
+            return Err(MachineError::DoubleFault(e, Exception::BusError));
+        }
+
+        let vec_addr = self.cpu.vbr.wrapping_add(4 * e.vector());
+        let handler = match self.mem.read(vec_addr, Size::L, true) {
+            Ok(h) => h,
+            Err(e2) => return Err(MachineError::DoubleFault(e, e2)),
+        };
+        if handler == 0 {
+            return Err(MachineError::DoubleFault(e, Exception::BusError));
+        }
+        self.cpu.pc = handler;
+        Ok(())
+    }
+
+    // --- Operand plumbing -------------------------------------------------
+
+    /// Compute the effective address of a memory operand, applying
+    /// post-increment / pre-decrement side effects exactly once.
+    fn ea_addr(&mut self, op: &Operand, size: Size) -> u32 {
+        // Byte operations on A7 move it by 2 to keep the stack even.
+        let step = |n: u8, size: Size| -> u32 {
+            if n == 7 && size == Size::B {
+                2
+            } else {
+                size.bytes()
+            }
+        };
+        match *op {
+            Operand::Ind(n) => self.cpu.a[n as usize],
+            Operand::PostInc(n) => {
+                let v = self.cpu.a[n as usize];
+                self.cpu.a[n as usize] = v.wrapping_add(step(n, size));
+                v
+            }
+            Operand::PreDec(n) => {
+                let v = self.cpu.a[n as usize].wrapping_sub(step(n, size));
+                self.cpu.a[n as usize] = v;
+                v
+            }
+            Operand::Disp(d, n) => self.cpu.a[n as usize].wrapping_add(d as i32 as u32),
+            Operand::Idx(d, n, ix) => {
+                let base = self.cpu.a[n as usize];
+                let idx = if ix.addr {
+                    self.cpu.a[ix.reg as usize]
+                } else {
+                    self.cpu.d[ix.reg as usize]
+                };
+                base.wrapping_add(d as i32 as u32)
+                    .wrapping_add(idx.wrapping_mul(u32::from(ix.scale)))
+            }
+            Operand::Abs(a) => a,
+            Operand::Dr(_) | Operand::Ar(_) | Operand::Imm(_) => {
+                unreachable!("ea_addr on a non-memory operand")
+            }
+            Operand::ImmHole(_) | Operand::AbsHole(_) => {
+                unreachable!("holes are rejected before execution")
+            }
+        }
+    }
+
+    /// Resolve an operand to a place (applying address side effects once).
+    fn resolve(&mut self, op: &Operand, size: Size) -> Place {
+        match *op {
+            Operand::Dr(n) => Place::D(n as usize),
+            Operand::Ar(n) => Place::A(n as usize),
+            _ => Place::M(self.ea_addr(op, size)),
+        }
+    }
+
+    /// Load from a place.
+    fn load(&mut self, p: Place, size: Size) -> Result<u32, Fault> {
+        match p {
+            Place::D(n) => Ok(self.cpu.d[n] & size.mask()),
+            Place::A(n) => Ok(self.cpu.a[n] & size.mask()),
+            Place::M(addr) => Ok(self.bus_read(addr, size)?),
+        }
+    }
+
+    /// Store to a place. Register stores merge into the low bits (68000
+    /// semantics), except address registers, which always receive a full
+    /// sign-extended 32-bit value.
+    fn store(&mut self, p: Place, size: Size, v: u32) -> Result<(), Fault> {
+        match p {
+            Place::D(n) => {
+                let old = self.cpu.d[n];
+                self.cpu.d[n] = (old & !size.mask()) | (v & size.mask());
+            }
+            Place::A(n) => {
+                self.cpu.a[n] = size.sext(v);
+            }
+            Place::M(addr) => self.bus_write(addr, size, v)?,
+        }
+        Ok(())
+    }
+
+    /// Read a source operand (immediates included).
+    fn read_src(&mut self, op: &Operand, size: Size) -> Result<u32, Fault> {
+        match *op {
+            Operand::Imm(v) => Ok(v & size.mask()),
+            _ => {
+                let p = self.resolve(op, size);
+                self.load(p, size)
+            }
+        }
+    }
+
+    /// Push a long onto the active stack.
+    fn push_l(&mut self, v: u32) -> Result<(), Fault> {
+        let sp = self.cpu.a[7].wrapping_sub(4);
+        self.cpu.a[7] = sp;
+        self.bus_write(sp, Size::L, v)?;
+        Ok(())
+    }
+
+    /// Pop a long from the active stack.
+    fn pop_l(&mut self) -> Result<u32, Fault> {
+        let sp = self.cpu.a[7];
+        let v = self.bus_read(sp, Size::L)?;
+        self.cpu.a[7] = sp.wrapping_add(4);
+        Ok(v)
+    }
+
+    /// Resolve a control-flow target effective address (no memory read:
+    /// `jmp (a0)` jumps to the address *in* `a0`).
+    fn control_target(&mut self, op: &Operand) -> u32 {
+        match *op {
+            Operand::Ar(n) => self.cpu.a[n as usize],
+            _ => self.ea_addr(op, Size::L),
+        }
+    }
+
+    /// Branch within the current block.
+    fn branch_to(&mut self, loc: CodeLoc, t: BranchTarget) -> Result<(), Fault> {
+        match t {
+            BranchTarget::Idx(i) => {
+                let addr = self
+                    .code
+                    .addr_of(loc.block_base, i as usize)
+                    .ok_or(MachineError::BadCodeAddress(loc.block_base))?;
+                self.cpu.pc = addr;
+                self.meter.cycles += BRANCH_TAKEN_EXTRA;
+                Ok(())
+            }
+            BranchTarget::Label(_) => Err(MachineError::UnresolvedLabel(self.cpu.pc).into()),
+        }
+    }
+
+    /// Require supervisor mode.
+    fn privileged(&self) -> Result<(), Fault> {
+        if self.cpu.supervisor() {
+            Ok(())
+        } else {
+            Err(Exception::PrivilegeViolation.into())
+        }
+    }
+
+    // --- Flag arithmetic ---------------------------------------------------
+
+    fn flags_move(&mut self, size: Size, v: u32) {
+        let v = v & size.mask();
+        self.cpu
+            .set_nzvc(v & size.sign_bit() != 0, v == 0, false, false);
+    }
+
+    fn add_flags(&mut self, size: Size, a: u32, b: u32) -> u32 {
+        let (a, b) = (a & size.mask(), b & size.mask());
+        let r = a.wrapping_add(b) & size.mask();
+        let c = (u64::from(a) + u64::from(b)) > u64::from(size.mask());
+        let sb = size.sign_bit();
+        let v = ((a ^ r) & (b ^ r) & sb) != 0;
+        self.cpu.set_nzvc_x(r & sb != 0, r == 0, v, c);
+        r
+    }
+
+    fn sub_flags(&mut self, size: Size, dst: u32, src: u32, set_x: bool) -> u32 {
+        let (dst, src) = (dst & size.mask(), src & size.mask());
+        let r = dst.wrapping_sub(src) & size.mask();
+        let c = src > dst;
+        let sb = size.sign_bit();
+        let v = ((dst ^ src) & (dst ^ r) & sb) != 0;
+        if set_x {
+            self.cpu.set_nzvc_x(r & sb != 0, r == 0, v, c);
+        } else {
+            self.cpu.set_nzvc(r & sb != 0, r == 0, v, c);
+        }
+        r
+    }
+
+    fn flags_logic(&mut self, size: Size, r: u32) {
+        self.cpu
+            .set_nzvc(r & size.sign_bit() != 0, r & size.mask() == 0, false, false);
+    }
+
+    // --- The instruction dispatch -------------------------------------------
+
+    #[allow(clippy::too_many_lines)]
+    fn exec_instr(&mut self, i: &Instr, loc: CodeLoc) -> Result<Option<RunExit>, Fault> {
+        use Instr::*;
+        match *i {
+            Move(size, ref s, ref d) => {
+                let v = self.read_src(s, size)?;
+                let p = self.resolve(d, size);
+                self.store(p, size, v)?;
+                // MOVEA (address destination) does not affect flags.
+                if !matches!(p, Place::A(_)) {
+                    self.flags_move(size, v);
+                }
+            }
+            Movem {
+                to_mem,
+                regs,
+                ref ea,
+            } => {
+                self.exec_movem(to_mem, regs, ea)?;
+            }
+            Lea(ref ea, n) => {
+                let addr = self.ea_addr(ea, Size::L);
+                self.cpu.a[n as usize] = addr;
+            }
+            Pea(ref ea) => {
+                let addr = self.ea_addr(ea, Size::L);
+                self.push_l(addr)?;
+            }
+            Add(size, ref s, ref d) => {
+                let sv = self.read_src(s, size)?;
+                let p = self.resolve(d, size);
+                let dv = self.load(p, size)?;
+                if let Place::A(n) = p {
+                    // ADDA: full-width, no flags.
+                    self.cpu.a[n] = self.cpu.a[n].wrapping_add(size.sext(sv));
+                } else {
+                    let r = self.add_flags(size, dv, sv);
+                    self.store(p, size, r)?;
+                }
+            }
+            Sub(size, ref s, ref d) => {
+                let sv = self.read_src(s, size)?;
+                let p = self.resolve(d, size);
+                let dv = self.load(p, size)?;
+                if let Place::A(n) = p {
+                    self.cpu.a[n] = self.cpu.a[n].wrapping_sub(size.sext(sv));
+                } else {
+                    let r = self.sub_flags(size, dv, sv, true);
+                    self.store(p, size, r)?;
+                }
+            }
+            Cmp(size, ref s, ref d) => {
+                let sv = self.read_src(s, size)?;
+                let p = self.resolve(d, size);
+                let dv = self.load(p, size)?;
+                self.sub_flags(size, dv, sv, false);
+            }
+            Tst(size, ref ea) => {
+                let v = self.read_src(ea, size)?;
+                self.flags_move(size, v);
+            }
+            And(size, ref s, ref d) => {
+                let sv = self.read_src(s, size)?;
+                let p = self.resolve(d, size);
+                let dv = self.load(p, size)?;
+                let r = dv & sv;
+                self.store(p, size, r)?;
+                self.flags_logic(size, r);
+            }
+            Or(size, ref s, ref d) => {
+                let sv = self.read_src(s, size)?;
+                let p = self.resolve(d, size);
+                let dv = self.load(p, size)?;
+                let r = dv | sv;
+                self.store(p, size, r)?;
+                self.flags_logic(size, r);
+            }
+            Eor(size, ref s, ref d) => {
+                let sv = self.read_src(s, size)?;
+                let p = self.resolve(d, size);
+                let dv = self.load(p, size)?;
+                let r = dv ^ sv;
+                self.store(p, size, r)?;
+                self.flags_logic(size, r);
+            }
+            Not(size, ref ea) => {
+                let p = self.resolve(ea, size);
+                let v = self.load(p, size)?;
+                let r = !v & size.mask();
+                self.store(p, size, r)?;
+                self.flags_logic(size, r);
+            }
+            Neg(size, ref ea) => {
+                let p = self.resolve(ea, size);
+                let v = self.load(p, size)?;
+                let r = self.sub_flags(size, 0, v, true);
+                self.store(p, size, r)?;
+            }
+            MulU(ref s, n) => {
+                let sv = self.read_src(s, Size::W)?;
+                let r = (self.cpu.d[n as usize] & 0xFFFF).wrapping_mul(sv);
+                self.cpu.d[n as usize] = r;
+                self.cpu
+                    .set_nzvc(r & 0x8000_0000 != 0, r == 0, false, false);
+            }
+            DivU(ref s, n) => {
+                let sv = self.read_src(s, Size::W)?;
+                if sv == 0 {
+                    return Err(Exception::ZeroDivide.into());
+                }
+                let val = self.cpu.d[n as usize];
+                let q = val / sv;
+                let rem = val % sv;
+                if q > 0xFFFF {
+                    // Overflow: V set, register unchanged.
+                    self.cpu.set_nzvc(false, false, true, false);
+                } else {
+                    self.cpu.d[n as usize] = (rem << 16) | q;
+                    self.cpu.set_nzvc(q & 0x8000 != 0, q == 0, false, false);
+                }
+            }
+            Shift(kind, size, ref cnt, ref d) => {
+                let c = self.read_src(cnt, Size::L)? % 64;
+                let p = self.resolve(d, size);
+                let v = self.load(p, size)?;
+                let r = self.exec_shift(kind, size, v, c);
+                self.store(p, size, r)?;
+            }
+            Swap(n) => {
+                let v = self.cpu.d[n as usize];
+                let r = v.rotate_left(16);
+                self.cpu.d[n as usize] = r;
+                self.cpu
+                    .set_nzvc(r & 0x8000_0000 != 0, r == 0, false, false);
+            }
+            Ext(size, n) => {
+                let v = self.cpu.d[n as usize];
+                let r = match size {
+                    Size::W => (v & !0xFFFF) | (Size::B.sext(v) & 0xFFFF),
+                    Size::L => Size::W.sext(v),
+                    Size::B => v,
+                };
+                self.cpu.d[n as usize] = r;
+                let sb = size.sign_bit();
+                self.cpu
+                    .set_nzvc(r & sb != 0, r & size.mask() == 0, false, false);
+            }
+            Bcc(cond, t) => {
+                let taken = cond.eval(
+                    self.cpu.flag_n(),
+                    self.cpu.flag_z(),
+                    self.cpu.flag_v(),
+                    self.cpu.flag_c(),
+                );
+                if taken {
+                    self.branch_to(loc, t)?;
+                }
+            }
+            Dbf(n, t) => {
+                let w = self.cpu.d[n as usize] & 0xFFFF;
+                let nw = w.wrapping_sub(1) & 0xFFFF;
+                self.cpu.d[n as usize] = (self.cpu.d[n as usize] & !0xFFFF) | nw;
+                if nw != 0xFFFF {
+                    self.branch_to(loc, t)?;
+                }
+            }
+            Scc(cond, ref ea) => {
+                let hold = cond.eval(
+                    self.cpu.flag_n(),
+                    self.cpu.flag_z(),
+                    self.cpu.flag_v(),
+                    self.cpu.flag_c(),
+                );
+                let p = self.resolve(ea, Size::B);
+                self.store(p, Size::B, if hold { 0xFF } else { 0 })?;
+            }
+            Jmp(ref ea) => {
+                self.cpu.pc = self.control_target(ea);
+            }
+            Jsr(ref ea) => {
+                let target = self.control_target(ea);
+                let ret = self.cpu.pc;
+                self.push_l(ret)?;
+                self.cpu.pc = target;
+            }
+            Rts => {
+                self.cpu.pc = self.pop_l()?;
+            }
+            Rte => {
+                self.privileged()?;
+                let sp = self.cpu.a[7];
+                let sr = self.bus_read(sp, Size::W)?;
+                let pc = self.bus_read(sp.wrapping_add(2), Size::L)?;
+                self.cpu.a[7] = sp.wrapping_add(6);
+                self.meter.cycles += RTE_BASE + RTE_REFS * self.cost.bus_cycles();
+                self.cpu.write_sr(sr as u16);
+                self.cpu.pc = pc;
+            }
+            Trap(n) => {
+                return Err(Exception::Trap(n).into());
+            }
+            Cas {
+                size,
+                dc,
+                du,
+                ref ea,
+            } => {
+                let p = self.resolve(ea, size);
+                let mv = self.load(p, size)?;
+                let cv = self.cpu.d[dc as usize] & size.mask();
+                self.sub_flags(size, mv, cv, false);
+                if mv == cv {
+                    let uv = self.cpu.d[du as usize];
+                    self.store(p, size, uv)?;
+                } else {
+                    let old = self.cpu.d[dc as usize];
+                    self.cpu.d[dc as usize] = (old & !size.mask()) | mv;
+                }
+            }
+            Tas(ref ea) => {
+                let p = self.resolve(ea, Size::B);
+                let v = self.load(p, Size::B)?;
+                self.cpu.set_nzvc(v & 0x80 != 0, v == 0, false, false);
+                self.store(p, Size::B, v | 0x80)?;
+            }
+            Link(n, disp) => {
+                let an = self.cpu.a[n as usize];
+                self.push_l(an)?;
+                self.cpu.a[n as usize] = self.cpu.a[7];
+                self.cpu.a[7] = self.cpu.a[7].wrapping_add(disp as i32 as u32);
+            }
+            Unlk(n) => {
+                self.cpu.a[7] = self.cpu.a[n as usize];
+                let v = self.pop_l()?;
+                self.cpu.a[n as usize] = v;
+            }
+            MoveSr { to_sr, ref ea } => {
+                if to_sr {
+                    self.privileged()?;
+                    let v = self.read_src(ea, Size::W)?;
+                    self.cpu.write_sr(v as u16);
+                } else {
+                    let sr = u32::from(self.cpu.sr);
+                    let p = self.resolve(ea, Size::W);
+                    self.store(p, Size::W, sr)?;
+                }
+            }
+            MoveUsp { to_usp, areg } => {
+                self.privileged()?;
+                if to_usp {
+                    let v = self.cpu.a[areg as usize];
+                    self.cpu.set_usp(v);
+                } else {
+                    self.cpu.a[areg as usize] = self.cpu.usp();
+                }
+            }
+            MoveVbr { to_vbr, ref ea } => {
+                self.privileged()?;
+                if to_vbr {
+                    let v = self.read_src(ea, Size::L)?;
+                    self.cpu.vbr = v;
+                } else {
+                    let vbr = self.cpu.vbr;
+                    let p = self.resolve(ea, Size::L);
+                    self.store(p, Size::L, vbr)?;
+                }
+            }
+            Stop(sr) => {
+                self.privileged()?;
+                self.cpu.write_sr(sr);
+                self.cpu.stopped = true;
+            }
+            Nop => {}
+            FMove { to_mem, fp, ref ea } => {
+                self.check_fpu()?;
+                let addr = self.ea_addr(ea, Size::L);
+                if to_mem {
+                    let bits = self.cpu.fp[fp as usize].to_bits();
+                    self.bus_write(addr, Size::L, (bits >> 32) as u32)?;
+                    self.bus_write(addr.wrapping_add(4), Size::L, bits as u32)?;
+                } else {
+                    let hi = self.bus_read(addr, Size::L)?;
+                    let lo = self.bus_read(addr.wrapping_add(4), Size::L)?;
+                    self.cpu.fp[fp as usize] =
+                        f64::from_bits((u64::from(hi) << 32) | u64::from(lo));
+                }
+            }
+            FMovem {
+                to_mem,
+                regs,
+                ref ea,
+            } => {
+                self.check_fpu()?;
+                let mut addr = self.ea_addr(ea, Size::L);
+                for r in regs.iter() {
+                    if to_mem {
+                        let bits = self.cpu.fp[r as usize].to_bits();
+                        self.bus_write(addr, Size::L, (bits >> 32) as u32)?;
+                        self.bus_write(addr.wrapping_add(4), Size::L, bits as u32)?;
+                    } else {
+                        let hi = self.bus_read(addr, Size::L)?;
+                        let lo = self.bus_read(addr.wrapping_add(4), Size::L)?;
+                        self.cpu.fp[r as usize] =
+                            f64::from_bits((u64::from(hi) << 32) | u64::from(lo));
+                    }
+                    addr = addr.wrapping_add(8);
+                }
+            }
+            FAdd(m, n) => {
+                self.check_fpu()?;
+                self.cpu.fp[n as usize] += self.cpu.fp[m as usize];
+            }
+            FSub(m, n) => {
+                self.check_fpu()?;
+                self.cpu.fp[n as usize] -= self.cpu.fp[m as usize];
+            }
+            FMul(m, n) => {
+                self.check_fpu()?;
+                self.cpu.fp[n as usize] *= self.cpu.fp[m as usize];
+            }
+            Halt => return Ok(Some(RunExit::Halted)),
+            KCall(n) => return Ok(Some(RunExit::KCall(n))),
+        }
+        Ok(None)
+    }
+
+    fn check_fpu(&self) -> Result<(), Fault> {
+        if self.cpu.fpu_enabled {
+            Ok(())
+        } else {
+            Err(Exception::FpUnavailable.into())
+        }
+    }
+
+    fn exec_movem(
+        &mut self,
+        to_mem: bool,
+        regs: crate::isa::RegList,
+        ea: &Operand,
+    ) -> Result<(), Fault> {
+        match (*ea, to_mem) {
+            (Operand::PreDec(n), true) => {
+                // Store descending: highest register at the highest address.
+                let list: Vec<(bool, u8)> = regs.iter().collect();
+                let mut addr = self.cpu.a[n as usize];
+                for &(is_a, r) in list.iter().rev() {
+                    addr = addr.wrapping_sub(4);
+                    let v = if is_a {
+                        self.cpu.a[r as usize]
+                    } else {
+                        self.cpu.d[r as usize]
+                    };
+                    self.bus_write(addr, Size::L, v)?;
+                }
+                self.cpu.a[n as usize] = addr;
+            }
+            (Operand::PostInc(n), false) => {
+                let mut addr = self.cpu.a[n as usize];
+                for (is_a, r) in regs.iter() {
+                    let v = self.bus_read(addr, Size::L)?;
+                    if is_a {
+                        self.cpu.a[r as usize] = v;
+                    } else {
+                        self.cpu.d[r as usize] = v;
+                    }
+                    addr = addr.wrapping_add(4);
+                }
+                self.cpu.a[n as usize] = addr;
+            }
+            (Operand::PostInc(_) | Operand::PreDec(_), _) => {
+                // movem (an)+ store / -(an) load are not encodable.
+                return Err(Exception::IllegalInstruction.into());
+            }
+            _ => {
+                let mut addr = self.ea_addr(ea, Size::L);
+                for (is_a, r) in regs.iter() {
+                    if to_mem {
+                        let v = if is_a {
+                            self.cpu.a[r as usize]
+                        } else {
+                            self.cpu.d[r as usize]
+                        };
+                        self.bus_write(addr, Size::L, v)?;
+                    } else {
+                        let v = self.bus_read(addr, Size::L)?;
+                        if is_a {
+                            self.cpu.a[r as usize] = v;
+                        } else {
+                            self.cpu.d[r as usize] = v;
+                        }
+                    }
+                    addr = addr.wrapping_add(4);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn exec_shift(&mut self, kind: ShiftKind, size: Size, v: u32, c: u32) -> u32 {
+        let bits = size.bytes() * 8;
+        let v = v & size.mask();
+        if c == 0 {
+            // Count 0: N/Z from value, V=C=0, X unaffected.
+            self.cpu
+                .set_nzvc(v & size.sign_bit() != 0, v == 0, false, false);
+            return v;
+        }
+        let (r, carry) = match kind {
+            ShiftKind::Lsl => {
+                if c > bits {
+                    (0, false)
+                } else {
+                    let r = (u64::from(v) << c) as u32 & size.mask();
+                    let carry = c <= bits && (u64::from(v) >> (bits - c.min(bits))) & 1 != 0;
+                    (r, carry)
+                }
+            }
+            ShiftKind::Lsr => {
+                if c > bits {
+                    (0, false)
+                } else {
+                    let r = if c == bits { 0 } else { (v >> c) & size.mask() };
+                    let carry = (v >> (c - 1)) & 1 != 0;
+                    (r, carry)
+                }
+            }
+            ShiftKind::Asr => {
+                let sv = size.sext(v) as i32;
+                let sh = c.min(31);
+                let r = (sv >> sh) as u32 & size.mask();
+                let carry = if c > bits {
+                    sv < 0
+                } else {
+                    (sv >> (c - 1)) & 1 != 0
+                };
+                (r, carry)
+            }
+            ShiftKind::Rol => {
+                let c = c % bits;
+                let r = if c == 0 {
+                    v
+                } else {
+                    ((v << c) | (v >> (bits - c))) & size.mask()
+                };
+                (r, r & 1 != 0)
+            }
+            ShiftKind::Ror => {
+                let c = c % bits;
+                let r = if c == 0 {
+                    v
+                } else {
+                    ((v >> c) | (v << (bits - c))) & size.mask()
+                };
+                (r, r & size.sign_bit() != 0)
+            }
+        };
+        let n = r & size.sign_bit() != 0;
+        let z = r == 0;
+        match kind {
+            ShiftKind::Rol | ShiftKind::Ror => self.cpu.set_nzvc(n, z, false, carry),
+            _ => self.cpu.set_nzvc_x(n, z, false, carry),
+        }
+        r
+    }
+}

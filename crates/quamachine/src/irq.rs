@@ -1,0 +1,105 @@
+//! The interrupt controller: seven autovectored levels.
+
+/// Pending-interrupt state for the seven 68000 interrupt levels.
+///
+/// Devices assert a level; the CPU takes the highest pending level that
+/// exceeds its interrupt mask (level 7 is non-maskable). Levels are
+/// level-triggered here: a device keeps its level asserted until serviced,
+/// and the acceptance clears the pending bit (modelling the interrupt
+/// acknowledge cycle).
+#[derive(Debug, Default, Clone)]
+pub struct IrqController {
+    pending: u8, // bit i-1 = level i pending
+    /// Total interrupts accepted, per level (index 0 unused).
+    pub accepted: [u64; 8],
+}
+
+impl IrqController {
+    /// Create a controller with nothing pending.
+    #[must_use]
+    pub fn new() -> IrqController {
+        IrqController::default()
+    }
+
+    /// Assert an interrupt at `level` (1–7).
+    pub fn raise(&mut self, level: u8) {
+        debug_assert!((1..=7).contains(&level));
+        self.pending |= 1 << (level - 1);
+    }
+
+    /// Deassert an interrupt at `level` without servicing it.
+    pub fn clear(&mut self, level: u8) {
+        debug_assert!((1..=7).contains(&level));
+        self.pending &= !(1 << (level - 1));
+    }
+
+    /// Whether any level is pending.
+    #[must_use]
+    pub fn any_pending(&self) -> bool {
+        self.pending != 0
+    }
+
+    /// The highest pending level, if any.
+    #[must_use]
+    pub fn highest_pending(&self) -> Option<u8> {
+        if self.pending == 0 {
+            None
+        } else {
+            Some(8 - self.pending.leading_zeros() as u8)
+        }
+    }
+
+    /// The level the CPU should accept given its current mask, if any.
+    /// Level 7 is non-maskable (accepted even at mask 7).
+    #[must_use]
+    pub fn acceptable(&self, mask: u8) -> Option<u8> {
+        let h = self.highest_pending()?;
+        if h > mask || h == 7 {
+            Some(h)
+        } else {
+            None
+        }
+    }
+
+    /// Record acceptance of `level` and clear it.
+    pub fn accept(&mut self, level: u8) {
+        self.accepted[level as usize] += 1;
+        self.clear(level);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn highest_pending_wins() {
+        let mut c = IrqController::new();
+        assert_eq!(c.highest_pending(), None);
+        c.raise(2);
+        c.raise(5);
+        assert_eq!(c.highest_pending(), Some(5));
+        c.clear(5);
+        assert_eq!(c.highest_pending(), Some(2));
+    }
+
+    #[test]
+    fn masking() {
+        let mut c = IrqController::new();
+        c.raise(3);
+        assert_eq!(c.acceptable(3), None, "level must exceed the mask");
+        assert_eq!(c.acceptable(2), Some(3));
+        // Level 7 is non-maskable.
+        c.raise(7);
+        assert_eq!(c.acceptable(7), Some(7));
+    }
+
+    #[test]
+    fn accept_clears_and_counts() {
+        let mut c = IrqController::new();
+        c.raise(4);
+        c.accept(4);
+        assert!(!c.any_pending());
+        assert_eq!(c.accepted[4], 1);
+    }
+}

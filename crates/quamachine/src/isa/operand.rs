@@ -1,0 +1,157 @@
+//! Effective-address operands (68020 addressing-mode subset).
+
+/// Identifier of a *hole* inside a code template.
+///
+/// A hole is an operand whose value is unknown when the template is written
+/// and is filled in at synthesis time by Factoring Invariants. Executing an
+/// instruction that still contains a hole is a machine error: templates must
+/// be fully specialized before they run.
+pub type HoleId = u16;
+
+/// An index-register specification for the indexed addressing mode
+/// `d8(An, Rx.size*scale)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IndexSpec {
+    /// `true` if the index register is an address register.
+    pub addr: bool,
+    /// Register number 0–7.
+    pub reg: u8,
+    /// Scale factor: 1, 2, 4 or 8 (a 68020 feature).
+    pub scale: u8,
+}
+
+impl IndexSpec {
+    /// Index by data register `n` scaled by `scale`.
+    #[must_use]
+    pub fn d(reg: u8, scale: u8) -> IndexSpec {
+        debug_assert!(reg < 8 && matches!(scale, 1 | 2 | 4 | 8));
+        IndexSpec {
+            addr: false,
+            reg,
+            scale,
+        }
+    }
+
+    /// Index by address register `n` scaled by `scale`.
+    #[must_use]
+    pub fn a(reg: u8, scale: u8) -> IndexSpec {
+        debug_assert!(reg < 8 && matches!(scale, 1 | 2 | 4 | 8));
+        IndexSpec {
+            addr: true,
+            reg,
+            scale,
+        }
+    }
+}
+
+/// An operand (68020 effective address).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// Data register direct: `Dn`.
+    Dr(u8),
+    /// Address register direct: `An`.
+    Ar(u8),
+    /// Address register indirect: `(An)`.
+    Ind(u8),
+    /// Address register indirect with post-increment: `(An)+`.
+    PostInc(u8),
+    /// Address register indirect with pre-decrement: `-(An)`.
+    PreDec(u8),
+    /// Address register indirect with 16-bit displacement: `d16(An)`.
+    Disp(i16, u8),
+    /// Indexed: `d8(An, Rx*scale)`.
+    Idx(i8, u8, IndexSpec),
+    /// Absolute long address: `(addr).L`.
+    Abs(u32),
+    /// Immediate: `#value`.
+    Imm(u32),
+    /// A hole standing for an immediate value, to be filled by synthesis.
+    ImmHole(HoleId),
+    /// A hole standing for an absolute address, to be filled by synthesis.
+    AbsHole(HoleId),
+}
+
+impl Operand {
+    /// Whether this operand references memory when evaluated.
+    #[must_use]
+    pub fn is_memory(&self) -> bool {
+        matches!(
+            self,
+            Operand::Ind(_)
+                | Operand::PostInc(_)
+                | Operand::PreDec(_)
+                | Operand::Disp(_, _)
+                | Operand::Idx(_, _, _)
+                | Operand::Abs(_)
+                | Operand::AbsHole(_)
+        )
+    }
+
+    /// Whether this operand is a register (data or address) direct.
+    #[must_use]
+    pub fn is_register(&self) -> bool {
+        matches!(self, Operand::Dr(_) | Operand::Ar(_))
+    }
+
+    /// Whether this operand is an immediate (including immediate holes).
+    #[must_use]
+    pub fn is_immediate(&self) -> bool {
+        matches!(self, Operand::Imm(_) | Operand::ImmHole(_))
+    }
+
+    /// Whether this operand still contains an unfilled hole.
+    #[must_use]
+    pub fn has_hole(&self) -> bool {
+        matches!(self, Operand::ImmHole(_) | Operand::AbsHole(_))
+    }
+
+    /// Whether this operand can be written to (is a valid destination).
+    ///
+    /// An [`Operand::AbsHole`] is writable: it denotes a memory location
+    /// whose address will be filled in at synthesis time.
+    #[must_use]
+    pub fn is_writable(&self) -> bool {
+        !self.is_immediate()
+    }
+
+    /// The hole id, if this operand is a hole.
+    #[must_use]
+    pub fn hole(&self) -> Option<HoleId> {
+        match self {
+            Operand::ImmHole(h) | Operand::AbsHole(h) => Some(*h),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_classification() {
+        assert!(Operand::Ind(0).is_memory());
+        assert!(Operand::Abs(0x100).is_memory());
+        assert!(Operand::Idx(0, 1, IndexSpec::d(2, 4)).is_memory());
+        assert!(!Operand::Dr(0).is_memory());
+        assert!(!Operand::Imm(5).is_memory());
+    }
+
+    #[test]
+    fn hole_classification() {
+        assert!(Operand::ImmHole(0).has_hole());
+        assert!(Operand::AbsHole(1).has_hole());
+        assert!(!Operand::Imm(0).has_hole());
+        assert_eq!(Operand::ImmHole(3).hole(), Some(3));
+        assert_eq!(Operand::Dr(3).hole(), None);
+    }
+
+    #[test]
+    fn writability() {
+        assert!(Operand::Dr(0).is_writable());
+        assert!(Operand::Abs(0x10).is_writable());
+        assert!(!Operand::Imm(1).is_writable());
+        assert!(!Operand::ImmHole(0).is_writable());
+        assert!(Operand::AbsHole(0).is_writable());
+    }
+}

@@ -1,0 +1,303 @@
+//! The machine: CPU + memory + code + devices + measurement, and the
+//! fetch/execute loop's public interface.
+
+use std::collections::HashSet;
+
+use crate::code::{CodeBlock, CodeMem};
+use crate::cost::CostModel;
+use crate::cpu::Cpu;
+use crate::devices::{DevCtx, Device, DEV_BASE, DEV_WINDOW};
+use crate::error::{Exception, MachineError};
+use crate::event::EventQueue;
+use crate::irq::IrqController;
+use crate::mem::Memory;
+use crate::trace::Meter;
+
+/// Machine construction parameters.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Physical memory size in bytes (the real machine had 2.5 MB).
+    pub mem_size: u32,
+    /// The cycle-cost model (clock + wait states).
+    pub cost: CostModel,
+    /// Capacity of the execution-trace ring buffer.
+    pub trace_capacity: usize,
+}
+
+impl MachineConfig {
+    /// SUN 3/160 emulation mode: 16 MHz + 1 wait state, 2.5 MB.
+    #[must_use]
+    pub fn sun3_emulation() -> MachineConfig {
+        MachineConfig {
+            mem_size: 2_621_440,
+            cost: CostModel::sun3_emulation(),
+            trace_capacity: 4096,
+        }
+    }
+
+    /// Full-speed Quamachine: 50 MHz, no wait states, 2.5 MB.
+    #[must_use]
+    pub fn full_speed() -> MachineConfig {
+        MachineConfig {
+            mem_size: 2_621_440,
+            cost: CostModel::quamachine_full_speed(),
+            trace_capacity: 4096,
+        }
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig::sun3_emulation()
+    }
+}
+
+/// Why a run loop returned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunExit {
+    /// A `halt` pseudo-instruction executed (PC is past it).
+    Halted,
+    /// A `kcall #n` executed (PC is past it); the embedder services it,
+    /// charges cycles, and resumes.
+    KCall(u16),
+    /// The cycle budget given to [`Machine::run`] was exhausted.
+    CycleLimit,
+    /// Execution reached a breakpoint (PC is *at* the breakpoint).
+    Breakpoint(u32),
+    /// A fatal simulation error.
+    Error(MachineError),
+}
+
+/// The simulated machine.
+pub struct Machine {
+    /// CPU registers.
+    pub cpu: Cpu,
+    /// Physical memory.
+    pub mem: Memory,
+    /// Code memory (instruction blocks at addresses).
+    pub code: CodeMem,
+    /// Interrupt controller.
+    pub irq: IrqController,
+    /// Device event queue.
+    pub events: EventQueue,
+    /// Attached devices, indexed by attach order.
+    pub devices: Vec<Box<dyn Device>>,
+    /// Counters and trace.
+    pub meter: Meter,
+    /// The cost model.
+    pub cost: CostModel,
+    /// Breakpoint addresses (kernel-monitor debugging).
+    pub breakpoints: HashSet<u32>,
+}
+
+impl Machine {
+    /// Build a machine from a configuration.
+    #[must_use]
+    pub fn new(config: MachineConfig) -> Machine {
+        Machine {
+            cpu: Cpu::new(),
+            mem: Memory::new(config.mem_size),
+            code: CodeMem::new(),
+            irq: IrqController::new(),
+            events: EventQueue::new(),
+            devices: Vec::new(),
+            meter: Meter::new(config.trace_capacity),
+            cost: config.cost,
+            breakpoints: HashSet::new(),
+        }
+    }
+
+    /// Attach a device; returns its index (which determines its register
+    /// window at [`DEV_BASE`]` + 256 × index`).
+    pub fn attach_device(&mut self, mut dev: Box<dyn Device>) -> usize {
+        let index = self.devices.len();
+        {
+            let mut ctx = DevCtx {
+                irq: &mut self.irq,
+                events: &mut self.events,
+                mem: &mut self.mem,
+                now: self.meter.cycles,
+                dev_index: index,
+                clock_hz: self.cost.clock_hz,
+            };
+            dev.attach(&mut ctx);
+        }
+        self.devices.push(dev);
+        index
+    }
+
+    /// Get device-specific state by downcasting (embedder-side access).
+    pub fn device_mut<T: 'static>(&mut self, index: usize) -> Option<&mut T> {
+        self.devices.get_mut(index)?.as_any().downcast_mut::<T>()
+    }
+
+    /// Run a closure against a device *with* machine context, so host code
+    /// can inject input, raise interrupts, and schedule device events
+    /// (e.g. start a typing script on the tty).
+    pub fn with_dev_ctx<T: 'static, R>(
+        &mut self,
+        index: usize,
+        f: impl FnOnce(&mut T, &mut DevCtx) -> R,
+    ) -> Option<R> {
+        let Machine {
+            devices,
+            mem,
+            irq,
+            events,
+            meter,
+            cost,
+            ..
+        } = self;
+        let dev = devices.get_mut(index)?.as_any().downcast_mut::<T>()?;
+        let mut ctx = DevCtx {
+            irq,
+            events,
+            mem,
+            now: meter.cycles,
+            dev_index: index,
+            clock_hz: cost.clock_hz,
+        };
+        Some(f(dev, &mut ctx))
+    }
+
+    /// Load a code block at `base`; returns the entry address.
+    ///
+    /// # Errors
+    ///
+    /// Fails on overlap with an existing block.
+    pub fn load_block(&mut self, base: u32, block: CodeBlock) -> Result<u32, MachineError> {
+        self.code.load(base, block)
+    }
+
+    /// Charge extra cycles (used by `kcall` handlers to bill modelled
+    /// work).
+    pub fn charge(&mut self, cycles: u64) {
+        self.meter.cycles += cycles;
+    }
+
+    /// Current virtual time in microseconds (the interval timer).
+    #[must_use]
+    pub fn now_us(&self) -> f64 {
+        self.cost.cycles_to_us(self.meter.cycles)
+    }
+
+    /// Route a data read, to memory or a device window.
+    pub(crate) fn bus_read(&mut self, addr: u32, size: crate::isa::Size) -> Result<u32, Exception> {
+        if addr >= DEV_BASE {
+            if !self.cpu.supervisor() {
+                return Err(Exception::BusError);
+            }
+            let dev = ((addr - DEV_BASE) / DEV_WINDOW) as usize;
+            let off = (addr - DEV_BASE) % DEV_WINDOW;
+            if dev >= self.devices.len() {
+                return Err(Exception::BusError);
+            }
+            self.mem.ref_count += 1;
+            let Machine {
+                devices,
+                mem,
+                irq,
+                events,
+                meter,
+                cost,
+                ..
+            } = self;
+            let mut ctx = DevCtx {
+                irq,
+                events,
+                mem,
+                now: meter.cycles,
+                dev_index: dev,
+                clock_hz: cost.clock_hz,
+            };
+            Ok(devices[dev].read_reg(off, &mut ctx))
+        } else {
+            self.mem.read(addr, size, self.cpu.supervisor())
+        }
+    }
+
+    /// Route a data write, to memory or a device window.
+    pub(crate) fn bus_write(
+        &mut self,
+        addr: u32,
+        size: crate::isa::Size,
+        val: u32,
+    ) -> Result<(), Exception> {
+        if addr >= DEV_BASE {
+            if !self.cpu.supervisor() {
+                return Err(Exception::BusError);
+            }
+            let dev = ((addr - DEV_BASE) / DEV_WINDOW) as usize;
+            let off = (addr - DEV_BASE) % DEV_WINDOW;
+            if dev >= self.devices.len() {
+                return Err(Exception::BusError);
+            }
+            self.mem.ref_count += 1;
+            let Machine {
+                devices,
+                mem,
+                irq,
+                events,
+                meter,
+                cost,
+                ..
+            } = self;
+            let mut ctx = DevCtx {
+                irq,
+                events,
+                mem,
+                now: meter.cycles,
+                dev_index: dev,
+                clock_hz: cost.clock_hz,
+            };
+            devices[dev].write_reg(off, val, &mut ctx);
+            Ok(())
+        } else {
+            self.mem.write(addr, size, val, self.cpu.supervisor())
+        }
+    }
+
+    /// Host-side device register write: bypasses the privilege check and
+    /// charges no guest cycles (for kernel embedders orchestrating
+    /// devices from outside the simulation).
+    pub fn host_reg_write(&mut self, addr: u32, val: u32) {
+        let was = self.cpu.sr;
+        self.cpu.sr |= crate::cpu::sr_bits::S;
+        let r = self.bus_write(addr, crate::isa::Size::L, val);
+        self.cpu.sr = was;
+        debug_assert!(r.is_ok(), "host device write to {addr:#x} failed");
+    }
+
+    /// Host-side device register read (see [`Machine::host_reg_write`]).
+    pub fn host_reg_read(&mut self, addr: u32) -> u32 {
+        let was = self.cpu.sr;
+        self.cpu.sr |= crate::cpu::sr_bits::S;
+        let r = self.bus_read(addr, crate::isa::Size::L);
+        self.cpu.sr = was;
+        r.unwrap_or(0)
+    }
+
+    /// Deliver all device events due at the current cycle.
+    pub fn process_events(&mut self) {
+        while let Some(ev) = self.events.pop_due(self.meter.cycles) {
+            let Machine {
+                devices,
+                mem,
+                irq,
+                events,
+                meter,
+                cost,
+                ..
+            } = self;
+            let mut ctx = DevCtx {
+                irq,
+                events,
+                mem,
+                now: meter.cycles,
+                dev_index: ev.dev,
+                clock_hz: cost.clock_hz,
+            };
+            devices[ev.dev].tick(ev.what, &mut ctx);
+        }
+    }
+}

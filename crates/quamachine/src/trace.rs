@@ -1,0 +1,172 @@
+//! Measurement facilities: counters and the execution trace.
+//!
+//! The Quamachine "is designed and instrumented to aid systems research.
+//! Measurement facilities include an instruction counter, a memory
+//! reference counter, hardware program tracing, and a microsecond-
+//! resolution interval timer" (paper Section 6.1). The paper's Tables 2–5
+//! were computed from these (Section 6.3).
+
+use crate::isa::Instr;
+
+/// One trace record: an executed instruction.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceRecord {
+    /// Program counter of the instruction.
+    pub pc: u32,
+    /// The instruction executed.
+    pub instr: Instr,
+    /// Cycle count *before* executing it.
+    pub cycle: u64,
+}
+
+/// The machine's counters and optional program trace.
+#[derive(Debug)]
+pub struct Meter {
+    /// Instructions executed.
+    pub instr_count: u64,
+    /// CPU cycles elapsed (virtual time).
+    pub cycles: u64,
+    /// Exceptions taken (traps, interrupts, faults).
+    pub exception_count: u64,
+    /// Ring buffer of recent instructions, when tracing is on.
+    ring: Vec<TraceRecord>,
+    cap: usize,
+    head: usize,
+    /// Whether tracing is enabled.
+    pub tracing: bool,
+}
+
+impl Meter {
+    /// Create a meter with a trace capacity of `cap` records (tracing
+    /// starts disabled).
+    #[must_use]
+    pub fn new(cap: usize) -> Meter {
+        Meter {
+            instr_count: 0,
+            cycles: 0,
+            exception_count: 0,
+            ring: Vec::with_capacity(cap),
+            cap,
+            head: 0,
+            tracing: false,
+        }
+    }
+
+    /// Record an executed instruction in the trace ring.
+    pub fn record(&mut self, rec: TraceRecord) {
+        if !self.tracing || self.cap == 0 {
+            return;
+        }
+        if self.ring.len() < self.cap {
+            self.ring.push(rec);
+        } else {
+            self.ring[self.head] = rec;
+            self.head = (self.head + 1) % self.cap;
+        }
+    }
+
+    /// The trace contents, oldest first.
+    #[must_use]
+    pub fn trace(&self) -> Vec<TraceRecord> {
+        let mut v = Vec::with_capacity(self.ring.len());
+        v.extend_from_slice(&self.ring[self.head..]);
+        v.extend_from_slice(&self.ring[..self.head]);
+        v
+    }
+
+    /// Clear the trace ring.
+    pub fn clear_trace(&mut self) {
+        self.ring.clear();
+        self.head = 0;
+    }
+
+    /// Take a snapshot of the counters, for interval measurements.
+    #[must_use]
+    pub fn snapshot(&self) -> MeterSnapshot {
+        MeterSnapshot {
+            instr_count: self.instr_count,
+            cycles: self.cycles,
+            exception_count: self.exception_count,
+        }
+    }
+}
+
+/// A point-in-time copy of the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeterSnapshot {
+    /// Instructions executed at snapshot time.
+    pub instr_count: u64,
+    /// Cycles elapsed at snapshot time.
+    pub cycles: u64,
+    /// Exceptions taken at snapshot time.
+    pub exception_count: u64,
+}
+
+impl MeterSnapshot {
+    /// The interval between this snapshot and a later one.
+    #[must_use]
+    pub fn delta(&self, later: &MeterSnapshot) -> MeterSnapshot {
+        MeterSnapshot {
+            instr_count: later.instr_count - self.instr_count,
+            cycles: later.cycles - self.cycles,
+            exception_count: later.exception_count - self.exception_count,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(pc: u32) -> TraceRecord {
+        TraceRecord {
+            pc,
+            instr: Instr::Nop,
+            cycle: 0,
+        }
+    }
+
+    #[test]
+    fn trace_disabled_records_nothing() {
+        let mut m = Meter::new(4);
+        m.record(rec(1));
+        assert!(m.trace().is_empty());
+    }
+
+    #[test]
+    fn ring_wraps_keeping_most_recent() {
+        let mut m = Meter::new(3);
+        m.tracing = true;
+        for pc in 1..=5 {
+            m.record(rec(pc));
+        }
+        let pcs: Vec<u32> = m.trace().iter().map(|r| r.pc).collect();
+        assert_eq!(pcs, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let mut m = Meter::new(0);
+        m.instr_count = 10;
+        m.cycles = 100;
+        let s1 = m.snapshot();
+        m.instr_count = 15;
+        m.cycles = 180;
+        m.exception_count = 2;
+        let d = s1.delta(&m.snapshot());
+        assert_eq!(d.instr_count, 5);
+        assert_eq!(d.cycles, 80);
+        assert_eq!(d.exception_count, 2);
+    }
+
+    #[test]
+    fn clear_trace_resets() {
+        let mut m = Meter::new(2);
+        m.tracing = true;
+        m.record(rec(1));
+        m.clear_trace();
+        assert!(m.trace().is_empty());
+        m.record(rec(2));
+        assert_eq!(m.trace().len(), 1);
+    }
+}

@@ -1,0 +1,241 @@
+//! The UNIX emulator over the Synthesis kernel.
+//!
+//! "In the simplest case, the emulator translates the UNIX kernel call
+//! into an equivalent Synthesis kernel call. Otherwise, multiple Synthesis
+//! primitives are combined to emulate a UNIX call" (Section 6.1). "The
+//! UNIX emulator used for performance measurement is implemented with
+//! traps" (Section 4.3).
+//!
+//! The per-thread dispatcher is synthesized: the hot `read`/`write` calls
+//! cost three extra instructions — a compare, two register moves, and a
+//! jump straight into the thread's synthesized fd dispatch. That is
+//! Table 2's "emulation trap overhead: 2 µs". Everything else drops into
+//! the host through a `kcall` and maps onto the same kernel services the
+//! native interface uses.
+
+use std::collections::HashMap;
+
+use quamachine::asm::Asm;
+use quamachine::isa::{Cond, Operand::*, Size::*};
+use quamachine::machine::RunExit;
+use synthesis_codegen::creator::Synthesized;
+use synthesis_codegen::template::{Bindings, Template};
+use synthesis_core::kernel::{Kernel, KernelError};
+use synthesis_core::syscall::errno;
+use synthesis_core::thread::Tid;
+
+use crate::abi;
+
+/// The synthesized UNIX dispatcher template.
+///
+/// Holes: `dispatch_read`, `dispatch_write` — the thread's trap-1/2
+/// handlers. Argument shuffle: UNIX passes `(d1=fd, a0=buf, d2=count)`;
+/// Synthesis wants `(d0=fd, a0=buf, d1=count)`.
+#[must_use]
+pub fn unix_dispatch_template() -> Template {
+    let mut a = Asm::new("unix_dispatch");
+    let dr = a.abs_hole("dispatch_read");
+    let dw = a.abs_hole("dispatch_write");
+    let not_read = a.label();
+    let not_write = a.label();
+    a.cmp(L, Imm(abi::SYS_READ), Dr(0));
+    a.bcc(Cond::Ne, not_read);
+    a.move_(L, Dr(1), Dr(0));
+    a.move_(L, Dr(2), Dr(1));
+    a.jmp(dr);
+    a.bind(not_read);
+    a.cmp(L, Imm(abi::SYS_WRITE), Dr(0));
+    a.bcc(Cond::Ne, not_write);
+    a.move_(L, Dr(1), Dr(0));
+    a.move_(L, Dr(2), Dr(1));
+    a.jmp(dw);
+    a.bind(not_write);
+    a.kcall(abi::KCALL_UNIX);
+    a.rte();
+    Template::from_asm(a).expect("assembles")
+}
+
+/// The UNIX emulator: wraps a booted Synthesis kernel.
+pub struct UnixEmulator {
+    /// The underlying Synthesis kernel.
+    pub k: Kernel,
+    dispatchers: HashMap<Tid, Synthesized>,
+}
+
+impl UnixEmulator {
+    /// Wrap a kernel (installs the dispatcher template).
+    #[must_use]
+    pub fn new(k: Kernel) -> UnixEmulator {
+        let mut e = UnixEmulator {
+            k,
+            dispatchers: HashMap::new(),
+        };
+        e.k.creator.lib.add(unix_dispatch_template());
+        e
+    }
+
+    /// Install the UNIX personality on a thread: synthesize its
+    /// dispatcher and point `trap #3` at it.
+    ///
+    /// # Errors
+    ///
+    /// Fails on synthesis or unknown-thread errors.
+    pub fn install(&mut self, tid: Tid) -> Result<(), KernelError> {
+        let t = self.k.threads.get(&tid).ok_or(KernelError::NoThread(tid))?;
+        // The thread's trap-1/2 dispatchers are its first two aux blocks
+        // (a documented contract of Kernel::create_thread_inner; see the
+        // CONTRACT comment at the Thread construction site).
+        let dr = t.aux_code[0].base;
+        let dw = t.aux_code[1].base;
+        let code = self.k.creator.synthesize(
+            &mut self.k.m,
+            "unix_dispatch",
+            Bindings::new()
+                .bind("dispatch_read", dr)
+                .bind("dispatch_write", dw),
+            self.k.opts,
+        )?;
+        self.k
+            .set_vector(tid, 32 + u32::from(abi::UNIX_TRAP), code.base)?;
+        self.dispatchers.insert(tid, code);
+        Ok(())
+    }
+
+    /// Run the emulated system, servicing the emulator's kernel calls.
+    pub fn run(&mut self, max_cycles: u64) -> RunExit {
+        let deadline = self.k.m.meter.cycles.saturating_add(max_cycles);
+        loop {
+            let now = self.k.m.meter.cycles;
+            if now >= deadline {
+                return RunExit::CycleLimit;
+            }
+            match self.k.run(deadline - now) {
+                RunExit::KCall(sel) if sel == abi::KCALL_UNIX => self.unix_call(),
+                other => return other,
+            }
+        }
+    }
+
+    /// Run until thread `tid` exits; returns whether it did.
+    pub fn run_until_exit(&mut self, tid: Tid, max_cycles: u64) -> bool {
+        let deadline = self.k.m.meter.cycles.saturating_add(max_cycles);
+        let prev_watch = self.k.watch_exit.replace(tid);
+        while !self.k.exited.contains(&tid) && self.k.m.meter.cycles < deadline {
+            match self.run(deadline - self.k.m.meter.cycles) {
+                RunExit::KCall(_) | RunExit::CycleLimit => break,
+                RunExit::Halted => break,
+                RunExit::Breakpoint(_) => {} // watched exit or debugger stop
+                RunExit::Error(e) => panic!("machine error under emulation: {e}"),
+            }
+        }
+        self.k.watch_exit = prev_watch;
+        self.k.exited.contains(&tid)
+    }
+
+    /// Service one non-hot UNIX call (the `kcall` slow path).
+    fn unix_call(&mut self) {
+        let sysno = self.k.m.cpu.d[0];
+        let d1 = self.k.m.cpu.d[1];
+        let a0 = self.k.m.cpu.a[0];
+        let result: i64 = match sysno {
+            abi::SYS_EXIT => {
+                if let Some(tid) = self.k.current_tid() {
+                    let _ = self.k.destroy(tid);
+                }
+                0
+            }
+            abi::SYS_OPEN => {
+                let path = read_string(&self.k, a0);
+                match self.k.open(&path) {
+                    Ok(fd) => i64::from(fd),
+                    Err(e) => -i64::from(e),
+                }
+            }
+            abi::SYS_CREAT => {
+                let path = read_string(&self.k, a0);
+                if self.k.fs.lookup(&path).0.is_none() {
+                    let _ = self
+                        .k
+                        .fs
+                        .create(&mut self.k.m, &mut self.k.heap, &path, 65536);
+                }
+                match self.k.open(&path) {
+                    Ok(fd) => i64::from(fd),
+                    Err(e) => -i64::from(e),
+                }
+            }
+            abi::SYS_CLOSE => match self.k.close(d1) {
+                Ok(()) => 0,
+                Err(e) => -i64::from(e),
+            },
+            abi::SYS_LSEEK => {
+                // Whence is always 0 (absolute) in the benchmarks.
+                let off = self.k.m.cpu.d[2];
+                self.k_seek(d1, off)
+            }
+            abi::SYS_GETPID => i64::from(self.k.current_tid().unwrap_or(0)),
+            abi::SYS_PIPE => match self.k.pipe() {
+                Ok((rfd, wfd)) => i64::from((rfd << 8) | wfd),
+                Err(e) => -i64::from(e),
+            },
+            _ => -i64::from(errno::EINVAL),
+        };
+        self.k.m.cpu.d[0] = result as u32;
+    }
+
+    fn k_seek(&mut self, fd: u32, pos: u32) -> i64 {
+        use synthesis_core::thread::FdObject;
+        let Some(tid) = self.k.current_tid() else {
+            return -i64::from(errno::EBADF);
+        };
+        let t = &self.k.threads[&tid];
+        match t.fds.get(fd as usize) {
+            Some(FdObject::File { offset_slot, .. }) => {
+                let slot = *offset_slot;
+                self.k.m.mem.poke(slot, quamachine::isa::Size::L, pos);
+                i64::from(pos)
+            }
+            _ => -i64::from(errno::EBADF),
+        }
+    }
+}
+
+fn read_string(k: &Kernel, addr: u32) -> String {
+    let mut s = Vec::new();
+    for i in 0..256 {
+        let b = k.m.mem.peek(addr + i, quamachine::isa::Size::B) as u8;
+        if b == 0 {
+            break;
+        }
+        s.push(b);
+    }
+    String::from_utf8_lossy(&s).into_owned()
+}
+
+/// Convenience: boot a Synthesis kernel, load a UNIX program, install the
+/// emulator, and return everything ready to run.
+///
+/// # Errors
+///
+/// Propagates kernel errors.
+pub fn boot_with_program(
+    cfg: synthesis_core::kernel::KernelConfig,
+    program: Asm,
+) -> Result<(UnixEmulator, Tid), KernelError> {
+    use crate::programs::{addrs, path_blob};
+    let k = Kernel::boot(cfg)?;
+    let mut emu = UnixEmulator::new(k);
+    let entry = emu
+        .k
+        .load_user_program(program.assemble().expect("program assembles"))?;
+    emu.k.m.mem.poke_bytes(addrs::PATHS, &path_blob());
+    let map = quamachine::mem::AddressMap::single(
+        1,
+        synthesis_core::layout::USER_BASE,
+        synthesis_core::layout::USER_LEN,
+    );
+    let tid = emu.k.create_thread(entry, addrs::USTACK, map)?;
+    emu.install(tid)?;
+    emu.k.start(tid)?;
+    Ok((emu, tid))
+}

@@ -1,0 +1,31 @@
+//! # synthesis-unix — the UNIX emulator and the SUNOS-like baseline
+//!
+//! The paper's headline comparison (Table 1) runs *the same object code*
+//! on a real SUN 3/160 under SUNOS 3.5 and on the Quamachine under a UNIX
+//! emulator over Synthesis: "With both hardware and software emulation, we
+//! run the same object code on equivalent hardware to achieve a fair
+//! comparison" (Section 6.1).
+//!
+//! This crate reproduces both sides over the same simulated machine:
+//!
+//! - [`abi`] — the UNIX system-call ABI the benchmark binaries use
+//!   (`trap #3`, SUNOS-style call numbers);
+//! - [`programs`] — the seven Appendix-A benchmark programs, built once
+//!   and run unmodified on both kernels;
+//! - [`emu`] — the UNIX emulator over the Synthesis kernel: a synthesized
+//!   per-thread dispatcher translates `read`/`write` straight into the
+//!   thread's synthesized fd dispatch (the ~2 µs "emulation trap
+//!   overhead" of Table 2) and routes the rest through the kernel;
+//! - [`sunos`] — the baseline: a deliberately *traditional* kernel on the
+//!   same machine and cost model — full register save on every syscall,
+//!   indirection through file and vnode tables, lock-protected pipes with
+//!   byte-at-a-time copy loops, a buffer-cache hash walk on every file
+//!   read, and `namei` directory scans on every open. Nothing here is
+//!   synthesized; that is the point.
+
+#![warn(missing_docs)]
+
+pub mod abi;
+pub mod emu;
+pub mod programs;
+pub mod sunos;

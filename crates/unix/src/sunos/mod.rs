@@ -1,0 +1,88 @@
+//! The SUNOS-like baseline kernel.
+//!
+//! Table 1 compares Synthesis against SUNOS 3.5 running the same
+//! binaries. We cannot run SUNOS, so this module implements the
+//! *structure* the paper attributes its cost to, on the same machine and
+//! cycle model, with nothing specialized:
+//!
+//! - every system call saves **all** the registers and builds a C-style
+//!   stack frame ("they always do the work of a complete switch",
+//!   Section 4.2);
+//! - `read`/`write` pass through fd-table indirection, access checks, a
+//!   uio-style transfer descriptor, and a vnode-style operations table
+//!   fetched from memory and called through a register;
+//! - pipes take a test-and-set lock, move **one byte at a time** with the
+//!   counters re-loaded and re-stored around every byte, and scan the
+//!   process table for sleepers afterwards;
+//! - file I/O walks a buffer-cache hash chain per 512-byte block and
+//!   copies byte-wise;
+//! - `open` runs `namei`: the path is parsed component by component, each
+//!   component compared (forwards, character by character) against every
+//!   directory entry in turn, then the file table and fd table are
+//!   scanned linearly for free slots.
+//!
+//! All of that is simulated 68020 code executed under the same cost model
+//! as the Synthesis kernel; the host only lays out tables and loads
+//! blocks. The ratios of Table 1 emerge from these structural
+//! differences, not from a fudge factor.
+
+mod build;
+
+pub use build::Sunos;
+
+/// Kernel-internal file types (file-table `type` field).
+pub mod ftype {
+    /// Free slot.
+    pub const FREE: u32 = 0;
+    /// `/dev/null`.
+    pub const NULL: u32 = 1;
+    /// The tty.
+    pub const TTY: u32 = 2;
+    /// A regular file.
+    pub const FILE: u32 = 3;
+    /// Pipe read end.
+    pub const PIPE_R: u32 = 4;
+    /// Pipe write end.
+    pub const PIPE_W: u32 = 5;
+}
+
+/// The baseline kernel's memory layout.
+pub mod layout {
+    /// Vector table.
+    pub const VEC: u32 = 0x0000;
+    /// System-call jump table (64 longs).
+    pub const JTAB: u32 = 0x1000;
+    /// The (single) process's fd table: 16 longs holding file-entry
+    /// addresses.
+    pub const FDTAB: u32 = 0x1100;
+    /// The file table: 32 entries × 32 bytes.
+    pub const FTAB: u32 = 0x1200;
+    /// Bytes per file-table entry.
+    pub const FTAB_ENT: u32 = 32;
+    /// Number of file-table entries.
+    pub const FTAB_N: u32 = 32;
+    /// Pipe descriptors: 4 × 32 bytes.
+    pub const PIPES: u32 = 0x1A00;
+    /// The process table scanned by wakeup: 32 × 32 bytes.
+    pub const PROC: u32 = 0x1B00;
+    /// Number of proc entries.
+    pub const PROC_N: u32 = 32;
+    /// namei's component buffer.
+    pub const NAMEBUF: u32 = 0x2300;
+    /// Buffer-cache hash heads: 64 longs.
+    pub const HASHTAB: u32 = 0x2400;
+    /// Buffer-cache entries: `[blkno, inode, data, next]` × 128.
+    pub const CACHE: u32 = 0x2500;
+    /// Directory/inode area.
+    pub const DIRS: u32 = 0x3000;
+    /// Pipe data buffers: 4 × 8192.
+    pub const PIPEBUF: u32 = 0x8000;
+    /// Pipe buffer size.
+    pub const PIPE_SIZE: u32 = 8192;
+    /// File data area (the cached benchmark file).
+    pub const FILEDATA: u32 = 0x1_0000;
+    /// Kernel stack top.
+    pub const KSTACK_TOP: u32 = 0x2_8000;
+    /// Kernel code area.
+    pub const CODE: u32 = 0x3_0000;
+}

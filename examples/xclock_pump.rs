@@ -1,0 +1,67 @@
+//! The paper's xclock (Section 5.2): "the clock producer ready to provide
+//! a reading at any time and a display consumer that accepts new pixels"
+//! — a passive producer and a passive consumer, animated by a pump.
+//!
+//! The clock is the simulated machine's microsecond timer; the display is
+//! the simulated 2K×2K framebuffer; the pump (chosen automatically by the
+//! quaject interfacer's combination rules) reads the time and paints a
+//! one-pixel-per-second tick column.
+//!
+//! ```text
+//! cargo run --example xclock_pump
+//! ```
+
+use synthesis::codegen::interfacer::{choose_connector, Connector, Party};
+use synthesis::kernel::kernel::{Kernel, KernelConfig};
+use synthesis::machine::devices::fb::FrameBuffer;
+use synthesis::machine::devices::{dev_reg_addr, fb, timer};
+
+fn main() {
+    // The combination stage picks the pump for passive-passive pairs.
+    let connector = choose_connector(Party::passive_single(), Party::passive_single());
+    assert_eq!(connector, Connector::Pump);
+    println!("combination stage chose: {connector:?} (passive clock -> passive display)");
+
+    let mut k = Kernel::boot(KernelConfig::default()).expect("boots");
+    let now_reg = dev_reg_addr(k.dev.timer, timer::REG_NOW_US);
+    let fb_x = dev_reg_addr(k.dev.fb, fb::REG_X);
+    let fb_y = dev_reg_addr(k.dev.fb, fb::REG_Y);
+    let fb_px = dev_reg_addr(k.dev.fb, fb::REG_PIXEL);
+
+    // The pump: once per simulated "frame", read the clock (passive
+    // producer) and write pixels (passive consumer). Host-driven here —
+    // the in-kernel equivalent is a kernel thread created for the pump
+    // quaject.
+    let mut painted = 0u32;
+    for frame in 0..60 {
+        // Let simulated time pass between frames.
+        k.run(1_000_000); // ~62 simulated ms per slice at 16 MHz
+        let t_us = k.m.host_reg_read(now_reg);
+        let seconds = t_us / 62_500; // scaled "seconds" for the demo
+                                     // Paint the tick column for this reading.
+        k.m.host_reg_write(fb_x, frame % 2048);
+        k.m.host_reg_write(fb_y, seconds % 2048);
+        k.m.host_reg_write(fb_px, 0xFF);
+        painted += 1;
+    }
+
+    let fbdev: &mut FrameBuffer = k.m.device_mut(k.dev.fb).unwrap();
+    println!(
+        "painted {painted} ticks; framebuffer has {} writes",
+        fbdev.writes
+    );
+    // Render the painted region as ASCII (tiny corner of the 2K×2K).
+    println!("clock face (x = frame, y = scaled seconds):");
+    for y in 0..16 {
+        let mut row = String::new();
+        for x in 0..60 {
+            row.push(if fbdev.pixel(x, y) != 0 { '#' } else { '.' });
+        }
+        println!("  {row}");
+    }
+    assert!(fbdev.writes >= 60);
+    println!(
+        "\nvirtual time elapsed: {:.1} simulated ms",
+        k.m.now_us() / 1000.0
+    );
+}

@@ -1,0 +1,175 @@
+//! Workspace-level integration: the whole stack through the facade crate
+//! — machine, synthesizer, kernel, emulator, and baseline together.
+
+use synthesis::kernel::kernel::{Kernel, KernelConfig};
+use synthesis::kernel::layout;
+use synthesis::kernel::syscall::{general, traps};
+use synthesis::machine::asm::Asm;
+use synthesis::machine::isa::{Cond, Operand::*, Size::*};
+use synthesis::machine::machine::RunExit;
+use synthesis::machine::mem::AddressMap;
+use synthesis::unix::programs::{addrs, path_blob};
+
+const USTACK: u32 = layout::USER_BASE + 0x1_0000;
+const UBUF: u32 = layout::USER_BASE + 0x2_0000;
+const UPATH: u32 = layout::USER_BASE + 0x2_8000;
+
+fn user_map() -> AddressMap {
+    AddressMap::single(1, layout::USER_BASE, layout::USER_LEN)
+}
+
+/// Boot → create file → open → write → seek → read → console print →
+/// exit, all through synthesized code, in one pass.
+#[test]
+fn full_stack_file_roundtrip() {
+    let mut k = Kernel::boot(KernelConfig::default()).unwrap();
+    k.fs.create(&mut k.m, &mut k.heap, "/notes", 4096).unwrap();
+
+    let mut a = Asm::new("roundtrip");
+    // open("/notes") -> d5
+    a.move_i(L, general::OPEN, Dr(0));
+    a.lea(Abs(UPATH), 0);
+    a.trap(traps::GENERAL);
+    a.move_(L, Dr(0), Dr(5));
+    // write 8 bytes
+    a.move_(L, Dr(5), Dr(0));
+    a.lea(Abs(UBUF), 0);
+    a.move_i(L, 8, Dr(1));
+    a.trap(traps::WRITE);
+    // seek 0; read back into UBUF+0x100
+    a.move_i(L, general::SEEK, Dr(0));
+    a.move_(L, Dr(5), Dr(1));
+    a.move_i(L, 0, Dr(2));
+    a.trap(traps::GENERAL);
+    a.move_(L, Dr(5), Dr(0));
+    a.lea(Abs(UBUF + 0x100), 0);
+    a.move_i(L, 8, Dr(1));
+    a.trap(traps::READ);
+    // close; exit
+    a.move_i(L, general::CLOSE, Dr(0));
+    a.move_(L, Dr(5), Dr(1));
+    a.trap(traps::GENERAL);
+    a.move_i(L, general::EXIT, Dr(0));
+    a.trap(traps::GENERAL);
+    let dead = a.here();
+    a.bcc(Cond::T, dead);
+
+    let entry = k.load_user_program(a.assemble().unwrap()).unwrap();
+    k.m.mem.poke_bytes(UPATH, b"/notes\0");
+    k.m.mem.poke_bytes(UBUF, b"quaject!");
+    let tid = k.create_thread(entry, USTACK, user_map()).unwrap();
+    k.start(tid).unwrap();
+    assert!(k.run_until_exit(tid, 2_000_000_000));
+    assert_eq!(k.m.mem.peek_bytes(UBUF + 0x100, 8), b"quaject!");
+    // And the file's contents are visible host-side.
+    let (fid, _) = k.fs.lookup("/notes");
+    assert_eq!(k.fs.read_contents(&k.m, fid.unwrap()), b"quaject!");
+}
+
+/// The same binary produces the same observable bytes under the
+/// Synthesis UNIX emulator and under the baseline kernel.
+#[test]
+fn same_binary_same_bytes_on_both_kernels() {
+    let program = || {
+        let mut a = Asm::new("crosscheck");
+        // pipe(); write 12 bytes; read back to a different buffer; exit.
+        a.move_i(L, synthesis::unix::abi::SYS_PIPE, Dr(0));
+        a.trap(synthesis::unix::abi::UNIX_TRAP);
+        a.move_(L, Dr(0), Dr(5));
+        a.move_i(L, synthesis::unix::abi::SYS_WRITE, Dr(0));
+        a.move_(L, Dr(5), Dr(1));
+        a.and(L, Imm(0xFF), Dr(1));
+        a.lea(Abs(addrs::BUF), 0);
+        a.move_i(L, 12, Dr(2));
+        a.trap(synthesis::unix::abi::UNIX_TRAP);
+        a.move_i(L, synthesis::unix::abi::SYS_READ, Dr(0));
+        a.move_(L, Dr(5), Dr(1));
+        a.shift(synthesis::machine::isa::ShiftKind::Lsr, L, Imm(8), Dr(1));
+        a.lea(Abs(addrs::BUF + 0x200), 0);
+        a.move_i(L, 12, Dr(2));
+        a.trap(synthesis::unix::abi::UNIX_TRAP);
+        a.move_i(L, synthesis::unix::abi::SYS_EXIT, Dr(0));
+        a.trap(synthesis::unix::abi::UNIX_TRAP);
+        let dead = a.here();
+        a.bcc(Cond::T, dead);
+        a
+    };
+    let payload = b"twelve bytes";
+
+    // Baseline.
+    let mut s = synthesis::unix::sunos::Sunos::boot();
+    let entry = s.load_program(program());
+    s.m.mem.poke_bytes(addrs::PATHS, &path_blob());
+    s.m.mem.poke_bytes(addrs::BUF, payload);
+    assert_eq!(s.run_program(entry, 10_000_000_000), RunExit::Halted);
+    let sunos_bytes = s.m.mem.peek_bytes(addrs::BUF + 0x200, 12);
+
+    // Synthesis.
+    let (mut emu, tid) =
+        synthesis::unix::emu::boot_with_program(KernelConfig::default(), program()).unwrap();
+    emu.k.m.mem.poke_bytes(addrs::BUF, payload);
+    assert!(emu.run_until_exit(tid, 10_000_000_000));
+    let syn_bytes = emu.k.m.mem.peek_bytes(addrs::BUF + 0x200, 12);
+
+    assert_eq!(sunos_bytes, payload);
+    assert_eq!(syn_bytes, payload);
+}
+
+/// Synthesis options ripple from the config through `open()`: with
+/// folding disabled the synthesized read is bigger but still correct.
+#[test]
+fn ablation_config_still_correct() {
+    use synthesis::codegen::creator::SynthesisOptions;
+    for opts in [SynthesisOptions::full(), SynthesisOptions::none()] {
+        let cfg = KernelConfig {
+            synthesis: opts,
+            ..KernelConfig::default()
+        };
+        let mut k = Kernel::boot(cfg).unwrap();
+        k.fs.create(&mut k.m, &mut k.heap, "/x", 256).unwrap();
+        let mut a = Asm::new("ab");
+        a.move_i(L, general::OPEN, Dr(0));
+        a.lea(Abs(UPATH), 0);
+        a.trap(traps::GENERAL);
+        a.move_(L, Dr(0), Dr(0));
+        a.lea(Abs(UBUF), 0);
+        a.move_i(L, 4, Dr(1));
+        a.trap(traps::WRITE);
+        a.move_i(L, general::EXIT, Dr(0));
+        a.trap(traps::GENERAL);
+        let dead = a.here();
+        a.bcc(Cond::T, dead);
+        let entry = k.load_user_program(a.assemble().unwrap()).unwrap();
+        k.m.mem.poke_bytes(UPATH, b"/x\0");
+        k.m.mem.poke_bytes(UBUF, b"abcd");
+        let tid = k.create_thread(entry, USTACK, user_map()).unwrap();
+        k.start(tid).unwrap();
+        assert!(k.run_until_exit(tid, 2_000_000_000));
+        let (fid, _) = k.fs.lookup("/x");
+        assert_eq!(k.fs.read_contents(&k.m, fid.unwrap()), b"abcd");
+    }
+}
+
+/// Virtual time is deterministic: the same workload yields the exact
+/// same cycle count, run to run.
+#[test]
+fn deterministic_virtual_time() {
+    let run = || {
+        let mut k = Kernel::boot(KernelConfig::default()).unwrap();
+        let mut a = Asm::new("det");
+        a.move_i(L, 5000, Dr(7));
+        let top = a.here();
+        a.add(L, Imm(3), Dr(1));
+        a.dbf(7, top);
+        a.move_i(L, general::EXIT, Dr(0));
+        a.trap(traps::GENERAL);
+        let dead = a.here();
+        a.bcc(Cond::T, dead);
+        let entry = k.load_user_program(a.assemble().unwrap()).unwrap();
+        let tid = k.create_thread(entry, USTACK, user_map()).unwrap();
+        k.start(tid).unwrap();
+        assert!(k.run_until_exit(tid, 2_000_000_000));
+        k.m.meter.cycles
+    };
+    assert_eq!(run(), run());
+}
