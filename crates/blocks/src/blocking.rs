@@ -7,19 +7,26 @@
 //! fast path is still optimistic; parking only happens at the
 //! full/empty boundary, which is exactly where the paper says
 //! synchronization belongs.
+//!
+//! A queue can also be **closed** (see [`BlockingQueue::close`]) when a
+//! peer dies — the kernel does this when it reaps a thread holding one
+//! end. Closing wakes every parked party so a producer blocked on a full
+//! queue whose consumer is gone does not wedge forever.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
 use crate::mpmc;
-use crate::Full;
+use crate::{Disconnected, Full};
 
 struct Waiters {
     lock: Mutex<()>,
     not_empty: Condvar,
     not_full: Condvar,
+    closed: AtomicBool,
 }
 
 /// A cloneable blocking queue handle.
@@ -48,17 +55,52 @@ impl<T: Send> BlockingQueue<T> {
                 lock: Mutex::new(()),
                 not_empty: Condvar::new(),
                 not_full: Condvar::new(),
+                closed: AtomicBool::new(false),
             }),
         }
     }
 
-    /// Insert, blocking while the queue is full.
-    pub fn put(&self, mut data: T) {
+    /// Close the queue: every blocked party wakes, and further
+    /// [`BlockingQueue::put_or_disconnect`] /
+    /// [`BlockingQueue::get_or_disconnect`] calls stop blocking. The
+    /// kernel closes a queue when it reaps the thread on the other end.
+    pub fn close(&self) {
+        self.w.closed.store(true, Ordering::SeqCst);
+        let g = self.w.lock.lock();
+        drop(g);
+        self.w.not_empty.notify_all();
+        self.w.not_full.notify_all();
+    }
+
+    /// Whether the queue has been closed.
+    #[must_use]
+    pub fn is_closed(&self) -> bool {
+        self.w.closed.load(Ordering::SeqCst)
+    }
+
+    /// Insert, blocking while the queue is full. On a *closed* queue the
+    /// item is dropped rather than blocking forever — the consumer is
+    /// dead and the data has nowhere to go. Use
+    /// [`BlockingQueue::put_or_disconnect`] to get the item back instead.
+    pub fn put(&self, data: T) {
+        let _ = self.put_or_disconnect(data);
+    }
+
+    /// Insert, blocking while the queue is full; unblocks with
+    /// `Err(Disconnected)` when the queue is closed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the item back when the queue is (or becomes) closed.
+    pub fn put_or_disconnect(&self, mut data: T) -> Result<(), Disconnected<T>> {
         loop {
+            if self.is_closed() {
+                return Err(Disconnected(data));
+            }
             match self.q.put(data) {
                 Ok(()) => {
                     self.w.not_empty.notify_one();
-                    return;
+                    return Ok(());
                 }
                 Err(Full(back)) => {
                     data = back;
@@ -68,10 +110,13 @@ impl<T: Send> BlockingQueue<T> {
                         Ok(()) => {
                             drop(g);
                             self.w.not_empty.notify_one();
-                            return;
+                            return Ok(());
                         }
                         Err(Full(back)) => {
                             data = back;
+                            if self.is_closed() {
+                                return Err(Disconnected(data));
+                            }
                             self.w.not_full.wait_for(&mut g, Duration::from_millis(5));
                         }
                     }
@@ -80,7 +125,9 @@ impl<T: Send> BlockingQueue<T> {
         }
     }
 
-    /// Take, blocking while the queue is empty.
+    /// Take, blocking while the queue is empty. Only for queues that are
+    /// never closed; see [`BlockingQueue::get_or_disconnect`] for the
+    /// peer-death-tolerant form.
     pub fn get(&self) -> T {
         loop {
             if let Some(v) = self.q.get() {
@@ -92,6 +139,31 @@ impl<T: Send> BlockingQueue<T> {
                 drop(g);
                 self.w.not_full.notify_one();
                 return v;
+            }
+            self.w.not_empty.wait_for(&mut g, Duration::from_millis(5));
+        }
+    }
+
+    /// Take, blocking while the queue is empty; unblocks with `None` when
+    /// the queue is closed *and* drained (items enqueued before the close
+    /// are still delivered).
+    pub fn get_or_disconnect(&self) -> Option<T> {
+        loop {
+            if let Some(v) = self.q.get() {
+                self.w.not_full.notify_one();
+                return Some(v);
+            }
+            if self.is_closed() {
+                return None;
+            }
+            let mut g = self.w.lock.lock();
+            if let Some(v) = self.q.get() {
+                drop(g);
+                self.w.not_full.notify_one();
+                return Some(v);
+            }
+            if self.is_closed() {
+                return None;
             }
             self.w.not_empty.wait_for(&mut g, Duration::from_millis(5));
         }
@@ -163,6 +235,44 @@ mod tests {
         t.join().unwrap();
         assert_eq!(q.get(), 2);
         assert_eq!(q.get(), 3);
+    }
+
+    #[test]
+    fn close_unwedges_blocked_producer() {
+        let q = BlockingQueue::new(2);
+        q.put(1);
+        q.put(2); // full
+        let q2 = q.clone();
+        let t = std::thread::spawn(move || q2.put_or_disconnect(3));
+        std::thread::sleep(Duration::from_millis(20));
+        // The consumer dies without draining: close instead of wedging.
+        q.close();
+        assert_eq!(t.join().unwrap(), Err(Disconnected(3)));
+    }
+
+    #[test]
+    fn close_unwedges_blocked_consumer_after_drain() {
+        let q: BlockingQueue<u32> = BlockingQueue::new(4);
+        q.put(7);
+        let q2 = q.clone();
+        let t = std::thread::spawn(move || {
+            let first = q2.get_or_disconnect();
+            let second = q2.get_or_disconnect(); // blocks until close
+            (first, second)
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        // Items enqueued before the close still arrive; then None.
+        assert_eq!(t.join().unwrap(), (Some(7), None));
+    }
+
+    #[test]
+    fn legacy_put_drops_on_closed_queue() {
+        let q = BlockingQueue::new(2);
+        q.close();
+        q.put(1); // returns instead of blocking; item dropped
+        assert!(q.is_closed());
+        assert_eq!(q.try_get(), None);
     }
 
     #[test]

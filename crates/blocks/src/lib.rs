@@ -56,3 +56,8 @@ pub struct Full<T>(pub T);
 /// if it does not fit (the paper's multi-insert is all-or-nothing).
 #[derive(Debug, PartialEq, Eq)]
 pub struct BatchFull<T>(pub Vec<T>);
+
+/// The peer side of a queue is gone (its thread died or closed the
+/// queue); the item is handed back so nothing is lost silently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Disconnected<T>(pub T);

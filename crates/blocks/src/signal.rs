@@ -6,12 +6,13 @@
 //! callback, which the kernel layer wires to its signal mechanism and
 //! examples wire to whatever they like.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use crate::mpmc;
-use crate::Full;
+use crate::{Disconnected, Full};
 
 /// Callback type for queue-condition signals.
 pub type SignalFn = Arc<dyn Fn() + Send + Sync>;
@@ -21,6 +22,10 @@ struct Signals {
     data_ready: Mutex<Option<SignalFn>>,
     /// Fired when a get makes a full queue non-full.
     space_ready: Mutex<Option<SignalFn>>,
+    /// A peer died; puts are refused and both signals have fired one
+    /// last time so nothing keeps waiting on a condition that will
+    /// never recur.
+    closed: AtomicBool,
 }
 
 /// A cloneable signalling queue.
@@ -49,9 +54,30 @@ impl<T: Send> SignalQueue<T> {
             s: Arc::new(Signals {
                 data_ready: Mutex::new(None),
                 space_ready: Mutex::new(None),
+                closed: AtomicBool::new(false),
             }),
             capacity,
         }
+    }
+
+    /// Close the queue (a peer died): further puts are refused with
+    /// [`Disconnected`], and both signals fire one final time so parties
+    /// waiting for data or space learn the peer is gone instead of
+    /// waiting on an edge that will never come.
+    pub fn close(&self) {
+        self.s.closed.store(true, Ordering::SeqCst);
+        if let Some(f) = self.s.data_ready.lock().clone() {
+            f();
+        }
+        if let Some(f) = self.s.space_ready.lock().clone() {
+            f();
+        }
+    }
+
+    /// Whether the queue has been closed.
+    #[must_use]
+    pub fn is_closed(&self) -> bool {
+        self.s.closed.load(Ordering::SeqCst)
     }
 
     /// Install the data-ready signal (empty → non-empty transitions).
@@ -68,8 +94,15 @@ impl<T: Send> SignalQueue<T> {
     ///
     /// # Errors
     ///
-    /// Returns [`Full`] when at capacity.
+    /// Returns [`Full`] when at capacity *or* when the queue is closed —
+    /// a dead consumer's queue is never going to drain, so inserts are
+    /// refused rather than accepted into a void. Callers that need to
+    /// distinguish the two (retry vs. give up) use
+    /// [`SignalQueue::put_or_disconnect`].
     pub fn put(&self, data: T) -> Result<(), Full<T>> {
+        if self.is_closed() {
+            return Err(Full(data));
+        }
         let was_empty = self.q.len_hint() == 0;
         let r = self.q.put(data);
         if r.is_ok() && was_empty {
@@ -78,6 +111,20 @@ impl<T: Send> SignalQueue<T> {
             }
         }
         r
+    }
+
+    /// Insert an item, distinguishing a full queue from a dead peer.
+    ///
+    /// # Errors
+    ///
+    /// `Err(Ok(Full))` when at capacity (retry after `space_ready`);
+    /// `Err(Err(Disconnected))` when the queue is closed (give up).
+    #[allow(clippy::type_complexity)]
+    pub fn put_or_disconnect(&self, data: T) -> Result<(), Result<Full<T>, Disconnected<T>>> {
+        if self.is_closed() {
+            return Err(Err(Disconnected(data)));
+        }
+        self.put(data).map_err(Ok)
     }
 
     /// Take an item; signals `space_ready` on the full→non-full edge.
@@ -143,6 +190,36 @@ mod tests {
         let q = SignalQueue::new(2);
         q.put(5).unwrap();
         assert_eq!(q.get(), Some(5));
+        assert_eq!(q.get(), None);
+    }
+
+    #[test]
+    fn close_fires_both_signals_once_more() {
+        let q: SignalQueue<u32> = SignalQueue::new(2);
+        let data = Arc::new(AtomicU32::new(0));
+        let space = Arc::new(AtomicU32::new(0));
+        let (d, s) = (data.clone(), space.clone());
+        q.on_data_ready(Arc::new(move || {
+            d.fetch_add(1, Ordering::SeqCst);
+        }));
+        q.on_space_ready(Arc::new(move || {
+            s.fetch_add(1, Ordering::SeqCst);
+        }));
+        q.close();
+        // Both parties wake so they notice the peer is gone.
+        assert_eq!(data.load(Ordering::SeqCst), 1);
+        assert_eq!(space.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn put_refused_after_close() {
+        let q = SignalQueue::new(4);
+        q.put(1).unwrap();
+        q.close();
+        assert_eq!(q.put(2), Err(Full(2)));
+        assert_eq!(q.put_or_disconnect(3), Err(Err(Disconnected(3))));
+        // Items enqueued before the close still drain.
+        assert_eq!(q.get(), Some(1));
         assert_eq!(q.get(), None);
     }
 }

@@ -4,12 +4,21 @@
 //! next stage in the pipeline is the disk scheduler, which contains the
 //! disk request queue, followed by the default file system cache manager,
 //! which contains the queue of data transfer buffers" (Section 5.1).
+//!
+//! The scheduler also owns error recovery: a completion with
+//! `STATUS_ERR` is retried with bounded exponential backoff (programmed
+//! into the device's `EXTRA_DELAY` register so the wait is modelled disk
+//! time, not host spinning); sectors that keep failing — or that the
+//! device reports permanently bad — are *quarantined*, after which every
+//! request touching them fails fast with an I/O error instead of
+//! touching the hardware.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 use quamachine::devices::dev_reg_addr;
 use quamachine::devices::disk::{
-    CMD_READ, CMD_WRITE, REG_ADDR, REG_CMD, REG_COUNT, REG_SECTOR, SECTOR_SIZE,
+    CMD_READ, CMD_WRITE, ERR_BAD_SECTOR, ERR_NONE, ERR_TRANSIENT, REG_ADDR, REG_CMD, REG_COUNT,
+    REG_ERROR, REG_EXTRA_DELAY, REG_SECTOR, SECTOR_SIZE,
 };
 use quamachine::machine::Machine;
 
@@ -31,6 +40,35 @@ pub struct DiskRequest {
     pub cookie: u32,
 }
 
+/// How one serviced request ended, as reported by
+/// [`DiskScheduler::on_complete`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskOutcome {
+    /// The transfer succeeded; data is where the request asked.
+    Done(DiskRequest),
+    /// The transfer failed transiently; the scheduler re-issued it with
+    /// backoff and it is in flight again. No caller action needed.
+    Retrying {
+        /// The request being retried.
+        req: DiskRequest,
+        /// Which attempt is now in flight (first retry = 2).
+        attempt: u32,
+        /// Backoff programmed into the device, in µs.
+        backoff_us: u32,
+    },
+    /// The transfer failed permanently (bad sector or retries
+    /// exhausted); the failing sector is quarantined. The caller should
+    /// surface an I/O error to the requester in `req.cookie`.
+    Failed(DiskRequest),
+}
+
+/// Retries per request before the scheduler gives up and quarantines.
+pub const MAX_RETRIES: u32 = 4;
+/// First-retry backoff in µs; doubles each further attempt.
+pub const BACKOFF_BASE_US: u32 = 500;
+/// Backoff ceiling in µs.
+pub const BACKOFF_CAP_US: u32 = 8_000;
+
 /// The disk scheduler: an elevator over the request queue.
 ///
 /// Requests are serviced in ascending-sector order from the current head
@@ -41,12 +79,23 @@ pub struct DiskScheduler {
     device: usize,
     queue: BTreeMap<u32, VecDeque<DiskRequest>>,
     inflight: Option<DiskRequest>,
+    /// Attempts made for the in-flight request (1 = first issue).
+    attempts: u32,
     head_pos: u32,
     ascending: bool,
+    quarantined: BTreeSet<u32>,
     /// Requests completed.
     pub completed: u64,
     /// Total sectors moved.
     pub sectors_moved: u64,
+    /// Re-issues after transient errors.
+    pub retries: u64,
+    /// Requests that failed permanently.
+    pub failed: u64,
+    /// Total backoff programmed across retries, in µs.
+    pub backoff_us_total: u64,
+    /// Requests rejected at submit because a sector was quarantined.
+    pub rejected_quarantined: u64,
 }
 
 impl DiskScheduler {
@@ -57,19 +106,56 @@ impl DiskScheduler {
             device,
             queue: BTreeMap::new(),
             inflight: None,
+            attempts: 0,
             head_pos: 0,
             ascending: true,
+            quarantined: BTreeSet::new(),
             completed: 0,
             sectors_moved: 0,
+            retries: 0,
+            failed: 0,
+            backoff_us_total: 0,
+            rejected_quarantined: 0,
         }
     }
 
     /// Enqueue a request; starts the disk if it was idle.
-    pub fn submit(&mut self, m: &mut Machine, req: DiskRequest) {
+    ///
+    /// # Errors
+    ///
+    /// Fails fast (returning the request) when the range touches a
+    /// quarantined sector — the hardware is known bad there and the
+    /// caller should report an I/O error without waiting.
+    pub fn submit(&mut self, m: &mut Machine, req: DiskRequest) -> Result<(), DiskRequest> {
+        if self.is_quarantined_range(req.sector, req.count) {
+            self.rejected_quarantined += 1;
+            return Err(req);
+        }
         self.queue.entry(req.sector).or_default().push_back(req);
         if self.inflight.is_none() {
             self.issue_next(m);
         }
+        Ok(())
+    }
+
+    /// Whether `[sector, sector + count)` touches a quarantined sector.
+    #[must_use]
+    pub fn is_quarantined_range(&self, sector: u32, count: u32) -> bool {
+        self.quarantined
+            .range(sector..sector.saturating_add(count.max(1)))
+            .next()
+            .is_some()
+    }
+
+    /// Sectors currently quarantined, ascending.
+    pub fn quarantined(&self) -> impl Iterator<Item = u32> + '_ {
+        self.quarantined.iter().copied()
+    }
+
+    /// Number of quarantined sectors.
+    #[must_use]
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined.len()
     }
 
     /// Pick the next request by the elevator and program the device.
@@ -104,6 +190,12 @@ impl DiskScheduler {
         if q.is_empty() {
             self.queue.remove(&sector);
         }
+        self.program_device(m, &req);
+        self.inflight = Some(req);
+        self.attempts = 1;
+    }
+
+    fn program_device(&self, m: &mut Machine, req: &DiskRequest) {
         let d = self.device;
         m.host_reg_write(dev_reg_addr(d, REG_SECTOR), req.sector);
         m.host_reg_write(dev_reg_addr(d, REG_ADDR), req.addr);
@@ -112,18 +204,55 @@ impl DiskScheduler {
             dev_reg_addr(d, REG_CMD),
             if req.read { CMD_READ } else { CMD_WRITE },
         );
-        self.inflight = Some(req);
     }
 
-    /// The device finished the in-flight request; returns it and issues
-    /// the next one.
-    pub fn on_complete(&mut self, m: &mut Machine) -> Option<DiskRequest> {
-        let done = self.inflight.take()?;
-        self.head_pos = done.sector + done.count;
-        self.completed += 1;
-        self.sectors_moved += u64::from(done.count);
-        self.issue_next(m);
-        Some(done)
+    /// The device finished the in-flight request (successfully or not);
+    /// classifies the completion, retries or quarantines on error, and
+    /// issues the next request when this one is finished for good.
+    ///
+    /// The caller must already have read (acked) `STATUS`; this reads the
+    /// sticky `ERROR` register to tell success from failure.
+    pub fn on_complete(&mut self, m: &mut Machine) -> Option<DiskOutcome> {
+        let req = self.inflight.take()?;
+        self.head_pos = req.sector + req.count;
+        self.sectors_moved += u64::from(req.count);
+        let err = m.host_reg_read(dev_reg_addr(self.device, REG_ERROR));
+        match err {
+            ERR_NONE => {
+                self.completed += 1;
+                self.issue_next(m);
+                Some(DiskOutcome::Done(req))
+            }
+            ERR_TRANSIENT if self.attempts <= MAX_RETRIES => {
+                // Retry in place with exponential backoff, spent as
+                // modelled device time so waiters sleep through it.
+                let backoff_us = (BACKOFF_BASE_US << (self.attempts - 1)).min(BACKOFF_CAP_US);
+                self.retries += 1;
+                self.backoff_us_total += u64::from(backoff_us);
+                self.attempts += 1;
+                m.host_reg_write(dev_reg_addr(self.device, REG_EXTRA_DELAY), backoff_us);
+                self.program_device(m, &req);
+                self.inflight = Some(req);
+                Some(DiskOutcome::Retrying {
+                    req,
+                    attempt: self.attempts,
+                    backoff_us,
+                })
+            }
+            _ => {
+                // Permanently bad: the device said the medium is bad
+                // (`ERR_BAD_SECTOR`), retries were exhausted, or the
+                // request itself was invalid. Quarantine the range's
+                // first sector (the finest blame the device reports) so
+                // later requests fail fast instead of waiting.
+                if err == ERR_TRANSIENT || err == ERR_BAD_SECTOR {
+                    self.quarantined.insert(req.sector);
+                }
+                self.failed += 1;
+                self.issue_next(m);
+                Some(DiskOutcome::Failed(req))
+            }
+        }
     }
 
     /// Whether a request is being serviced.
@@ -250,19 +379,23 @@ mod tests {
         let img: Vec<u8> = (0..512u32).map(|i| (i % 251) as u8).collect();
         m.device_mut::<Disk>(dev).unwrap().load_image(7, &img);
         let mut sched = DiskScheduler::new(dev);
-        sched.submit(
-            &mut m,
-            DiskRequest {
-                sector: 7,
-                count: 1,
-                addr: 0x2_0000,
-                read: true,
-                cookie: 0,
-            },
-        );
+        sched
+            .submit(
+                &mut m,
+                DiskRequest {
+                    sector: 7,
+                    count: 1,
+                    addr: 0x2_0000,
+                    read: true,
+                    cookie: 0,
+                },
+            )
+            .unwrap();
         assert!(sched.busy());
         wait_done(&mut m);
-        let done = sched.on_complete(&mut m).unwrap();
+        let DiskOutcome::Done(done) = sched.on_complete(&mut m).unwrap() else {
+            panic!("clean disk must complete successfully");
+        };
         assert_eq!(done.sector, 7);
         assert_eq!(m.mem.peek_bytes(0x2_0000, 512), img);
         assert!(!sched.busy());
@@ -274,59 +407,151 @@ mod tests {
         let (mut m, dev) = machine_with_disk();
         let mut sched = DiskScheduler::new(dev);
         // Submit out of order while the first is in flight.
-        sched.submit(
-            &mut m,
-            DiskRequest {
-                sector: 100,
-                count: 1,
-                addr: 0x2_0000,
-                read: true,
-                cookie: 0,
-            },
-        );
-        sched.submit(
-            &mut m,
-            DiskRequest {
-                sector: 900,
-                count: 1,
-                addr: 0x2_0200,
-                read: true,
-                cookie: 0,
-            },
-        );
-        sched.submit(
-            &mut m,
-            DiskRequest {
-                sector: 300,
-                count: 1,
-                addr: 0x2_0400,
-                read: true,
-                cookie: 0,
-            },
-        );
-        sched.submit(
-            &mut m,
-            DiskRequest {
-                sector: 200,
-                count: 1,
-                addr: 0x2_0600,
-                read: true,
-                cookie: 0,
-            },
-        );
+        for (sector, addr) in [
+            (100, 0x2_0000),
+            (900, 0x2_0200),
+            (300, 0x2_0400),
+            (200, 0x2_0600),
+        ] {
+            sched
+                .submit(
+                    &mut m,
+                    DiskRequest {
+                        sector,
+                        count: 1,
+                        addr,
+                        read: true,
+                        cookie: 0,
+                    },
+                )
+                .unwrap();
+        }
         let mut order = Vec::new();
         order.push(100); // in flight already
         for _ in 0..3 {
             wait_done(&mut m);
-            let done = sched.on_complete(&mut m).unwrap();
+            let DiskOutcome::Done(done) = sched.on_complete(&mut m).unwrap() else {
+                panic!("clean disk must complete successfully");
+            };
             if done.sector != 100 {
                 order.push(done.sector);
             }
         }
         wait_done(&mut m);
-        let done = sched.on_complete(&mut m).unwrap();
+        let DiskOutcome::Done(done) = sched.on_complete(&mut m).unwrap() else {
+            panic!("clean disk must complete successfully");
+        };
         order.push(done.sector);
         assert_eq!(order, vec![100, 200, 300, 900], "ascending elevator sweep");
+    }
+
+    /// Drive one submitted request to its final outcome, stepping through
+    /// any retries.
+    fn drive(sched: &mut DiskScheduler, m: &mut Machine) -> DiskOutcome {
+        for _ in 0..32 {
+            wait_done(m);
+            match sched.on_complete(m).expect("an op was in flight") {
+                DiskOutcome::Retrying { .. } => {}
+                outcome => return outcome,
+            }
+        }
+        panic!("request never reached a final outcome");
+    }
+
+    #[test]
+    fn transient_errors_retry_to_success() {
+        let (mut m, dev) = machine_with_disk();
+        m.fault = quamachine::fault::FaultPlan::seeded(
+            11,
+            quamachine::fault::FaultConfig {
+                disk_transient_permille: 400,
+                ..quamachine::fault::FaultConfig::none()
+            },
+        );
+        let img: Vec<u8> = (0..512u32).map(|i| (i % 241) as u8).collect();
+        let mut sched = DiskScheduler::new(dev);
+        let mut done = 0;
+        for i in 0..16u32 {
+            m.device_mut::<Disk>(dev).unwrap().load_image(i, &img);
+            sched
+                .submit(
+                    &mut m,
+                    DiskRequest {
+                        sector: i,
+                        count: 1,
+                        addr: 0x2_0000 + i * 512,
+                        read: true,
+                        cookie: 0,
+                    },
+                )
+                .unwrap();
+            match drive(&mut sched, &mut m) {
+                DiskOutcome::Done(req) => {
+                    done += 1;
+                    assert_eq!(
+                        m.mem.peek_bytes(req.addr, 512),
+                        img,
+                        "a successful read must carry intact data"
+                    );
+                }
+                DiskOutcome::Failed(_) => {}
+                DiskOutcome::Retrying { .. } => unreachable!(),
+            }
+        }
+        assert!(done >= 12, "most requests succeed: {done}/16");
+        assert!(sched.retries > 0, "a 40% error rate must trigger retries");
+        assert!(
+            sched.backoff_us_total >= u64::from(BACKOFF_BASE_US) * sched.retries,
+            "every retry waits at least the base backoff"
+        );
+    }
+
+    #[test]
+    fn exhausted_retries_quarantine_and_fail_fast() {
+        let (mut m, dev) = machine_with_disk();
+        m.fault = quamachine::fault::FaultPlan::seeded(
+            1,
+            quamachine::fault::FaultConfig {
+                disk_transient_permille: 1000, // every command fails
+                ..quamachine::fault::FaultConfig::none()
+            },
+        );
+        let mut sched = DiskScheduler::new(dev);
+        let req = DiskRequest {
+            sector: 42,
+            count: 1,
+            addr: 0x2_0000,
+            read: true,
+            cookie: 0,
+        };
+        sched.submit(&mut m, req).unwrap();
+        assert_eq!(drive(&mut sched, &mut m), DiskOutcome::Failed(req));
+        assert_eq!(sched.retries, u64::from(MAX_RETRIES));
+        // 500 + 1000 + 2000 + 4000.
+        assert_eq!(sched.backoff_us_total, 7_500);
+        assert_eq!(sched.quarantined().collect::<Vec<_>>(), vec![42]);
+        // Fail fast from now on: no hardware round trip.
+        assert_eq!(sched.submit(&mut m, req), Err(req));
+        assert!(!sched.busy());
+        assert_eq!(sched.rejected_quarantined, 1);
+    }
+
+    #[test]
+    fn bad_sectors_fail_without_retries() {
+        let (mut m, dev) = machine_with_disk();
+        m.fault.poison_sector(7);
+        let mut sched = DiskScheduler::new(dev);
+        let req = DiskRequest {
+            sector: 5,
+            count: 4, // covers the poisoned sector 7
+            addr: 0x2_0000,
+            read: true,
+            cookie: 0,
+        };
+        sched.submit(&mut m, req).unwrap();
+        assert_eq!(drive(&mut sched, &mut m), DiskOutcome::Failed(req));
+        assert_eq!(sched.retries, 0, "media errors are not retried");
+        assert!(sched.is_quarantined_range(5, 4));
     }
 
     #[test]

@@ -24,9 +24,12 @@ use synthesis_codegen::creator::{QuajectCreator, SynthError, SynthesisOptions, S
 use synthesis_codegen::execds::{ChainNode, JumpChain};
 use synthesis_codegen::template::Bindings;
 
+use synthesis_blocks::gauge::Gauge;
+
 use crate::alloc::FastFit;
 use crate::charges;
 use crate::fs::Fs;
+use crate::io::disk::{DiskOutcome, DiskRequest, DiskScheduler};
 use crate::io::pipe::{Pipe, DEFAULT_PIPE_SIZE};
 use crate::io::tty::TtyServer;
 use crate::layout;
@@ -133,6 +136,9 @@ pub enum KernelError {
     Machine(quamachine::error::MachineError),
     /// Invalid operation (e.g. stopping the idle thread).
     Invalid(&'static str),
+    /// An I/O error after recovery was exhausted (disk retries spent or
+    /// the sectors are quarantined).
+    Io(&'static str),
 }
 
 impl From<SynthError> for KernelError {
@@ -161,11 +167,33 @@ impl std::fmt::Display for KernelError {
             KernelError::NoThread(t) => write!(f, "no thread {t}"),
             KernelError::Machine(e) => write!(f, "machine: {e}"),
             KernelError::Invalid(s) => write!(f, "invalid operation: {s}"),
+            KernelError::Io(s) => write!(f, "i/o error: {s}"),
         }
     }
 }
 
 impl std::error::Error for KernelError {}
+
+/// Gauges counting recovery events ([Section 2.3's gauges][Gauge] feeding
+/// the monitor's recovery report).
+#[derive(Debug, Default)]
+pub struct RecoveryGauges {
+    /// Threads killed by run-loop recovery after a fatal guest fault.
+    pub reaped: Gauge,
+    /// Threads quarantined by the fault-storm watchdog.
+    pub quarantined: Gauge,
+    /// Disk I/O errors surfaced to requesters (retries exhausted or
+    /// quarantined sectors).
+    pub io_errors: Gauge,
+}
+
+/// Cycles between watchdog sweeps of the per-thread fault counters (the
+/// run loop slices its budget so a storming guest that never traps out
+/// still gets observed).
+const WATCHDOG_SLICE: u64 = 100_000;
+/// Guest error-faults within one sweep that mark a thread as storming
+/// (a thread that faults once and exits never comes close).
+const WATCHDOG_FAULT_LIMIT: u64 = 64;
 
 /// The Synthesis kernel.
 pub struct Kernel {
@@ -197,6 +225,13 @@ pub struct Kernel {
     pub exited: std::collections::HashSet<Tid>,
     /// The idle thread's id.
     pub idle_tid: Tid,
+    /// The kernel-owned disk scheduler: request queue, retry/backoff, and
+    /// sector quarantine (Section 5.1's pipeline stage, made persistent).
+    pub disk_sched: DiskScheduler,
+    /// Recovery event gauges (reaps, quarantines, surfaced I/O errors).
+    pub recovery: RecoveryGauges,
+    /// Recovery log: threads reaped or quarantined, with the reason.
+    pub recovery_log: Vec<(Tid, String)>,
 
     shared: SharedCode,
     next_tid: Tid,
@@ -206,6 +241,13 @@ pub struct Kernel {
     waiters: HashMap<WaitObject, Vec<Tid>>,
     sig_stash: HashMap<Tid, ([u32; 15], u32)>,
     alarm_pending: bool,
+    /// Completed disk outcomes by request cookie: `Ok(req)` or
+    /// `Err(-errno)` once the scheduler gives up.
+    disk_results: HashMap<u32, Result<DiskRequest, i32>>,
+    /// Threads the watchdog quarantined; they refuse to start again.
+    quarantined_tids: std::collections::HashSet<Tid>,
+    /// Per-thread fault-count baselines for the watchdog sweep.
+    watchdog_marks: HashMap<Tid, u64>,
     /// When set, [`Kernel::run`] returns `Breakpoint(tid)` as soon as
     /// this thread exits (instead of idling out the cycle budget).
     pub watch_exit: Option<Tid>,
@@ -326,6 +368,9 @@ impl Kernel {
             console: Vec::new(),
             exited: std::collections::HashSet::new(),
             idle_tid: 0,
+            disk_sched: DiskScheduler::new(disk),
+            recovery: RecoveryGauges::default(),
+            recovery_log: Vec::new(),
             shared: SharedCode {
                 trampoline,
                 ebadf,
@@ -343,6 +388,9 @@ impl Kernel {
             waiters: HashMap::new(),
             sig_stash: HashMap::new(),
             alarm_pending: false,
+            disk_results: HashMap::new(),
+            quarantined_tids: std::collections::HashSet::new(),
+            watchdog_marks: HashMap::new(),
             watch_exit: None,
         };
 
@@ -607,6 +655,9 @@ impl Kernel {
         let t = self.threads.get(&tid).ok_or(KernelError::NoThread(tid))?;
         if matches!(t.state, ThreadState::Dead) {
             return Err(KernelError::Invalid("starting a dead thread"));
+        }
+        if self.quarantined_tids.contains(&tid) {
+            return Err(KernelError::Invalid("starting a quarantined thread"));
         }
         if self.ready.position(tid).is_some() {
             return Ok(());
@@ -1155,20 +1206,105 @@ impl Kernel {
             if now >= deadline {
                 return RunExit::CycleLimit;
             }
-            match self.m.run(deadline - now) {
+            // Bounded slices so the fault-storm watchdog observes the
+            // per-thread fault counters even when the storming guest
+            // never traps out to the embedder on its own.
+            let slice = (deadline - now).min(WATCHDOG_SLICE);
+            match self.m.run(slice) {
                 RunExit::KCall(sel) => {
                     if !self.handle_kcall(sel) {
                         return RunExit::KCall(sel);
                     }
-                    if let Some(w) = self.watch_exit {
-                        if self.exited.contains(&w) {
-                            return RunExit::Breakpoint(w);
-                        }
+                }
+                RunExit::CycleLimit => self.watchdog_sweep(),
+                RunExit::Error(e) => {
+                    // Guest-attributable faults kill only the offending
+                    // thread; everything else is a kernel/embedder bug
+                    // and stays fatal.
+                    if let Err(exit) = self.recover_machine_error(e) {
+                        return exit;
                     }
                 }
                 other => return other,
             }
+            if let Some(w) = self.watch_exit {
+                if self.exited.contains(&w) {
+                    return RunExit::Breakpoint(w);
+                }
+            }
         }
+    }
+
+    /// Try to recover from a fatal machine error by reaping the thread
+    /// that caused it: a double fault (the thread corrupted its own
+    /// vector table or stack) or a wild jump out of code space is the
+    /// thread's doing, so the kernel destroys it, resplices the ready
+    /// chain, and keeps running. Errors the kernel cannot pin on the
+    /// current thread — or that hit the idle thread, whose state only the
+    /// kernel writes — are returned as fatal.
+    fn recover_machine_error(&mut self, e: quamachine::error::MachineError) -> Result<(), RunExit> {
+        use quamachine::error::MachineError;
+        let guest_attributable = matches!(
+            e,
+            MachineError::DoubleFault(..) | MachineError::BadCodeAddress(_)
+        );
+        if !guest_attributable {
+            return Err(RunExit::Error(e));
+        }
+        let Some(tid) = self.current_tid() else {
+            return Err(RunExit::Error(e));
+        };
+        if tid == self.idle_tid {
+            return Err(RunExit::Error(e));
+        }
+        self.recovery_log.push((tid, format!("reaped: {e}")));
+        self.recovery.reaped.tick();
+        if self.destroy(tid).is_err() {
+            return Err(RunExit::Error(e));
+        }
+        Ok(())
+    }
+
+    /// Compare each thread's error-fault count against its last-sweep
+    /// baseline; a thread that burned through more than
+    /// [`WATCHDOG_FAULT_LIMIT`] faults in one sweep is stuck re-faulting
+    /// (its handler retries without fixing the cause) and gets
+    /// quarantined: stopped now, and refused by [`Kernel::start`] forever.
+    fn watchdog_sweep(&mut self) {
+        let counts: Vec<(Tid, u64)> = self
+            .m
+            .meter
+            .error_faults
+            .iter()
+            .filter_map(|(vbr, &n)| self.vbr_to_tid.get(vbr).map(|&tid| (tid, n)))
+            .collect();
+        for (tid, n) in counts {
+            let base = self.watchdog_marks.insert(tid, n).unwrap_or(0);
+            let delta = n.saturating_sub(base);
+            if delta > WATCHDOG_FAULT_LIMIT
+                && tid != self.idle_tid
+                && !self.quarantined_tids.contains(&tid)
+            {
+                self.quarantine_thread(tid, delta);
+            }
+        }
+    }
+
+    fn quarantine_thread(&mut self, tid: Tid, faults: u64) {
+        self.quarantined_tids.insert(tid);
+        self.recovery.quarantined.tick();
+        self.recovery_log
+            .push((tid, format!("quarantined: {faults} faults in one sweep")));
+        // A storming thread is runnable by definition; if stop fails the
+        // thread is already off the ready chain and the quarantine flag
+        // alone keeps it from coming back.
+        let _ = self.stop(tid);
+    }
+
+    /// Whether the watchdog has quarantined `tid`.
+    #[must_use]
+    pub fn is_quarantined(&self, tid: Tid) -> bool {
+        self.quarantined_tids.contains(&tid)
     }
 
     /// Run until thread `tid` exits (or the cycle budget is spent).
@@ -1184,7 +1320,10 @@ impl Kernel {
                 // A watched-exit notification (or a debugger breakpoint):
                 // re-check the loop condition.
                 RunExit::Breakpoint(_) => {}
-                RunExit::Error(e) => panic!("machine error: {e}"),
+                // Guest-attributable faults were already recovered inside
+                // `run`; anything surfacing here is a kernel/embedder bug
+                // and ends the run (the caller sees `false`).
+                RunExit::Error(_) => break,
             }
         }
         self.watch_exit = prev_watch;
@@ -1226,7 +1365,23 @@ impl Kernel {
             kcalls::DISK_DONE => {
                 let addr = dev_reg_addr(self.dev.disk, quamachine::devices::disk::REG_STATUS);
                 let _ = self.m.host_reg_read(addr); // acknowledge
-                self.wake(WaitObject::Disk);
+                match self.disk_sched.on_complete(&mut self.m) {
+                    Some(DiskOutcome::Done(req)) => {
+                        self.disk_results.insert(req.cookie, Ok(req));
+                        self.wake(WaitObject::Disk);
+                    }
+                    // Re-issued with backoff; waiters stay asleep until
+                    // the retry completes one way or the other.
+                    Some(DiskOutcome::Retrying { .. }) => {}
+                    Some(DiskOutcome::Failed(req)) => {
+                        self.disk_results.insert(req.cookie, Err(errno::EIO));
+                        self.recovery.io_errors.tick();
+                        self.wake(WaitObject::Disk);
+                    }
+                    // A completion with nothing in flight (e.g. a raw
+                    // device user bypassing the scheduler): just wake.
+                    None => self.wake(WaitObject::Disk),
+                }
             }
             kcalls::WAIT_TTY => {
                 // Re-check under the "lock" (host atomicity) to avoid a
@@ -1759,9 +1914,20 @@ impl Kernel {
             let _ = self.ready.remove(&mut self.m, tid);
         }
         self.creator.destroy(&mut self.m, &old_sw);
-        let sw = self
-            .synth_switch(tid, tte, vt, quantum, true)
-            .expect("FP resynthesis");
+        let sw = match self.synth_switch(tid, tte, vt, quantum, true) {
+            Ok(sw) => sw,
+            Err(_) => {
+                // Code space is exhausted: the thread asked for FP it
+                // cannot have. Reap it instead of taking the kernel down
+                // — its old switch code is already destroyed, so it
+                // cannot be resumed either.
+                self.recovery_log
+                    .push((tid, "reaped: FP resynthesis failed".to_string()));
+                self.recovery.reaped.tick();
+                let _ = self.destroy(tid);
+                return;
+            }
+        };
         let (sw_out, sw_in, sw_in_mmu, jmp_at) = Kernel::switch_entries(&self.m, &sw);
         {
             let t = self.threads.get_mut(&tid).expect("exists");
@@ -1836,7 +2002,9 @@ impl Kernel {
     ///
     /// # Errors
     ///
-    /// Fails on heap exhaustion or if the disk never completes (a bug).
+    /// Fails on heap exhaustion, with [`KernelError::Io`] when the
+    /// sectors are quarantined or the scheduler's retries are exhausted,
+    /// or if the disk never completes (a bug).
     pub fn load_file_from_disk(
         &mut self,
         name: &str,
@@ -1853,20 +2021,22 @@ impl Kernel {
         let f = self.fs.file(fid).expect("just created");
         let (buf, len_slot) = (f.buf, f.len_slot);
 
-        let mut sched = crate::io::disk::DiskScheduler::new(self.dev.disk);
-        sched.submit(
-            &mut self.m,
-            crate::io::disk::DiskRequest {
-                sector,
-                count: sectors,
-                addr: buf,
-                read: true,
-                cookie: 0,
-            },
-        );
+        let req = DiskRequest {
+            sector,
+            count: sectors,
+            addr: buf,
+            read: true,
+            cookie: u32::MAX, // boot-time load; nothing waits on a cookie
+        };
+        if self.disk_sched.submit(&mut self.m, req).is_err() {
+            self.recovery.io_errors.tick();
+            return Err(KernelError::Io("sectors quarantined"));
+        }
         // Wait for completion: advance virtual time through the event
         // queue and poll the controller's STATUS (which also acknowledges
         // the interrupt). Boot-time load; no thread runs meanwhile.
+        // Transient errors are retried by the scheduler with backoff, so
+        // the loop keeps driving until a final outcome.
         let status_reg = dev_reg_addr(self.dev.disk, quamachine::devices::disk::REG_STATUS);
         let mut guard = 0;
         loop {
@@ -1874,8 +2044,14 @@ impl Kernel {
             let status = self.m.host_reg_read(status_reg);
             if status & quamachine::devices::disk::STATUS_DONE != 0 {
                 self.m.irq.clear(irq_levels::DISK);
-                sched.on_complete(&mut self.m);
-                break;
+                match self.disk_sched.on_complete(&mut self.m) {
+                    Some(DiskOutcome::Done(_)) => break,
+                    Some(DiskOutcome::Failed(_)) => {
+                        self.recovery.io_errors.tick();
+                        return Err(KernelError::Io("disk retries exhausted"));
+                    }
+                    Some(DiskOutcome::Retrying { .. }) | None => {}
+                }
             }
             match self.m.events.next_due() {
                 Some(t) => {
@@ -1890,6 +2066,32 @@ impl Kernel {
         }
         self.m.mem.poke(len_slot, Size::L, len);
         Ok(fid)
+    }
+
+    /// Submit a request through the kernel's disk scheduler. The
+    /// completion lands in [`Kernel::disk_take_result`] under the
+    /// request's cookie, and `WaitObject::Disk` waiters are woken when it
+    /// does (retries in between do not wake anyone).
+    ///
+    /// # Errors
+    ///
+    /// `Err(errno::EIO)` immediately when the range touches a
+    /// quarantined sector — known-bad hardware is not worth a wait.
+    pub fn disk_submit(&mut self, req: DiskRequest) -> Result<(), i32> {
+        match self.disk_sched.submit(&mut self.m, req) {
+            Ok(()) => Ok(()),
+            Err(_) => {
+                self.recovery.io_errors.tick();
+                Err(errno::EIO)
+            }
+        }
+    }
+
+    /// Take the recorded outcome of the disk request submitted with
+    /// `cookie`, if it has reached one: `Ok(req)` on success, or
+    /// `Err(errno::EIO)` when the scheduler gave up.
+    pub fn disk_take_result(&mut self, cookie: u32) -> Option<Result<DiskRequest, i32>> {
+        self.disk_results.remove(&cookie)
     }
 
     fn charge_alloc(&mut self) {

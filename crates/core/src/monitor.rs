@@ -74,3 +74,47 @@ pub fn size_report(k: &Kernel) -> SizeReport {
         code_blocks: k.m.code.block_count(),
     }
 }
+
+/// Faults injected vs. recovery work done — the soak-test scoreboard.
+///
+/// The injected side comes from the machine's
+/// [`FaultStats`](quamachine::fault::FaultStats); the recovery side
+/// aggregates the disk scheduler's retry machinery and the kernel's
+/// reap/quarantine gauges.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryReport {
+    /// Faults injected by the machine's fault plan, by class.
+    pub injected: quamachine::fault::FaultStats,
+    /// Disk commands re-issued after transient errors.
+    pub disk_retries: u64,
+    /// Total retry backoff programmed into the disk, in µs.
+    pub disk_backoff_us: u64,
+    /// Disk requests that failed permanently.
+    pub disk_failed: u64,
+    /// Requests refused at submit because the range was quarantined.
+    pub disk_rejected_quarantined: u64,
+    /// Sectors currently quarantined.
+    pub sectors_quarantined: usize,
+    /// Threads reaped after guest-attributable machine errors.
+    pub threads_reaped: u64,
+    /// Threads quarantined by the fault-storm watchdog.
+    pub threads_quarantined: u64,
+    /// I/O errors surfaced to requesters.
+    pub io_errors: u64,
+}
+
+/// Snapshot the kernel's fault-injection and recovery counters.
+#[must_use]
+pub fn recovery_report(k: &Kernel) -> RecoveryReport {
+    RecoveryReport {
+        injected: k.m.fault.stats,
+        disk_retries: k.disk_sched.retries,
+        disk_backoff_us: k.disk_sched.backoff_us_total,
+        disk_failed: k.disk_sched.failed,
+        disk_rejected_quarantined: k.disk_sched.rejected_quarantined,
+        sectors_quarantined: k.disk_sched.quarantined_count(),
+        threads_reaped: k.recovery.reaped.read(),
+        threads_quarantined: k.recovery.quarantined.read(),
+        io_errors: k.recovery.io_errors.read(),
+    }
+}

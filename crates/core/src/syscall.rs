@@ -70,6 +70,8 @@ pub mod errno {
     pub const EINVAL: i32 = 22;
     /// Too many open files.
     pub const EMFILE: i32 = 24;
+    /// I/O error (disk retries exhausted or sector quarantined).
+    pub const EIO: i32 = 5;
 }
 
 /// `kcall` selectors used by synthesized code (see the template modules

@@ -12,6 +12,7 @@
 use std::any::Any;
 
 use crate::event::EventQueue;
+use crate::fault::FaultPlan;
 use crate::irq::IrqController;
 use crate::mem::Memory;
 
@@ -42,6 +43,8 @@ pub struct DevCtx<'a> {
     pub events: &'a mut EventQueue,
     /// Physical memory (for DMA).
     pub mem: &'a mut Memory,
+    /// The machine's fault plan (devices consult it at injection points).
+    pub fault: &'a mut FaultPlan,
     /// Current cycle count.
     pub now: u64,
     /// This device's index (needed to schedule events for itself).
@@ -60,6 +63,19 @@ impl DevCtx<'_> {
     #[must_use]
     pub fn cycles_per_event(&self, rate_hz: u64) -> u64 {
         (self.clock_hz / rate_hz).max(1)
+    }
+
+    /// Raise an interrupt through the fault plan: the raise may be lost.
+    ///
+    /// Only *self-healing* sources should route through this (e.g. the
+    /// periodic quantum timer, which re-raises every period); one-shot
+    /// completion interrupts use `ctx.irq.raise` directly so a lost edge
+    /// cannot wedge a waiter forever.
+    pub fn raise_irq(&mut self, level: u8) {
+        if self.fault.lose_irq(self.now, level) {
+            return;
+        }
+        self.irq.raise(level);
     }
 }
 

@@ -90,6 +90,7 @@ impl Device for Timer {
                 self.alarm_gen = self.alarm_gen.wrapping_add(1);
                 if val > 0 {
                     let delta = Timer::us_to_cycles(val, ctx);
+                    let delta = ctx.fault.timer_period(ctx.now, delta);
                     // Tag the event with the generation so a cancel or
                     // re-arm invalidates it.
                     ctx.schedule_in(delta, EV_ALARM | (self.alarm_gen << 8));
@@ -100,6 +101,7 @@ impl Device for Timer {
                 self.quantum_us = val;
                 if val > 0 {
                     let delta = Timer::us_to_cycles(val, ctx);
+                    let delta = ctx.fault.timer_period(ctx.now, delta);
                     ctx.schedule_in(delta, EV_QUANTUM | (self.quantum_gen << 8));
                 }
             }
@@ -118,9 +120,13 @@ impl Device for Timer {
             }
             EV_QUANTUM if gen == self.quantum_gen => {
                 self.quantum_fires += 1;
-                ctx.irq.raise(self.irq_level);
+                // Periodic and therefore self-healing: a lost raise is
+                // made up for by the next period's, so this raise is
+                // fault-eligible.
+                ctx.raise_irq(self.irq_level);
                 if self.quantum_us > 0 {
                     let delta = Timer::us_to_cycles(self.quantum_us, ctx);
+                    let delta = ctx.fault.timer_period(ctx.now, delta);
                     ctx.schedule_in(delta, EV_QUANTUM | (self.quantum_gen << 8));
                 }
             }

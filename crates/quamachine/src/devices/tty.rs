@@ -15,6 +15,8 @@
 use std::any::Any;
 use std::collections::VecDeque;
 
+use crate::fault::TtyRx;
+
 use super::{DevCtx, Device};
 
 /// `DATA` register offset.
@@ -46,6 +48,10 @@ pub struct Tty {
     irq_enabled: bool,
     /// Received characters dropped because nothing consumed them in time.
     pub chars_received: u64,
+    /// Ground truth: every byte that actually entered the input FIFO,
+    /// post-fault (drops excluded, duplicates doubled). Receivers that
+    /// lose nothing read exactly this sequence.
+    pub delivered: Vec<u8>,
 }
 
 impl Tty {
@@ -60,6 +66,7 @@ impl Tty {
             output: Vec::new(),
             irq_enabled: false,
             chars_received: 0,
+            delivered: Vec::new(),
         }
     }
 
@@ -69,14 +76,32 @@ impl Tty {
         self.irq_level
     }
 
+    /// Receive one byte through the fault plan; returns how many copies
+    /// entered the FIFO (0 = dropped, 2 = duplicated).
+    fn receive(&mut self, c: u8, ctx: &mut DevCtx) -> usize {
+        let copies = match ctx.fault.tty_rx(ctx.now, c) {
+            TtyRx::Drop => 0,
+            TtyRx::Deliver => 1,
+            TtyRx::Duplicate => 2,
+        };
+        for _ in 0..copies {
+            self.input.push_back(c);
+            self.delivered.push(c);
+        }
+        self.chars_received += copies as u64;
+        copies
+    }
+
     /// Host: make characters available immediately, raising the interrupt
     /// for the first one if enabled (use via
     /// [`Machine::with_dev_ctx`](crate::machine::Machine::with_dev_ctx)).
     pub fn inject(&mut self, bytes: &[u8], ctx: &mut DevCtx) {
         let was_empty = self.input.is_empty();
-        self.input.extend(bytes.iter().copied());
-        self.chars_received += bytes.len() as u64;
-        if was_empty && !bytes.is_empty() && self.irq_enabled {
+        let mut arrived = 0;
+        for &c in bytes {
+            arrived += self.receive(c, ctx);
+        }
+        if was_empty && arrived > 0 && self.irq_enabled {
             ctx.irq.raise(self.irq_level);
         }
     }
@@ -148,9 +173,7 @@ impl Device for Tty {
     fn tick(&mut self, what: u32, ctx: &mut DevCtx) {
         if what == EV_ARRIVAL {
             if let Some(c) = self.staged.pop_front() {
-                self.input.push_back(c);
-                self.chars_received += 1;
-                if self.irq_enabled {
+                if self.receive(c, ctx) > 0 && self.irq_enabled {
                     ctx.irq.raise(self.irq_level);
                 }
             }

@@ -146,6 +146,20 @@ impl Machine {
                     Exception::Trap(_) | Exception::ZeroDivide => next_pc,
                     _ => pc,
                 };
+                // Attribute error-class faults to the running thread (by
+                // its VBR) so embedders can spot a thread stuck
+                // re-faulting. Traps, interrupts, and lazy-FP are normal
+                // control flow and not counted.
+                if matches!(
+                    e,
+                    Exception::BusError
+                        | Exception::AddressError
+                        | Exception::IllegalInstruction
+                        | Exception::ZeroDivide
+                        | Exception::PrivilegeViolation
+                ) {
+                    *self.meter.error_faults.entry(self.cpu.vbr).or_insert(0) += 1;
+                }
                 self.take_exception(e, push_pc)?;
                 Ok(None)
             }

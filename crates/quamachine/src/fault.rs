@@ -1,0 +1,491 @@
+//! Deterministic fault injection for the simulated hardware.
+//!
+//! Real disks return soft errors, terminals drop characters, interrupt
+//! lines glitch, and timers drift. The Quamachine models all of these
+//! from a single seeded plan so that a failure trace is *reproducible*:
+//! the same seed and workload produce byte-for-byte the same faults, in
+//! the same order, at the same virtual times.
+//!
+//! A [`FaultPlan`] is owned by the [`Machine`](crate::machine::Machine)
+//! and threaded to every device through
+//! [`DevCtx`](crate::devices::DevCtx). Devices consult it at well-defined
+//! points:
+//!
+//! - **disk** — on each command, the plan may declare the transfer failed
+//!   (transient) or poison one of its sectors permanently (sticky); the
+//!   device then completes with `STATUS_ERR` instead of doing DMA.
+//! - **tty** — each received byte may be dropped or duplicated before it
+//!   reaches the input FIFO.
+//! - **interrupts** — raises routed through
+//!   [`DevCtx::raise_irq`](crate::devices::DevCtx::raise_irq) may be
+//!   lost (only self-healing sources route through it: the periodic
+//!   quantum timer re-raises every period); spurious interrupts are
+//!   injected by the machine's event pump at configured levels.
+//! - **timer** — alarm/quantum periods get bounded jitter.
+//!
+//! Every injected fault appends a [`FaultRecord`] to the plan's trace and
+//! bumps a counter in [`FaultStats`]; kernels report recovery against
+//! those numbers and soak tests compare whole traces across runs.
+
+use std::collections::BTreeSet;
+
+/// Per-fault-class injection rates and bounds. All rates are permille
+/// (0–1000) per opportunity; zero everywhere means no faults.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// Chance a disk command fails transiently (retry may succeed).
+    pub disk_transient_permille: u16,
+    /// Chance a disk command poisons its first sector permanently.
+    pub disk_sticky_permille: u16,
+    /// Chance a received tty byte is dropped before the FIFO.
+    pub tty_drop_permille: u16,
+    /// Chance a received tty byte is duplicated into the FIFO.
+    pub tty_dup_permille: u16,
+    /// Chance a fault-eligible interrupt raise is lost.
+    pub irq_lost_permille: u16,
+    /// Chance, per event-pump pass, of a spurious interrupt.
+    pub irq_spurious_permille: u16,
+    /// Levels eligible for spurious injection (bit *n* = level *n*).
+    pub irq_spurious_levels: u8,
+    /// Chance a timer period is jittered.
+    pub timer_jitter_permille: u16,
+    /// Maximum jitter magnitude, as permille of the period (± range).
+    pub timer_jitter_magnitude_permille: u16,
+}
+
+impl FaultConfig {
+    /// No faults (the default).
+    #[must_use]
+    pub fn none() -> FaultConfig {
+        FaultConfig::default()
+    }
+
+    /// A moderate mix of every fault class — the soak-test workhorse.
+    #[must_use]
+    pub fn soak() -> FaultConfig {
+        FaultConfig {
+            disk_transient_permille: 150,
+            disk_sticky_permille: 8,
+            tty_drop_permille: 30,
+            tty_dup_permille: 30,
+            irq_lost_permille: 20,
+            irq_spurious_permille: 1,
+            irq_spurious_levels: 0b0011_0100, // disk (2), tty (4), audio (5)
+            timer_jitter_permille: 100,
+            timer_jitter_magnitude_permille: 250,
+        }
+    }
+}
+
+/// What the plan decided about one disk command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskFault {
+    /// The transfer fails this time; a retry may succeed.
+    Transient,
+    /// A sector in the range is permanently bad; every retry fails.
+    BadSector(u32),
+}
+
+/// What the plan decided about one received tty byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TtyRx {
+    /// Deliver the byte normally.
+    Deliver,
+    /// Lose the byte.
+    Drop,
+    /// Deliver the byte twice.
+    Duplicate,
+}
+
+/// One injected fault, stamped with the cycle it happened at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultRecord {
+    /// A disk command failed transiently.
+    DiskTransient {
+        /// Cycle of the command.
+        at: u64,
+        /// First sector of the transfer.
+        sector: u32,
+        /// `true` for writes.
+        write: bool,
+    },
+    /// A sector went permanently bad.
+    DiskSticky {
+        /// Cycle of the command.
+        at: u64,
+        /// The poisoned sector.
+        sector: u32,
+    },
+    /// A received tty byte was dropped.
+    TtyDrop {
+        /// Cycle of arrival.
+        at: u64,
+        /// The lost byte.
+        byte: u8,
+    },
+    /// A received tty byte was duplicated.
+    TtyDup {
+        /// Cycle of arrival.
+        at: u64,
+        /// The doubled byte.
+        byte: u8,
+    },
+    /// An interrupt raise was swallowed.
+    IrqLost {
+        /// Cycle of the raise.
+        at: u64,
+        /// The level that failed to assert.
+        level: u8,
+    },
+    /// A spurious interrupt was asserted.
+    IrqSpurious {
+        /// Cycle of the injection.
+        at: u64,
+        /// The level asserted with no device work pending.
+        level: u8,
+    },
+    /// A timer period was jittered.
+    TimerJitter {
+        /// Cycle the period was programmed.
+        at: u64,
+        /// Requested period in cycles.
+        base: u64,
+        /// Actual period used.
+        actual: u64,
+    },
+}
+
+/// Injection counters, one per fault class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Transient disk command failures injected.
+    pub disk_transient: u64,
+    /// Sectors poisoned.
+    pub disk_sticky: u64,
+    /// Tty bytes dropped.
+    pub tty_dropped: u64,
+    /// Tty bytes duplicated.
+    pub tty_duplicated: u64,
+    /// Interrupt raises lost.
+    pub irq_lost: u64,
+    /// Spurious interrupts asserted.
+    pub irq_spurious: u64,
+    /// Timer periods jittered.
+    pub timer_jitter: u64,
+}
+
+impl FaultStats {
+    /// Total faults injected across all classes.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.disk_transient
+            + self.disk_sticky
+            + self.tty_dropped
+            + self.tty_duplicated
+            + self.irq_lost
+            + self.irq_spurious
+            + self.timer_jitter
+    }
+}
+
+/// A seeded, deterministic fault plan (see module docs).
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    enabled: bool,
+    state: u64,
+    /// The active rates and bounds.
+    pub cfg: FaultConfig,
+    bad_sectors: BTreeSet<u32>,
+    /// Injection counters.
+    pub stats: FaultStats,
+    trace: Vec<FaultRecord>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> FaultPlan {
+        FaultPlan::none()
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing; every consult is a cheap early-out.
+    #[must_use]
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            enabled: false,
+            state: 0,
+            cfg: FaultConfig::none(),
+            bad_sectors: BTreeSet::new(),
+            stats: FaultStats::default(),
+            trace: Vec::new(),
+        }
+    }
+
+    /// A plan drawing every decision from `seed` at the rates in `cfg`.
+    #[must_use]
+    pub fn seeded(seed: u64, cfg: FaultConfig) -> FaultPlan {
+        FaultPlan {
+            enabled: true,
+            state: seed ^ 0x5851_F42D_4C95_7F2D,
+            cfg,
+            bad_sectors: BTreeSet::new(),
+            stats: FaultStats::default(),
+            trace: Vec::new(),
+        }
+    }
+
+    /// Whether this plan can inject anything.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.enabled
+    }
+
+    /// The fault trace so far, in injection order.
+    #[must_use]
+    pub fn trace(&self) -> &[FaultRecord] {
+        &self.trace
+    }
+
+    /// Sectors currently marked permanently bad.
+    pub fn bad_sectors(&self) -> impl Iterator<Item = u32> + '_ {
+        self.bad_sectors.iter().copied()
+    }
+
+    /// Whether `sector` is permanently bad.
+    #[must_use]
+    pub fn is_bad_sector(&self, sector: u32) -> bool {
+        self.bad_sectors.contains(&sector)
+    }
+
+    /// Host-side: poison a sector directly (targeted tests).
+    pub fn poison_sector(&mut self, sector: u32) {
+        self.enabled = true;
+        self.bad_sectors.insert(sector);
+    }
+
+    fn roll(&mut self, permille: u16) -> bool {
+        if permille == 0 {
+            return false;
+        }
+        splitmix64(&mut self.state) % 1000 < u64::from(permille)
+    }
+
+    /// Consult for one disk command over `[sector, sector + count)`.
+    pub fn disk_command(
+        &mut self,
+        now: u64,
+        sector: u32,
+        count: u32,
+        write: bool,
+    ) -> Option<DiskFault> {
+        if !self.enabled {
+            return None;
+        }
+        // Sticky sectors dominate: once poisoned, every touch fails.
+        if let Some(&bad) = self
+            .bad_sectors
+            .range(sector..sector.saturating_add(count.max(1)))
+            .next()
+        {
+            return Some(DiskFault::BadSector(bad));
+        }
+        if self.roll(self.cfg.disk_sticky_permille) {
+            self.bad_sectors.insert(sector);
+            self.stats.disk_sticky += 1;
+            self.trace.push(FaultRecord::DiskSticky { at: now, sector });
+            return Some(DiskFault::BadSector(sector));
+        }
+        if self.roll(self.cfg.disk_transient_permille) {
+            self.stats.disk_transient += 1;
+            self.trace.push(FaultRecord::DiskTransient {
+                at: now,
+                sector,
+                write,
+            });
+            return Some(DiskFault::Transient);
+        }
+        None
+    }
+
+    /// Consult for one byte arriving at the tty receiver.
+    pub fn tty_rx(&mut self, now: u64, byte: u8) -> TtyRx {
+        if !self.enabled {
+            return TtyRx::Deliver;
+        }
+        if self.roll(self.cfg.tty_drop_permille) {
+            self.stats.tty_dropped += 1;
+            self.trace.push(FaultRecord::TtyDrop { at: now, byte });
+            return TtyRx::Drop;
+        }
+        if self.roll(self.cfg.tty_dup_permille) {
+            self.stats.tty_duplicated += 1;
+            self.trace.push(FaultRecord::TtyDup { at: now, byte });
+            return TtyRx::Duplicate;
+        }
+        TtyRx::Deliver
+    }
+
+    /// Consult for one fault-eligible interrupt raise; `true` = lost.
+    pub fn lose_irq(&mut self, now: u64, level: u8) -> bool {
+        if !self.enabled || !self.roll(self.cfg.irq_lost_permille) {
+            return false;
+        }
+        self.stats.irq_lost += 1;
+        self.trace.push(FaultRecord::IrqLost { at: now, level });
+        true
+    }
+
+    /// Consult once per event-pump pass; returns a level to assert
+    /// spuriously, if any.
+    pub fn spurious_irq(&mut self, now: u64) -> Option<u8> {
+        if !self.enabled
+            || self.cfg.irq_spurious_levels == 0
+            || !self.roll(self.cfg.irq_spurious_permille)
+        {
+            return None;
+        }
+        let eligible: Vec<u8> = (1..=7)
+            .filter(|l| self.cfg.irq_spurious_levels & (1 << l) != 0)
+            .collect();
+        let level = eligible[(splitmix64(&mut self.state) % eligible.len() as u64) as usize];
+        self.stats.irq_spurious += 1;
+        self.trace.push(FaultRecord::IrqSpurious { at: now, level });
+        Some(level)
+    }
+
+    /// Consult for one timer period of `base` cycles; returns the period
+    /// to actually use (bounded jitter, never zero).
+    pub fn timer_period(&mut self, now: u64, base: u64) -> u64 {
+        if !self.enabled || !self.roll(self.cfg.timer_jitter_permille) {
+            return base;
+        }
+        let span = base * u64::from(self.cfg.timer_jitter_magnitude_permille) / 1000;
+        if span == 0 {
+            return base;
+        }
+        // Uniform in [base - span, base + span].
+        let offset = splitmix64(&mut self.state) % (2 * span + 1);
+        let actual = (base - span + offset).max(1);
+        self.stats.timer_jitter += 1;
+        self.trace.push(FaultRecord::TimerJitter {
+            at: now,
+            base,
+            actual,
+        });
+        actual
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn busy_plan() -> FaultPlan {
+        FaultPlan::seeded(42, FaultConfig::soak())
+    }
+
+    #[test]
+    fn inert_plan_never_injects() {
+        let mut p = FaultPlan::none();
+        for i in 0..10_000u64 {
+            assert_eq!(p.disk_command(i, i as u32, 1, false), None);
+            assert_eq!(p.tty_rx(i, i as u8), TtyRx::Deliver);
+            assert!(!p.lose_irq(i, 2));
+            assert_eq!(p.spurious_irq(i), None);
+            assert_eq!(p.timer_period(i, 1000), 1000);
+        }
+        assert_eq!(p.stats.total(), 0);
+        assert!(p.trace().is_empty());
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        let (mut a, mut b) = (busy_plan(), busy_plan());
+        for i in 0..5_000u64 {
+            a.disk_command(i, (i % 64) as u32, 2, i % 2 == 0);
+            b.disk_command(i, (i % 64) as u32, 2, i % 2 == 0);
+            a.tty_rx(i, i as u8);
+            b.tty_rx(i, i as u8);
+            a.lose_irq(i, 6);
+            b.lose_irq(i, 6);
+            a.spurious_irq(i);
+            b.spurious_irq(i);
+            a.timer_period(i, 10_000);
+            b.timer_period(i, 10_000);
+        }
+        assert!(a.stats.total() > 0, "soak config must inject something");
+        assert_eq!(a.trace(), b.trace());
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = FaultPlan::seeded(1, FaultConfig::soak());
+        let mut b = FaultPlan::seeded(2, FaultConfig::soak());
+        for i in 0..5_000u64 {
+            a.disk_command(i, (i % 64) as u32, 1, false);
+            b.disk_command(i, (i % 64) as u32, 1, false);
+        }
+        assert_ne!(a.trace(), b.trace());
+    }
+
+    #[test]
+    fn sticky_sectors_stay_bad() {
+        let mut p = FaultPlan::none();
+        p.poison_sector(7);
+        for i in 0..100u64 {
+            assert_eq!(
+                p.disk_command(i, 5, 4, false),
+                Some(DiskFault::BadSector(7)),
+                "range [5,9) covers the poisoned sector"
+            );
+            assert_eq!(p.disk_command(i, 8, 2, true), None, "range [8,10) misses");
+        }
+        assert!(p.is_bad_sector(7));
+        assert_eq!(p.bad_sectors().collect::<Vec<_>>(), vec![7]);
+    }
+
+    #[test]
+    fn jitter_is_bounded() {
+        let mut p = FaultPlan::seeded(
+            9,
+            FaultConfig {
+                timer_jitter_permille: 1000,
+                timer_jitter_magnitude_permille: 250,
+                ..FaultConfig::none()
+            },
+        );
+        for i in 0..1_000u64 {
+            let actual = p.timer_period(i, 1000);
+            assert!((750..=1250).contains(&actual), "bounded: {actual}");
+        }
+        assert_eq!(p.stats.timer_jitter, 1_000);
+    }
+
+    #[test]
+    fn spurious_levels_respect_mask() {
+        let mut p = FaultPlan::seeded(
+            3,
+            FaultConfig {
+                irq_spurious_permille: 1000,
+                irq_spurious_levels: 0b0001_0100, // levels 2 and 4
+                ..FaultConfig::none()
+            },
+        );
+        let mut seen = BTreeSet::new();
+        for i in 0..500u64 {
+            if let Some(l) = p.spurious_irq(i) {
+                seen.insert(l);
+            }
+        }
+        assert_eq!(seen.into_iter().collect::<Vec<_>>(), vec![2, 4]);
+    }
+}

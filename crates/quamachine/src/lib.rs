@@ -62,6 +62,7 @@ pub mod devices;
 pub mod error;
 pub mod event;
 mod exec;
+pub mod fault;
 pub mod irq;
 pub mod isa;
 pub mod machine;
@@ -71,4 +72,5 @@ pub mod trace;
 pub use asm::Asm;
 pub use cost::CostModel;
 pub use error::{Exception, MachineError};
+pub use fault::{FaultConfig, FaultPlan};
 pub use machine::{Machine, MachineConfig, RunExit};

@@ -9,6 +9,7 @@ use crate::cpu::Cpu;
 use crate::devices::{DevCtx, Device, DEV_BASE, DEV_WINDOW};
 use crate::error::{Exception, MachineError};
 use crate::event::EventQueue;
+use crate::fault::FaultPlan;
 use crate::irq::IrqController;
 use crate::mem::Memory;
 use crate::trace::Meter;
@@ -88,6 +89,8 @@ pub struct Machine {
     pub cost: CostModel,
     /// Breakpoint addresses (kernel-monitor debugging).
     pub breakpoints: HashSet<u32>,
+    /// The fault-injection plan ([`FaultPlan::none`] unless seeded).
+    pub fault: FaultPlan,
 }
 
 impl Machine {
@@ -104,6 +107,7 @@ impl Machine {
             meter: Meter::new(config.trace_capacity),
             cost: config.cost,
             breakpoints: HashSet::new(),
+            fault: FaultPlan::none(),
         }
     }
 
@@ -116,6 +120,7 @@ impl Machine {
                 irq: &mut self.irq,
                 events: &mut self.events,
                 mem: &mut self.mem,
+                fault: &mut self.fault,
                 now: self.meter.cycles,
                 dev_index: index,
                 clock_hz: self.cost.clock_hz,
@@ -146,6 +151,7 @@ impl Machine {
             events,
             meter,
             cost,
+            fault,
             ..
         } = self;
         let dev = devices.get_mut(index)?.as_any().downcast_mut::<T>()?;
@@ -153,6 +159,7 @@ impl Machine {
             irq,
             events,
             mem,
+            fault,
             now: meter.cycles,
             dev_index: index,
             clock_hz: cost.clock_hz,
@@ -200,12 +207,14 @@ impl Machine {
                 events,
                 meter,
                 cost,
+                fault,
                 ..
             } = self;
             let mut ctx = DevCtx {
                 irq,
                 events,
                 mem,
+                fault,
                 now: meter.cycles,
                 dev_index: dev,
                 clock_hz: cost.clock_hz,
@@ -240,12 +249,14 @@ impl Machine {
                 events,
                 meter,
                 cost,
+                fault,
                 ..
             } = self;
             let mut ctx = DevCtx {
                 irq,
                 events,
                 mem,
+                fault,
                 now: meter.cycles,
                 dev_index: dev,
                 clock_hz: cost.clock_hz,
@@ -279,6 +290,11 @@ impl Machine {
 
     /// Deliver all device events due at the current cycle.
     pub fn process_events(&mut self) {
+        if self.fault.is_active() {
+            if let Some(level) = self.fault.spurious_irq(self.meter.cycles) {
+                self.irq.raise(level);
+            }
+        }
         while let Some(ev) = self.events.pop_due(self.meter.cycles) {
             let Machine {
                 devices,
@@ -287,12 +303,14 @@ impl Machine {
                 events,
                 meter,
                 cost,
+                fault,
                 ..
             } = self;
             let mut ctx = DevCtx {
                 irq,
                 events,
                 mem,
+                fault,
                 now: meter.cycles,
                 dev_index: ev.dev,
                 clock_hz: cost.clock_hz,

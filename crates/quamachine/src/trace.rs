@@ -6,6 +6,8 @@
 //! resolution interval timer" (paper Section 6.1). The paper's Tables 2–5
 //! were computed from these (Section 6.3).
 
+use std::collections::HashMap;
+
 use crate::isa::Instr;
 
 /// One trace record: an executed instruction.
@@ -28,6 +30,11 @@ pub struct Meter {
     pub cycles: u64,
     /// Exceptions taken (traps, interrupts, faults).
     pub exception_count: u64,
+    /// Error-class faults (bus/address error, illegal instruction, zero
+    /// divide, privilege violation) keyed by the VBR installed when they
+    /// hit — the VBR identifies the running thread, so embedders can
+    /// attribute fault storms to the thread causing them.
+    pub error_faults: HashMap<u32, u64>,
     /// Ring buffer of recent instructions, when tracing is on.
     ring: Vec<TraceRecord>,
     cap: usize,
@@ -45,6 +52,7 @@ impl Meter {
             instr_count: 0,
             cycles: 0,
             exception_count: 0,
+            error_faults: HashMap::new(),
             ring: Vec::with_capacity(cap),
             cap,
             head: 0,

@@ -1,0 +1,398 @@
+//! Fault-injection soak: the kernel's recovery machinery under seeded
+//! randomized device faults, across many distinct seeds.
+//!
+//! Each scenario boots a fresh kernel, installs a [`FaultPlan`] seeded
+//! from the loop index, runs a real pipeline (disk, tty, or pipe), and
+//! checks the recovery invariants:
+//!
+//! - successful reads carry intact data — faults may slow a transfer or
+//!   kill it, but never silently corrupt or reorder it;
+//! - exhausted retries surface as I/O errors (`KernelError::Io`
+//!   host-side, `EIO` through the kernel's submit API) and quarantine
+//!   the failing sectors;
+//! - guest-attributable machine errors (wild jumps, double faults) reap
+//!   the offending thread instead of killing the kernel, and fault
+//!   storms get the thread quarantined by the watchdog;
+//! - the same seed reproduces byte-for-byte the same fault trace.
+
+use synthesis::kernel::io::disk::{DiskRequest, MAX_RETRIES};
+use synthesis::kernel::kernel::{Kernel, KernelConfig, KernelError};
+use synthesis::kernel::layout;
+use synthesis::kernel::syscall::{errno, general, traps};
+use synthesis::machine::asm::Asm;
+use synthesis::machine::devices::disk::Disk;
+use synthesis::machine::devices::tty::Tty;
+use synthesis::machine::devices::{dev_reg_addr, tty};
+use synthesis::machine::fault::{FaultConfig, FaultPlan, FaultRecord};
+use synthesis::machine::isa::Size;
+use synthesis::machine::isa::{Operand::*, Size::*};
+use synthesis::machine::machine::RunExit;
+use synthesis::machine::mem::AddressMap;
+
+/// Distinct seeds each pipeline soaks under.
+const SEEDS: u64 = 32;
+
+const USTACK: u32 = layout::USER_BASE + 0x1_0000;
+const UBUF: u32 = layout::USER_BASE + 0x2_0000;
+const UBUF2: u32 = layout::USER_BASE + 0x3_0000;
+
+fn user_map() -> AddressMap {
+    AddressMap::single(1, layout::USER_BASE, layout::USER_LEN)
+}
+
+fn emit_exit(a: &mut Asm) {
+    a.move_i(L, general::EXIT, Dr(0));
+    a.trap(traps::GENERAL);
+}
+
+fn boot() -> Kernel {
+    Kernel::boot(KernelConfig::default()).expect("kernel boots")
+}
+
+// ---------------------------------------------------------------- disk --
+
+/// One disk soak run: four one-sector files loaded through the scheduler
+/// pipeline under transient + sticky disk faults. Returns the fault
+/// trace and how many loads failed with an I/O error.
+fn disk_scenario(seed: u64) -> (Vec<FaultRecord>, u32) {
+    let mut k = boot();
+    k.m.fault = FaultPlan::seeded(
+        seed,
+        FaultConfig {
+            disk_transient_permille: 250,
+            disk_sticky_permille: 6,
+            ..FaultConfig::none()
+        },
+    );
+    let image: Vec<u8> = (0..2048u32)
+        .map(|i| ((u64::from(i) * 13 + seed) % 251) as u8)
+        .collect();
+    k.m.device_mut::<Disk>(k.dev.disk)
+        .unwrap()
+        .load_image(64, &image);
+
+    let mut failed = 0;
+    for f in 0..4u32 {
+        let path = format!("/soak/{f}");
+        match k.load_file_from_disk(&path, 64 + f, 512) {
+            Ok(fid) => {
+                let want = &image[(f as usize) * 512..(f as usize + 1) * 512];
+                assert_eq!(
+                    k.fs.read_contents(&k.m, fid),
+                    want,
+                    "seed {seed}: a successful load must carry intact data"
+                );
+            }
+            Err(KernelError::Io(_)) => {
+                failed += 1;
+                assert!(
+                    k.disk_sched.failed > 0 || k.disk_sched.rejected_quarantined > 0,
+                    "seed {seed}: an I/O error implies a failed or rejected request"
+                );
+                assert!(
+                    k.recovery.io_errors.read() >= u64::from(failed),
+                    "seed {seed}: io_errors gauge counts every surfaced error"
+                );
+            }
+            Err(e) => panic!("seed {seed}: only Io errors are acceptable, got {e}"),
+        }
+    }
+    (k.m.fault.trace().to_vec(), failed)
+}
+
+#[test]
+fn disk_pipeline_soaks_across_seeds() {
+    let mut total_faults = 0usize;
+    let mut traces = Vec::new();
+    for seed in 0..SEEDS {
+        let (trace, _) = disk_scenario(seed);
+        // Same seed, same workload: the trace replays byte for byte.
+        let (replay, _) = disk_scenario(seed);
+        assert_eq!(
+            trace, replay,
+            "seed {seed}: fault trace must be reproducible"
+        );
+        total_faults += trace.len();
+        traces.push(trace);
+    }
+    assert!(
+        total_faults > 0,
+        "a 25% transient rate over {SEEDS} seeds must inject faults"
+    );
+    traces.dedup();
+    assert!(traces.len() > 1, "different seeds must diverge");
+}
+
+#[test]
+fn exhausted_retries_surface_eio_and_quarantine() {
+    for seed in 0..SEEDS {
+        let mut k = boot();
+        k.m.fault = FaultPlan::seeded(
+            seed,
+            FaultConfig {
+                disk_transient_permille: 1000, // every command fails
+                ..FaultConfig::none()
+            },
+        );
+        let img = vec![0x5Au8; 512];
+        k.m.device_mut::<Disk>(k.dev.disk)
+            .unwrap()
+            .load_image(40, &img);
+        match k.load_file_from_disk("/doomed", 40, 512) {
+            Err(KernelError::Io(_)) => {}
+            other => panic!("seed {seed}: expected an I/O error, got {other:?}"),
+        }
+        assert_eq!(
+            k.disk_sched.retries,
+            u64::from(MAX_RETRIES),
+            "seed {seed}: the scheduler retries to the limit before giving up"
+        );
+        assert!(
+            k.disk_sched.quarantined().any(|s| s == 40),
+            "seed {seed}: the failing sector is quarantined"
+        );
+        assert!(k.recovery.io_errors.read() >= 1);
+        // Fail fast from now on: the kernel API refuses with EIO without
+        // touching the hardware.
+        let req = DiskRequest {
+            sector: 40,
+            count: 1,
+            addr: 0x2_0000,
+            read: true,
+            cookie: 7,
+        };
+        assert_eq!(k.disk_submit(req), Err(errno::EIO));
+        assert!(k.disk_take_result(7).is_none(), "rejected, never in flight");
+        // The monitor's scoreboard aggregates both sides of the story:
+        // what was injected and what recovery did about it.
+        let rep = synthesis::kernel::monitor::recovery_report(&k);
+        assert!(rep.injected.disk_transient > u64::from(MAX_RETRIES));
+        assert_eq!(rep.disk_retries, u64::from(MAX_RETRIES));
+        assert_eq!(rep.disk_backoff_us, 7_500, "500+1000+2000+4000 µs");
+        assert_eq!(rep.sectors_quarantined, 1);
+        assert!(rep.disk_rejected_quarantined >= 1);
+        assert!(rep.io_errors >= 1);
+    }
+}
+
+// ----------------------------------------------------------------- tty --
+
+/// One tty soak run: a guest reads from `/dev/tty-raw` while 24 bytes
+/// are typed through a plan that drops and duplicates characters.
+/// Returns the fault trace.
+fn tty_scenario(seed: u64) -> Vec<FaultRecord> {
+    let mut k = boot();
+    k.m.fault = FaultPlan::seeded(
+        seed,
+        FaultConfig {
+            tty_drop_permille: 60,
+            tty_dup_permille: 60,
+            timer_jitter_permille: 200,
+            timer_jitter_magnitude_permille: 250,
+            ..FaultConfig::none()
+        },
+    );
+    let mut a = Asm::new("ttysoak");
+    a.move_i(L, general::OPEN, Dr(0));
+    a.lea(Abs(UBUF2), 0);
+    a.trap(traps::GENERAL);
+    a.lea(Abs(UBUF), 0);
+    a.move_i(L, 8, Dr(1));
+    a.trap(traps::READ);
+    a.move_(L, Dr(0), Abs(UBUF + 0x10));
+    emit_exit(&mut a);
+    let entry = k.load_user_program(a.assemble().unwrap()).unwrap();
+    k.m.mem.poke_bytes(UBUF2, b"/dev/tty-raw\0");
+    let tid = k.create_thread(entry, USTACK, user_map()).unwrap();
+    k.start(tid).unwrap();
+
+    let tty_idx = k.dev.tty;
+    k.m.with_dev_ctx::<Tty, _>(tty_idx, |t, ctx| {
+        t.type_at(b"the quick brown fox jump", 2000, ctx);
+    })
+    .unwrap();
+    let ctrl = dev_reg_addr(tty_idx, tty::REG_CTRL);
+    k.m.host_reg_write(ctrl, tty::CTRL_RX_IRQ);
+
+    assert!(
+        k.run_until_exit(tid, 500_000_000),
+        "seed {seed}: the reader finishes despite dropped/duplicated input"
+    );
+    let got = k.m.mem.peek(UBUF + 0x10, Size::L) as usize;
+    assert!((1..=8).contains(&got), "seed {seed}: short read of {got}");
+    // Ground truth: the device records exactly what entered the FIFO
+    // post-fault. A correct receive path reads a prefix of that, in
+    // order — no loss, no reordering beyond the injected faults.
+    let delivered = k.m.device_mut::<Tty>(tty_idx).unwrap().delivered.clone();
+    assert!(delivered.len() >= got, "seed {seed}: read beyond delivery");
+    assert_eq!(
+        k.m.mem.peek_bytes(UBUF, got as u32),
+        delivered[..got],
+        "seed {seed}: guest bytes must match the post-fault stream"
+    );
+    k.m.fault.trace().to_vec()
+}
+
+#[test]
+fn tty_pipeline_soaks_across_seeds() {
+    let mut total_faults = 0usize;
+    for seed in 0..SEEDS {
+        let trace = tty_scenario(seed);
+        let replay = tty_scenario(seed);
+        assert_eq!(
+            trace, replay,
+            "seed {seed}: fault trace must be reproducible"
+        );
+        total_faults += trace.len();
+    }
+    assert!(total_faults > 0, "drop/dup rates must inject faults");
+}
+
+// ---------------------------------------------------------------- pipe --
+
+/// One pipe soak run: writer → reader through a kernel pipe while the
+/// interrupt fabric misbehaves (lost quantum raises, spurious device
+/// interrupts, jittered timer periods).
+fn pipe_scenario(seed: u64) {
+    let mut k = boot();
+    k.m.fault = FaultPlan::seeded(
+        seed,
+        FaultConfig {
+            irq_lost_permille: 150,
+            irq_spurious_permille: 4,
+            irq_spurious_levels: 0b0011_0100, // disk (2), tty (4), audio (5)
+            timer_jitter_permille: 300,
+            timer_jitter_magnitude_permille: 250,
+            ..FaultConfig::none()
+        },
+    );
+    let mut reader = Asm::new("reader");
+    reader.move_i(L, 0, Dr(0)); // rfd = fd 0 in the reader thread
+    reader.lea(Abs(UBUF + 0x100), 0);
+    reader.move_i(L, 8, Dr(1));
+    reader.trap(traps::READ);
+    reader.move_(L, Dr(0), Abs(UBUF2));
+    emit_exit(&mut reader);
+
+    let mut writer = Asm::new("writer");
+    writer.move_i(L, 20_000, Dr(3)); // let the reader block first
+    let spin = writer.here();
+    writer.dbf(3, spin);
+    writer.move_i(L, 1, Dr(0)); // wfd = fd 1 in the writer thread
+    writer.lea(Abs(UBUF), 0);
+    writer.move_i(L, 8, Dr(1));
+    writer.trap(traps::WRITE);
+    emit_exit(&mut writer);
+
+    let re = k.load_user_program(reader.assemble().unwrap()).unwrap();
+    let we = k.load_user_program(writer.assemble().unwrap()).unwrap();
+    let rt = k.create_thread(re, USTACK, user_map()).unwrap();
+    let wt = k.create_thread(we, USTACK + 0x1000, user_map()).unwrap();
+    k.pipe_for(rt).unwrap();
+    k.pipe_attach(wt, 0).unwrap();
+    k.m.mem.poke_bytes(UBUF, b"pipesoak");
+    k.start(rt).unwrap();
+    k.start(wt).unwrap();
+    assert!(
+        k.run_until_exit(rt, 500_000_000),
+        "seed {seed}: the reader finishes under interrupt chaos"
+    );
+    assert_eq!(k.m.mem.peek(UBUF2, Size::L), 8, "seed {seed}");
+    assert_eq!(
+        k.m.mem.peek_bytes(UBUF + 0x100, 8),
+        b"pipesoak",
+        "seed {seed}: pipe data survives lost/spurious interrupts"
+    );
+}
+
+#[test]
+fn pipe_pipeline_soaks_across_seeds() {
+    for seed in 0..SEEDS {
+        pipe_scenario(seed);
+    }
+}
+
+// ------------------------------------------------------------ recovery --
+
+/// A guest thread that jumps through a corrupted trap vector dies alone:
+/// the kernel reaps it and every other thread keeps running.
+#[test]
+fn wild_jump_is_reaped_not_fatal() {
+    for seed in 0..8 {
+        let mut k = boot();
+        k.m.fault = FaultPlan::seeded(seed, FaultConfig::soak());
+
+        let mut v = Asm::new("victim");
+        v.trap(traps::UNIX); // vector corrupted below
+        let victim_entry = k.load_user_program(v.assemble().unwrap()).unwrap();
+        let victim = k.create_thread(victim_entry, USTACK, user_map()).unwrap();
+        // The thread has scribbled a wild address over its own trap
+        // vector: taking the trap lands the PC outside any code block.
+        k.set_vector(victim, 32 + u32::from(traps::UNIX), 0x00F0_0000)
+            .unwrap();
+
+        let mut g = Asm::new("good");
+        g.move_i(L, 0xA11_C1EA, Abs(UBUF2 + 0x40));
+        emit_exit(&mut g);
+        let good_entry = k.load_user_program(g.assemble().unwrap()).unwrap();
+        let good = k
+            .create_thread(good_entry, USTACK + 0x1000, user_map())
+            .unwrap();
+
+        k.start(victim).unwrap();
+        k.start(good).unwrap();
+        assert!(
+            k.run_until_exit(good, 500_000_000),
+            "seed {seed}: the innocent thread outlives the reaping"
+        );
+        assert_eq!(k.m.mem.peek(UBUF2 + 0x40, Size::L), 0xA11_C1EA);
+        // Keep the kernel running until the victim's trap lands and the
+        // reaper does its job.
+        assert_eq!(k.run(5_000_000), RunExit::CycleLimit);
+        assert!(k.recovery.reaped.read() >= 1, "seed {seed}: reap counted");
+        assert!(
+            k.recovery_log
+                .iter()
+                .any(|(t, why)| *t == victim && why.starts_with("reaped")),
+            "seed {seed}: the reap is attributed to the faulting thread"
+        );
+        assert!(
+            !k.threads.contains_key(&victim),
+            "seed {seed}: the reaped thread is fully torn down"
+        );
+    }
+}
+
+/// A thread stuck re-faulting through its own (sabotaged) error handler
+/// is quarantined by the watchdog instead of monopolizing the CPU.
+#[test]
+fn fault_storm_thread_is_quarantined() {
+    let mut k = boot();
+    let mut a = Asm::new("storm");
+    a.move_(L, Abs(0x10), Dr(0)); // bus error, forever
+    a.rte(); // "handler": return straight into the fault
+    let block = a.assemble().unwrap();
+    let stub = block.offsets[1];
+    let entry = k.load_user_program(block).unwrap();
+    let tid = k.create_thread(entry, USTACK, user_map()).unwrap();
+    // Sabotage the bus-error vector so the fault never reaches the
+    // default exit handler: fault -> rte -> fault, stack-neutral.
+    k.set_vector(tid, 2, entry + stub).unwrap();
+    k.start(tid).unwrap();
+
+    assert_eq!(k.run(5_000_000), RunExit::CycleLimit);
+    assert!(k.is_quarantined(tid), "the storm thread is quarantined");
+    assert_eq!(k.recovery.quarantined.read(), 1);
+    assert!(
+        k.recovery_log.iter().any(|(t, _)| *t == tid),
+        "the quarantine is logged against the thread"
+    );
+    assert!(
+        matches!(k.start(tid), Err(KernelError::Invalid(_))),
+        "a quarantined thread cannot be restarted"
+    );
+    // The kernel itself is fine: idle keeps accumulating virtual time.
+    let t0 = k.m.now_us();
+    assert_eq!(k.run(200_000), RunExit::CycleLimit);
+    assert!(k.m.now_us() > t0, "the kernel survived the storm");
+}

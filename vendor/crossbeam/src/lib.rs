@@ -1,0 +1,96 @@
+//! Offline stand-in for the `crossbeam` crate (no crates.io in the build
+//! container). Provides the small API surface the workspace uses:
+//! [`utils::CachePadded`] and [`scope`].
+
+#![warn(missing_docs)]
+
+/// Utilities (mirrors `crossbeam_utils`).
+pub mod utils {
+    use std::ops::{Deref, DerefMut};
+
+    /// Pads and aligns a value to 128 bytes so adjacent hot fields do not
+    /// share a cache line (false sharing). 128 covers the spatial
+    /// prefetcher pairing on modern x86 as well as 64-byte lines.
+    #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        /// Pad `value`.
+        pub const fn new(value: T) -> CachePadded<T> {
+            CachePadded { value }
+        }
+
+        /// Unwrap the padded value.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T> From<T> for CachePadded<T> {
+        fn from(value: T) -> CachePadded<T> {
+            CachePadded::new(value)
+        }
+    }
+}
+
+/// Threading utilities (mirrors `crossbeam::thread`).
+pub mod thread {
+    /// Scoped-thread handle passed to the [`scope`](super::scope) closure.
+    ///
+    /// Backed by [`std::thread::Scope`]; spawned threads may borrow from
+    /// the enclosing stack frame and are joined when the scope ends.
+    pub type Scope<'scope, 'env> = std::thread::Scope<'scope, 'env>;
+
+    /// Run `f` with a scope in which borrowing threads can be spawned.
+    ///
+    /// Unlike crossbeam's, panics from child threads propagate when the
+    /// scope joins (std semantics), so the `Result` is always `Ok`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(f))
+    }
+}
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    use super::utils::CachePadded;
+
+    #[test]
+    fn cache_padded_is_aligned_and_derefs() {
+        let p = CachePadded::new(7u64);
+        assert_eq!(*p, 7);
+        assert_eq!(std::mem::align_of::<CachePadded<u64>>(), 128);
+        assert_eq!(p.into_inner(), 7);
+    }
+
+    #[test]
+    fn scope_joins_borrowing_threads() {
+        let mut v = vec![1, 2, 3];
+        super::scope(|s| {
+            s.spawn(|| v.iter().sum::<i32>());
+        })
+        .unwrap();
+        v.push(4);
+        assert_eq!(v.len(), 4);
+    }
+}

@@ -1,0 +1,254 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! The build container has no crates.io access, so the workspace vendors
+//! the minimal API surface it actually uses, implemented over `std::sync`.
+//! Semantic differences from the real crate that matter here:
+//!
+//! - poisoning is swallowed (`parking_lot` has no poisoning; we recover
+//!   the guard from a poisoned `std` lock);
+//! - `Condvar::wait_for` returns a [`WaitTimeoutResult`] just like
+//!   `parking_lot`'s, backed by `std`'s timed wait.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// A mutual-exclusion lock with `parking_lot`'s panic-free `lock()`.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// RAII guard returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Create a mutex protecting `t`.
+    pub const fn new(t: T) -> Mutex<T> {
+        Mutex {
+            inner: std::sync::Mutex::new(t),
+        }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(t) => t,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking until available. Never panics on
+    /// poisoning (matching `parking_lot`).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Try to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(t) => t,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+/// Whether a timed wait returned because the timeout elapsed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// `true` if the wait timed out (no notification arrived).
+    #[must_use]
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// A condition variable with `parking_lot`'s guard-in-place API.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+    // std::sync::Condvar::wait takes the guard by value; parking_lot takes
+    // `&mut guard`. Bridge with a take/replace dance below.
+}
+
+impl Condvar {
+    /// Create a condition variable.
+    #[must_use]
+    pub const fn new() -> Condvar {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Block until notified, re-acquiring the lock before returning.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        replace_guard(guard, |g| match self.inner.wait(g) {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        });
+    }
+
+    /// Block until notified or `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let timed_out = AtomicBool::new(false);
+        replace_guard(guard, |g| match self.inner.wait_timeout(g, timeout) {
+            Ok((g, r)) => {
+                timed_out.store(r.timed_out(), Ordering::Relaxed);
+                g
+            }
+            Err(p) => {
+                let (g, r) = p.into_inner();
+                timed_out.store(r.timed_out(), Ordering::Relaxed);
+                g
+            }
+        });
+        WaitTimeoutResult(timed_out.load(Ordering::Relaxed))
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) -> bool {
+        self.inner.notify_one();
+        // parking_lot reports whether a thread was woken; std cannot, so
+        // report pessimistically. No caller in this workspace inspects it.
+        false
+    }
+
+    /// Wake all waiters.
+    pub fn notify_all(&self) -> usize {
+        self.inner.notify_all();
+        0
+    }
+}
+
+/// Run `f` on the guard by value, storing the returned guard back.
+fn replace_guard<T: ?Sized>(
+    guard: &mut MutexGuard<'_, T>,
+    f: impl FnOnce(MutexGuard<'_, T>) -> MutexGuard<'_, T>,
+) {
+    // SAFETY-free version: we cannot move out of `&mut` without a
+    // placeholder, so use ptr::read/write carefully... instead, avoid
+    // unsafe entirely by exploiting that std's wait consumes and returns
+    // the guard for the SAME mutex: temporarily swap through Option via
+    // raw pointer is unnecessary — use the unstable-free idiom below.
+    take_mut(guard, f);
+}
+
+/// Minimal `take_mut`: move out of a `&mut`, run `f`, move back. Aborts
+/// the process if `f` panics (a panic mid-wait would otherwise leave an
+/// invalid guard behind).
+fn take_mut<G>(slot: &mut G, f: impl FnOnce(G) -> G) {
+    struct AbortOnPanic;
+    impl Drop for AbortOnPanic {
+        fn drop(&mut self) {
+            std::process::abort();
+        }
+    }
+    // SAFETY: `slot` is valid for reads and writes; the value read is
+    // either passed through `f` and written back, or the process aborts
+    // before the duplicated value can be observed or dropped twice.
+    unsafe {
+        let bomb = AbortOnPanic;
+        let g = std::ptr::read(slot);
+        let g = f(g);
+        std::ptr::write(slot, g);
+        std::mem::forget(bomb);
+    }
+}
+
+/// A reader-writer lock with `parking_lot`'s panic-free API.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Create a lock protecting `t`.
+    pub const fn new(t: T) -> RwLock<T> {
+        RwLock {
+            inner: std::sync::RwLock::new(t),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire a shared read guard.
+    pub fn read(&self) -> std::sync::RwLockReadGuard<'_, T> {
+        match self.inner.read() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Acquire an exclusive write guard.
+    pub fn write(&self) -> std::sync::RwLockWriteGuard<'_, T> {
+        match self.inner.write() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_basics() {
+        let m = Mutex::new(5);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 6);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out() {
+        let m = Mutex::new(());
+        let c = Condvar::new();
+        let mut g = m.lock();
+        let r = c.wait_for(&mut g, Duration::from_millis(10));
+        assert!(r.timed_out());
+    }
+
+    #[test]
+    fn condvar_notify_crosses_threads() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = pair.clone();
+        let h = std::thread::spawn(move || {
+            let (m, c) = &*p2;
+            let mut done = m.lock();
+            *done = true;
+            drop(done);
+            c.notify_one();
+        });
+        let (m, c) = &*pair;
+        let mut done = m.lock();
+        while !*done {
+            let r = c.wait_for(&mut done, Duration::from_millis(50));
+            let _ = r;
+        }
+        h.join().unwrap();
+        assert!(*done);
+    }
+}
