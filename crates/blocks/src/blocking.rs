@@ -13,14 +13,14 @@
 //! end. Closing wakes every parked party so a producer blocked on a full
 //! queue whose consumer is gone does not wedge forever.
 
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
 use crate::mpmc;
-use crate::{Disconnected, Full};
+use crate::sync::{AtomicBool, Ordering};
+use crate::{BatchFull, Disconnected, Full};
 
 struct Waiters {
     lock: Mutex<()>,
@@ -178,6 +178,21 @@ impl<T: Send> BlockingQueue<T> {
         let r = self.q.put(data);
         if r.is_ok() {
             self.w.not_empty.notify_one();
+        }
+        r
+    }
+
+    /// Non-blocking all-or-nothing batch insert (the paper's multi-item
+    /// insert, via [`mpmc::Handle::put_many`]). Wakes all parked
+    /// consumers on success — a batch can satisfy several of them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BatchFull`] handing the batch back when it does not fit.
+    pub fn try_put_many(&self, data: Vec<T>) -> Result<(), BatchFull<T>> {
+        let r = self.q.put_many(data);
+        if r.is_ok() {
+            self.w.not_empty.notify_all();
         }
         r
     }

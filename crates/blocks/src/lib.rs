@@ -43,9 +43,12 @@ pub mod mpmc;
 pub mod mpsc;
 pub mod pump;
 pub mod signal;
+#[cfg(feature = "sim")]
+pub mod sim;
 pub mod spmc;
 pub mod spsc;
 pub mod switch;
+pub mod sync;
 
 /// Result of a non-blocking queue insert: the queue was full and the item
 /// is handed back.

@@ -6,14 +6,13 @@
 //! "Optimistic queues accept queue insert and queue delete operations from
 //! multiple producers and multiple consumers."
 
-use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam::utils::CachePadded;
 
-use crate::Full;
+use crate::sync::{AtomicU64, Ordering, UnsafeCell};
+use crate::{BatchFull, Full};
 
 struct Slot<T> {
     seq: AtomicU64,
@@ -119,6 +118,80 @@ impl<T> Handle<T> {
         }
     }
 
+    /// Insert a whole batch, all-or-nothing (the paper's multi-item
+    /// insert): stake a claim to `n` slots with a *single*
+    /// compare-and-swap on the head — Figure 2's multi-item claim.
+    ///
+    /// Every slot in the claim range is checked free *before* the CAS.
+    /// Checking cannot go stale between the check and a successful CAS:
+    /// a free slot's stamp advances only when the producer owning its
+    /// counter fills it, and counters `h..h+n` can only be owned by
+    /// winning the head CAS from `h` — which is us. Consumers finishing
+    /// out of order is why each slot must be checked individually (a
+    /// later slot can be free while an earlier one is still being read).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BatchFull`] handing the batch back untouched when the
+    /// batch does not fit.
+    pub fn put_many(&self, data: Vec<T>) -> Result<(), BatchFull<T>> {
+        let n = data.len() as u64;
+        if n == 0 {
+            return Ok(());
+        }
+        let cap = self.q.buf.len() as u64;
+        if n > cap {
+            return Err(BatchFull(data));
+        }
+        loop {
+            let h = self.q.head.load(Ordering::Relaxed);
+            let mut stale = false;
+            let mut full = false;
+            for j in 0..n {
+                let seq = self.q.buf[((h + j) % cap) as usize]
+                    .seq
+                    .load(Ordering::Acquire);
+                if seq < h + j {
+                    full = true; // last lap's item still in the slot
+                    break;
+                }
+                if seq > h + j {
+                    stale = true; // our head read is behind; retry
+                    break;
+                }
+            }
+            if full {
+                return Err(BatchFull(data));
+            }
+            if stale {
+                std::hint::spin_loop();
+                continue;
+            }
+            match self
+                .q
+                .head
+                .compare_exchange_weak(h, h + n, Ordering::AcqRel, Ordering::Relaxed)
+            {
+                Ok(_) => {
+                    for (j, item) in data.into_iter().enumerate() {
+                        let c = h + j as u64;
+                        let slot = &self.q.buf[(c % cap) as usize];
+                        // SAFETY: Winning the claim on counters h..h+n
+                        // gives us each slot until we stamp it filled.
+                        unsafe {
+                            (*slot.val.get()).write(item);
+                        }
+                        slot.seq.store(c + 1, Ordering::Release);
+                    }
+                    return Ok(());
+                }
+                Err(_) => {
+                    self.q.retries.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
     /// Take an item, or `None` when the queue is empty.
     pub fn get(&self) -> Option<T> {
         let cap = self.q.buf.len() as u64;
@@ -166,12 +239,19 @@ impl<T> Handle<T> {
         self.q.buf.len()
     }
 
-    /// Approximate occupancy.
+    /// Approximate occupancy, never exceeding [`Self::capacity`].
+    ///
+    /// Tail is read first: reading head first lets concurrent put/get
+    /// pairs advance both counters in between, so `head - old_tail`
+    /// could exceed the capacity. Even with this order the difference
+    /// can overshoot (tail may lag arbitrarily behind the later head
+    /// read under wraparound), so the result is clamped — occupancy can
+    /// never truly exceed the slot count.
     #[must_use]
     pub fn len_hint(&self) -> usize {
+        let t = self.q.tail.load(Ordering::Acquire);
         let h = self.q.head.load(Ordering::Relaxed);
-        let t = self.q.tail.load(Ordering::Relaxed);
-        h.saturating_sub(t) as usize
+        (h.saturating_sub(t) as usize).min(self.q.buf.len())
     }
 }
 

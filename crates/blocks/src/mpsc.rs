@@ -18,13 +18,12 @@
 //! index is `counter % capacity`. This avoids the ABA hazards of wrapped
 //! indices while preserving the algorithm.
 
-use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam::utils::CachePadded;
 
+use crate::sync::{AtomicBool, AtomicU64, Ordering, UnsafeCell};
 use crate::{BatchFull, Full};
 
 struct Slot<T> {

@@ -6,13 +6,13 @@
 //! callback, which the kernel layer wires to its signal mechanism and
 //! examples wire to whatever they like.
 
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use crate::mpmc;
-use crate::{Disconnected, Full};
+use crate::sync::{AtomicBool, Ordering};
+use crate::{BatchFull, Disconnected, Full};
 
 /// Callback type for queue-condition signals.
 pub type SignalFn = Arc<dyn Fn() + Send + Sync>;
@@ -105,6 +105,29 @@ impl<T: Send> SignalQueue<T> {
         }
         let was_empty = self.q.len_hint() == 0;
         let r = self.q.put(data);
+        if r.is_ok() && was_empty {
+            if let Some(f) = self.s.data_ready.lock().clone() {
+                f();
+            }
+        }
+        r
+    }
+
+    /// All-or-nothing batch insert (the paper's multi-item insert, via
+    /// [`mpmc::Handle::put_many`]); signals `data_ready` on the
+    /// empty→non-empty edge exactly once for the whole batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BatchFull`] when the batch does not fit *or* the queue
+    /// is closed (as with [`SignalQueue::put`], a dead consumer's queue
+    /// will never drain).
+    pub fn put_many(&self, data: Vec<T>) -> Result<(), BatchFull<T>> {
+        if self.is_closed() {
+            return Err(BatchFull(data));
+        }
+        let was_empty = self.q.len_hint() == 0;
+        let r = self.q.put_many(data);
         if r.is_ok() && was_empty {
             if let Some(f) = self.s.data_ready.lock().clone() {
                 f();

@@ -1,0 +1,134 @@
+//! A deliberately broken queue, used to prove the explorer has teeth.
+//!
+//! [`BrokenMpsc`] is the Figure 2 multi-producer claim with its CAS
+//! replaced by a plain load + store — exactly the bug the paper's
+//! optimistic protocol exists to prevent. Two producers that read the
+//! same head both write the same slot; one item vanishes. The fixture is
+//! `u64`-only and slot values are offset by one so no `unsafe` is needed.
+//!
+//! The acceptance test (`sim::broken::tests`) asserts that bounded DFS
+//! catches the lost update with a *minimal* schedule (a single
+//! preemption, between the load and the store) and that the recorded
+//! trace replays to the same failure.
+
+use crate::sync::{AtomicU64, Ordering};
+
+/// Multi-producer array queue with a torn (non-CAS) claim. Test fixture
+/// only — it is wrong by design.
+pub struct BrokenMpsc {
+    head: AtomicU64,
+    /// `0` = empty, else `value + 1`.
+    slots: Vec<AtomicU64>,
+}
+
+impl BrokenMpsc {
+    /// Queue with room for `cap` items.
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        Self {
+            head: AtomicU64::new(0),
+            slots: (0..cap).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// The broken claim: where the real mpsc queue does
+    /// `compare_exchange(h, h + 1)`, this does `load; store(h + 1)` —
+    /// a second producer scheduled between the two steals the slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(v)` when the queue is full.
+    pub fn put(&self, v: u64) -> Result<(), u64> {
+        let h = self.head.load(Ordering::Acquire);
+        if h as usize >= self.slots.len() {
+            return Err(v);
+        }
+        self.head.store(h + 1, Ordering::Release); // BUG: should be a CAS
+        self.slots[h as usize].store(v + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// All values present, in slot order.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.slots
+            .iter()
+            .map(|s| s.load(Ordering::Acquire))
+            .filter(|&v| v != 0)
+            .map(|v| v - 1)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{Explorer, Scenario};
+    use std::sync::Arc;
+
+    fn scenario() -> Scenario {
+        let q = Arc::new(BrokenMpsc::new(4));
+        let (p1, p2) = (Arc::clone(&q), Arc::clone(&q));
+        Scenario::new()
+            .thread(move || {
+                p1.put(10).unwrap();
+            })
+            .thread(move || {
+                p2.put(20).unwrap();
+            })
+            .check(move || {
+                let mut got = q.snapshot();
+                got.sort_unstable();
+                if got == [10, 20] {
+                    Ok(())
+                } else {
+                    Err(format!("lost update: queue holds {got:?}, want [10, 20]"))
+                }
+            })
+    }
+
+    /// The explorer must catch the torn claim, with a minimal (single
+    /// preemption) trace that replays byte-for-byte.
+    #[test]
+    fn broken_claim_is_caught_with_replayable_minimal_trace() {
+        let explorer = Explorer {
+            preemption_budget: 3,
+            ..Explorer::default()
+        };
+        let report = explorer.explore_minimal(scenario);
+        let failure = report
+            .failure
+            .expect("DFS must find the lost-update interleaving");
+        assert_eq!(
+            failure.preemption_budget, 1,
+            "minimal witness preempts once, between the head load and store"
+        );
+        assert!(failure.message.contains("lost update"), "{failure}");
+
+        let replayed = explorer
+            .replay(&failure.choices, failure.preemption_budget, scenario)
+            .expect_err("the recorded schedule must reproduce the failure");
+        assert_eq!(replayed.message, failure.message);
+
+        // And sanity: sequential schedules (budget 0) never trip it.
+        let seq = Explorer {
+            preemption_budget: 0,
+            ..Explorer::default()
+        };
+        seq.explore(scenario).assert_ok();
+    }
+
+    /// The random-walk mode finds the same bug from a fixed seed.
+    #[test]
+    fn random_walk_finds_the_torn_claim() {
+        let explorer = Explorer {
+            preemption_budget: 4,
+            ..Explorer::default()
+        };
+        let report = explorer.random_walk(0xC0FFEE, 500, scenario);
+        assert!(
+            report.failure.is_some(),
+            "500 random schedules at budget 4 should hit the race"
+        );
+    }
+}

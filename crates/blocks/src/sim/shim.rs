@@ -1,0 +1,207 @@
+//! Instrumented stand-ins for `std::sync::atomic` types and
+//! `UnsafeCell`, aliased in by [`crate::sync`] under `--features sim`.
+//!
+//! Every atomic operation first calls [`crate::sim::sim_point`]: when the
+//! calling thread is a registered model thread of a running simulation,
+//! that parks the thread and lets the scheduler decide who performs the
+//! next shared-memory access; outside a simulation it is a cheap
+//! thread-local check and the operation behaves exactly like the real
+//! atomic. The values themselves are still held in real `std` atomics, so
+//! the shims are correct under real parallelism too — determinism comes
+//! from the executor serializing model threads, not from the shims.
+//!
+//! Two deliberate deviations from `std`, both in the direction of
+//! deterministic exploration:
+//!
+//! - `compare_exchange_weak` never fails spuriously (it delegates to the
+//!   strong version). A spurious failure is a hardware scheduling event;
+//!   under the simulator all scheduling is explicit.
+//! - The interleavings explored are sequentially consistent: only one
+//!   model thread runs between preemption points. Weak-memory
+//!   reorderings are out of scope (as in most stateless model checkers
+//!   with this design).
+
+use std::sync::atomic::Ordering;
+
+use super::sim_point;
+
+macro_rules! sim_atomic_int {
+    ($(#[$meta:meta])* $name:ident, $std:ident, $raw:ty) => {
+        $(#[$meta])*
+        #[derive(Debug, Default)]
+        #[repr(transparent)]
+        pub struct $name {
+            inner: std::sync::atomic::$std,
+        }
+
+        impl $name {
+            /// Create a new atomic holding `v`.
+            #[must_use]
+            pub const fn new(v: $raw) -> Self {
+                Self { inner: std::sync::atomic::$std::new(v) }
+            }
+
+            /// Atomic load; a simulator preemption point.
+            pub fn load(&self, order: Ordering) -> $raw {
+                sim_point();
+                self.inner.load(order)
+            }
+
+            /// Atomic store; a simulator preemption point.
+            pub fn store(&self, v: $raw, order: Ordering) {
+                sim_point();
+                self.inner.store(v, order);
+            }
+
+            /// Atomic swap; a simulator preemption point.
+            pub fn swap(&self, v: $raw, order: Ordering) -> $raw {
+                sim_point();
+                self.inner.swap(v, order)
+            }
+
+            /// Atomic fetch-add; a simulator preemption point.
+            pub fn fetch_add(&self, v: $raw, order: Ordering) -> $raw {
+                sim_point();
+                self.inner.fetch_add(v, order)
+            }
+
+            /// Atomic fetch-sub; a simulator preemption point.
+            pub fn fetch_sub(&self, v: $raw, order: Ordering) -> $raw {
+                sim_point();
+                self.inner.fetch_sub(v, order)
+            }
+
+            /// Atomic compare-exchange; a simulator preemption point.
+            ///
+            /// # Errors
+            ///
+            /// Returns the observed value when it differs from `current`.
+            pub fn compare_exchange(
+                &self,
+                current: $raw,
+                new: $raw,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$raw, $raw> {
+                sim_point();
+                self.inner.compare_exchange(current, new, success, failure)
+            }
+
+            /// Like [`Self::compare_exchange`], but never fails spuriously:
+            /// under the simulator every failure must be attributable to a
+            /// real interleaving, so "weak" delegates to the strong form.
+            ///
+            /// # Errors
+            ///
+            /// Returns the observed value when it differs from `current`.
+            pub fn compare_exchange_weak(
+                &self,
+                current: $raw,
+                new: $raw,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$raw, $raw> {
+                self.compare_exchange(current, new, success, failure)
+            }
+        }
+    };
+}
+
+sim_atomic_int!(
+    /// Instrumented [`std::sync::atomic::AtomicU32`].
+    SimAtomicU32,
+    AtomicU32,
+    u32
+);
+sim_atomic_int!(
+    /// Instrumented [`std::sync::atomic::AtomicU64`].
+    SimAtomicU64,
+    AtomicU64,
+    u64
+);
+sim_atomic_int!(
+    /// Instrumented [`std::sync::atomic::AtomicUsize`].
+    SimAtomicUsize,
+    AtomicUsize,
+    usize
+);
+
+/// Instrumented [`std::sync::atomic::AtomicBool`].
+#[derive(Debug, Default)]
+#[repr(transparent)]
+pub struct SimAtomicBool {
+    inner: std::sync::atomic::AtomicBool,
+}
+
+impl SimAtomicBool {
+    /// Create a new atomic holding `v`.
+    #[must_use]
+    pub const fn new(v: bool) -> Self {
+        Self {
+            inner: std::sync::atomic::AtomicBool::new(v),
+        }
+    }
+
+    /// Atomic load; a simulator preemption point.
+    pub fn load(&self, order: Ordering) -> bool {
+        sim_point();
+        self.inner.load(order)
+    }
+
+    /// Atomic store; a simulator preemption point.
+    pub fn store(&self, v: bool, order: Ordering) {
+        sim_point();
+        self.inner.store(v, order);
+    }
+
+    /// Atomic swap; a simulator preemption point.
+    pub fn swap(&self, v: bool, order: Ordering) -> bool {
+        sim_point();
+        self.inner.swap(v, order)
+    }
+
+    /// Atomic compare-exchange; a simulator preemption point.
+    ///
+    /// # Errors
+    ///
+    /// Returns the observed value when it differs from `current`.
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        sim_point();
+        self.inner.compare_exchange(current, new, success, failure)
+    }
+}
+
+/// Drop-in for [`std::cell::UnsafeCell`] under the simulator alias.
+///
+/// Plain data accesses are *not* preemption points: all cross-thread
+/// publication in this crate goes through the atomics, so scheduling
+/// decisions at atomic operations already explore every distinguishable
+/// interleaving of the cell contents.
+#[derive(Debug, Default)]
+#[repr(transparent)]
+pub struct SimCell<T> {
+    inner: std::cell::UnsafeCell<T>,
+}
+
+impl<T> SimCell<T> {
+    /// Wrap `v`.
+    #[must_use]
+    pub const fn new(v: T) -> Self {
+        Self {
+            inner: std::cell::UnsafeCell::new(v),
+        }
+    }
+
+    /// Raw pointer to the contents (same contract as
+    /// [`std::cell::UnsafeCell::get`]).
+    #[must_use]
+    pub fn get(&self) -> *mut T {
+        self.inner.get()
+    }
+}

@@ -7,14 +7,13 @@
 //! low bit): a slot stamped `c + 1` holds the item for counter `c`; a slot
 //! stamped `c + cap` is free for the producer's next lap.
 
-use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam::utils::CachePadded;
 
-use crate::Full;
+use crate::sync::{AtomicU64, Ordering, UnsafeCell};
+use crate::{BatchFull, Full};
 
 struct Slot<T> {
     seq: AtomicU64,
@@ -109,6 +108,54 @@ impl<T> Producer<T> {
         slot.seq.store(h + 1, Ordering::Release);
         self.head = h + 1;
         self.q.head.store(h + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Insert a whole batch, all-or-nothing (the paper's multi-item
+    /// insert).
+    ///
+    /// Every slot the batch needs is checked *before* anything is
+    /// written. Checking only the last slot would be unsound here:
+    /// consumers stake claims in counter order but may finish (and free
+    /// their slots) out of order, so a later slot can be free while an
+    /// earlier one is still being read. Once all checks pass the slots
+    /// cannot be un-freed (only this producer advances a free slot's
+    /// stamp), so the fill needs no rollback; items publish in order via
+    /// their per-slot stamps, Figure 2's valid flags.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BatchFull`] handing the batch back untouched when the
+    /// batch does not fit.
+    pub fn put_many(&mut self, data: Vec<T>) -> Result<(), BatchFull<T>> {
+        let n = data.len() as u64;
+        if n == 0 {
+            return Ok(());
+        }
+        let cap = self.q.buf.len() as u64;
+        if n > cap {
+            return Err(BatchFull(data));
+        }
+        let h = self.head;
+        for j in 0..n {
+            let slot = &self.q.buf[((h + j) % cap) as usize];
+            if slot.seq.load(Ordering::Acquire) != h + j {
+                return Err(BatchFull(data));
+            }
+        }
+        for (j, item) in data.into_iter().enumerate() {
+            let c = h + j as u64;
+            let slot = &self.q.buf[(c % cap) as usize];
+            // SAFETY: The stamp equalled `c` above and only the (single)
+            // producer can advance a free slot's stamp, so the slot is
+            // exclusively ours until we stamp `c + 1`.
+            unsafe {
+                (*slot.val.get()).write(item);
+            }
+            slot.seq.store(c + 1, Ordering::Release);
+        }
+        self.head = h + n;
+        self.q.head.store(h + n, Ordering::Release);
         Ok(())
     }
 

@@ -12,14 +12,13 @@
 //! Faithful details: one slot is sacrificed to distinguish full from empty
 //! (`next(head) == tail` means full), exactly like Figure 1.
 
-use std::cell::UnsafeCell;
+use crate::sync::{AtomicUsize, Ordering, UnsafeCell};
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crossbeam::utils::CachePadded;
 
-use crate::Full;
+use crate::{BatchFull, Full};
 
 struct Shared<T> {
     buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
@@ -128,6 +127,44 @@ impl<T> Producer<T> {
         // "We update Q_head at the last instruction during Q_put."
         self.q.head.store(nh, Ordering::Release);
         self.head = nh;
+        Ok(())
+    }
+
+    /// Insert a whole batch, all-or-nothing (the paper's multi-item
+    /// insert). Because Figure 1 publishes with the head store alone, one
+    /// Release store at the end makes the entire batch visible atomically:
+    /// the consumer can never observe a prefix of it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BatchFull`] handing the batch back untouched when fewer
+    /// than `data.len()` slots are free.
+    pub fn put_many(&mut self, data: Vec<T>) -> Result<(), BatchFull<T>> {
+        let n = data.len();
+        if n == 0 {
+            return Ok(());
+        }
+        let size = self.q.buf.len();
+        // Free slots from the producer's view; one slot is sacrificed.
+        let free = |tail: usize, head: usize| (tail + size - 1 - head) % size;
+        if free(self.tail_cache, self.head) < n {
+            self.tail_cache = self.q.tail.load(Ordering::Acquire);
+            if free(self.tail_cache, self.head) < n {
+                return Err(BatchFull(data));
+            }
+        }
+        let mut h = self.head;
+        for item in data {
+            // SAFETY: `free >= n` slots starting at head belong to the
+            // producer; none is visible to the consumer until the single
+            // head store below.
+            unsafe {
+                (*self.q.buf[h].get()).write(item);
+            }
+            h = self.q.next(h);
+        }
+        self.q.head.store(h, Ordering::Release);
+        self.head = h;
         Ok(())
     }
 

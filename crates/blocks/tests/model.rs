@@ -42,7 +42,16 @@ proptest! {
                 Op::Get => {
                     prop_assert_eq!(c.get(), model.pop_front());
                 }
-                Op::PutMany(_) => {} // spsc has no batch API
+                Op::PutMany(vs) => {
+                    let fits = model.len() + vs.len() <= cap;
+                    let r = p.put_many(vs.clone());
+                    if vs.is_empty() || fits {
+                        prop_assert!(r.is_ok());
+                        model.extend(vs);
+                    } else {
+                        prop_assert!(r.is_err());
+                    }
+                }
             }
         }
         // Drain and compare the remainder.
@@ -108,7 +117,16 @@ proptest! {
                 Op::Get => {
                     prop_assert_eq!(q.get(), model.pop_front());
                 }
-                Op::PutMany(_) => {}
+                Op::PutMany(vs) => {
+                    let fits = model.len() + vs.len() <= cap;
+                    let r = q.put_many(vs.clone());
+                    if vs.is_empty() || fits {
+                        prop_assert!(r.is_ok());
+                        model.extend(vs);
+                    } else {
+                        prop_assert!(r.is_err());
+                    }
+                }
             }
         }
         while let Some(v) = q.get() {
@@ -135,7 +153,16 @@ proptest! {
                 Op::Get => {
                     prop_assert_eq!(c.get(), model.pop_front());
                 }
-                Op::PutMany(_) => {}
+                Op::PutMany(vs) => {
+                    let fits = model.len() + vs.len() <= cap;
+                    let r = p.put_many(vs.clone());
+                    if vs.is_empty() || fits {
+                        prop_assert!(r.is_ok());
+                        model.extend(vs);
+                    } else {
+                        prop_assert!(r.is_err());
+                    }
+                }
             }
         }
         while let Some(v) = c.get() {
@@ -218,6 +245,133 @@ proptest! {
         // Single-threaded there is no CAS contention: every insert took
         // the 11-instruction fast path.
         prop_assert_eq!(p.stats().retries, 0);
+    }
+
+    /// Same all-or-nothing contract for the SP-SC flavour, where the
+    /// batch publishes via a single head store instead of per-slot
+    /// flags: a refused batch must leave the cached head untouched.
+    #[test]
+    fn spsc_batchfull_rolls_back_cleanly(
+        prefill in proptest::collection::vec(any::<u32>(), 0..8),
+        batch in proptest::collection::vec(any::<u32>(), 1..12),
+        cap in 1usize..8,
+    ) {
+        let (mut p, mut c) = synthesis_blocks::spsc::channel::<u32>(cap);
+        let accepted: Vec<u32> = prefill.into_iter().take(cap).collect();
+        for &v in &accepted {
+            prop_assert!(p.put(v).is_ok());
+        }
+        let free = cap - accepted.len();
+        if batch.len() > free {
+            let synthesis_blocks::BatchFull(back) = p.put_many(batch.clone()).unwrap_err();
+            prop_assert_eq!(&back, &batch, "the refused batch comes back in order");
+            let mut drained = Vec::new();
+            while let Some(v) = c.get() {
+                drained.push(v);
+            }
+            prop_assert_eq!(&drained, &accepted, "a refused batch leaves no trace");
+            let fitting: Vec<u32> = back.into_iter().take(cap).collect();
+            prop_assert!(p.put_many(fitting.clone()).is_ok());
+            let mut after = Vec::new();
+            while let Some(v) = c.get() {
+                after.push(v);
+            }
+            prop_assert_eq!(after, fitting, "the head survives a refusal");
+        } else {
+            prop_assert!(p.put_many(batch.clone()).is_ok());
+            let mut drained = Vec::new();
+            while let Some(v) = c.get() {
+                drained.push(v);
+            }
+            let mut want = accepted;
+            want.extend(batch);
+            prop_assert_eq!(drained, want, "an accepted batch appends in order");
+        }
+    }
+
+    /// SP-MC: the batch publishes per-slot through the Figure 2 flag
+    /// array (sequence stamps), in slot order — so after a refusal the
+    /// stamps must all still read "free" and a retry lands cleanly.
+    #[test]
+    fn spmc_batchfull_rolls_back_cleanly(
+        prefill in proptest::collection::vec(any::<u32>(), 0..8),
+        batch in proptest::collection::vec(any::<u32>(), 1..12),
+        cap in 2usize..8,
+    ) {
+        let (mut p, c) = synthesis_blocks::spmc::channel::<u32>(cap);
+        let accepted: Vec<u32> = prefill.into_iter().take(cap).collect();
+        for &v in &accepted {
+            prop_assert!(p.put(v).is_ok());
+        }
+        let free = cap - accepted.len();
+        if batch.len() > free {
+            let synthesis_blocks::BatchFull(back) = p.put_many(batch.clone()).unwrap_err();
+            prop_assert_eq!(&back, &batch, "the refused batch comes back in order");
+            let mut drained = Vec::new();
+            while let Some(v) = c.get() {
+                drained.push(v);
+            }
+            prop_assert_eq!(&drained, &accepted, "a refused batch leaves no trace");
+            let fitting: Vec<u32> = back.into_iter().take(cap).collect();
+            prop_assert!(p.put_many(fitting.clone()).is_ok());
+            let mut after = Vec::new();
+            while let Some(v) = c.get() {
+                after.push(v);
+            }
+            prop_assert_eq!(after, fitting, "no slot stamp was disturbed by the refusal");
+        } else {
+            prop_assert!(p.put_many(batch.clone()).is_ok());
+            let mut drained = Vec::new();
+            while let Some(v) = c.get() {
+                drained.push(v);
+            }
+            let mut want = accepted;
+            want.extend(batch);
+            prop_assert_eq!(drained, want, "an accepted batch appends in order");
+        }
+    }
+
+    /// MP-MC: the claim is a single multi-slot CAS; a refusal happens
+    /// before the CAS, so neither the head nor any sequence stamp moves.
+    #[test]
+    fn mpmc_batchfull_rolls_back_cleanly(
+        prefill in proptest::collection::vec(any::<u32>(), 0..8),
+        batch in proptest::collection::vec(any::<u32>(), 1..12),
+        cap in 2usize..8,
+    ) {
+        let q = synthesis_blocks::mpmc::channel::<u32>(cap);
+        let accepted: Vec<u32> = prefill.into_iter().take(cap).collect();
+        for &v in &accepted {
+            prop_assert!(q.put(v).is_ok());
+        }
+        let free = cap - accepted.len();
+        if batch.len() > free {
+            let synthesis_blocks::BatchFull(back) = q.put_many(batch.clone()).unwrap_err();
+            prop_assert_eq!(&back, &batch, "the refused batch comes back in order");
+            let mut drained = Vec::new();
+            while let Some(v) = q.get() {
+                drained.push(v);
+            }
+            prop_assert_eq!(&drained, &accepted, "a refused batch leaves no trace");
+            let fitting: Vec<u32> = back.into_iter().take(cap).collect();
+            prop_assert!(q.put_many(fitting.clone()).is_ok());
+            let mut after = Vec::new();
+            while let Some(v) = q.get() {
+                after.push(v);
+            }
+            prop_assert_eq!(after, fitting, "the head claim counter survives a refusal");
+        } else {
+            prop_assert!(q.put_many(batch.clone()).is_ok());
+            let mut drained = Vec::new();
+            while let Some(v) = q.get() {
+                drained.push(v);
+            }
+            let mut want = accepted;
+            want.extend(batch);
+            prop_assert_eq!(drained, want, "an accepted batch appends in order");
+        }
+        // Single-threaded: no contention, so the claim CAS never retried.
+        prop_assert_eq!(q.retries(), 0);
     }
 
     #[test]

@@ -1291,10 +1291,21 @@ impl Kernel {
     }
 
     fn quarantine_thread(&mut self, tid: Tid, faults: u64) {
-        self.quarantined_tids.insert(tid);
+        self.quarantine(tid, &format!("{faults} faults in one sweep"));
+    }
+
+    /// Quarantine `tid`: stopped now, refused by [`Kernel::start`]
+    /// forever, and skipped by the fine-grain scheduler's adaptation.
+    /// This is the watchdog's action made available to supervisors that
+    /// learn of a misbehaving thread through some other channel.
+    /// Quarantining an already-quarantined thread is a no-op.
+    pub fn quarantine(&mut self, tid: Tid, reason: &str) {
+        if !self.quarantined_tids.insert(tid) {
+            return;
+        }
         self.recovery.quarantined.tick();
         self.recovery_log
-            .push((tid, format!("quarantined: {faults} faults in one sweep")));
+            .push((tid, format!("quarantined: {reason}")));
         // A storming thread is runnable by definition; if stop fails the
         // thread is already off the ready chain and the quarantine flag
         // alone keeps it from coming back.

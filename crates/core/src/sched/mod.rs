@@ -46,7 +46,11 @@ impl FineGrain {
         // Sample.
         let mut samples: Vec<(Tid, u64)> = Vec::new();
         for (&tid, t) in &k.threads {
-            if tid == k.idle_tid {
+            // The idle thread has no traffic to adapt to, and quarantined
+            // threads will never run again — retuning their switch code
+            // would be a wasted patch (and a confusing one for whoever
+            // inspects the quarantined TTE later).
+            if tid == k.idle_tid || k.is_quarantined(tid) {
                 continue;
             }
             let g = u64::from(k.m.mem.peek(t.tte + off::GAUGE, Size::L));
@@ -81,6 +85,11 @@ impl FineGrain {
 /// Set a thread's CPU quantum by patching the immediate inside its
 /// `sw_in` code (same-size in-place patch) and mirroring it in the TTE.
 ///
+/// The requested value is clamped to
+/// [`QUANTUM_MIN_US`]`..=`[`QUANTUM_MAX_US`]: a zero quantum would make
+/// the thread unschedulable and an enormous one would starve everyone
+/// else, neither of which a caller can meaningfully want.
+///
 /// # Errors
 ///
 /// Fails for unknown threads.
@@ -89,6 +98,7 @@ pub fn set_quantum(
     tid: Tid,
     quantum_us: u32,
 ) -> Result<(), crate::kernel::KernelError> {
+    let quantum_us = quantum_us.clamp(QUANTUM_MIN_US, QUANTUM_MAX_US);
     let t = k
         .threads
         .get(&tid)

@@ -21,6 +21,32 @@ fn boot() -> Kernel {
     Kernel::boot(KernelConfig::default()).unwrap()
 }
 
+/// A thread that spins forever — enough of a program to create and
+/// schedule without doing any I/O.
+fn spin_thread(k: &mut Kernel, stack: u32) -> synthesis_core::thread::Tid {
+    let mut a = Asm::new("spin");
+    let top = a.here();
+    a.bcc(Cond::T, top);
+    let entry = k.load_user_program(a.assemble().unwrap()).unwrap();
+    k.create_thread(entry, stack, user_map()).unwrap()
+}
+
+/// The quantum immediate currently patched into `tid`'s sw_in code.
+fn patched_quantum(k: &Kernel, tid: synthesis_core::thread::Tid) -> u32 {
+    let base = k.threads[&tid].sw.base;
+    let qreg =
+        quamachine::devices::dev_reg_addr(k.dev.timer, quamachine::devices::timer::REG_QUANTUM_US);
+    let block = k.m.code.block(base).unwrap();
+    block
+        .instrs
+        .iter()
+        .find_map(|i| match i {
+            Instr::Move(Size::L, Operand::Imm(q), Operand::Abs(r)) if *r == qreg => Some(*q),
+            _ => None,
+        })
+        .expect("quantum immediate present in the switch code")
+}
+
 #[test]
 fn set_quantum_patches_the_switch_code() {
     let mut k = boot();
@@ -47,6 +73,67 @@ fn set_quantum_patches_the_switch_code() {
         )),
         "patched immediate present in the switch code"
     );
+}
+
+#[test]
+fn set_quantum_clamps_to_bounds() {
+    let mut k = boot();
+    let tid = spin_thread(&mut k, USTACK);
+
+    // Below the floor: clamped up. A zero quantum would make the thread
+    // unschedulable.
+    set_quantum(&mut k, tid, 0).unwrap();
+    assert_eq!(k.threads[&tid].quantum_us, QUANTUM_MIN_US);
+    let tte = k.threads[&tid].tte;
+    assert_eq!(k.m.mem.peek(tte + off::QUANTUM, Size::L), QUANTUM_MIN_US);
+    assert_eq!(
+        patched_quantum(&k, tid),
+        k.threads[&tid].quantum_us,
+        "the sw_in immediate always matches Thread::quantum_us"
+    );
+
+    // Above the ceiling: clamped down.
+    set_quantum(&mut k, tid, 1_000_000).unwrap();
+    assert_eq!(k.threads[&tid].quantum_us, QUANTUM_MAX_US);
+    assert_eq!(k.m.mem.peek(tte + off::QUANTUM, Size::L), QUANTUM_MAX_US);
+    assert_eq!(patched_quantum(&k, tid), k.threads[&tid].quantum_us);
+
+    // In range: taken verbatim.
+    set_quantum(&mut k, tid, 250).unwrap();
+    assert_eq!(k.threads[&tid].quantum_us, 250);
+    assert_eq!(patched_quantum(&k, tid), 250);
+}
+
+#[test]
+fn adapt_is_a_noop_for_quarantined_threads() {
+    let mut k = boot();
+    let bad = spin_thread(&mut k, USTACK);
+    let good = spin_thread(&mut k, USTACK + 0x1000);
+
+    // Give the quarantined thread a distinctive quantum, then fake I/O
+    // traffic on the healthy thread so an adaptation pass would rescale
+    // everyone it samples.
+    set_quantum(&mut k, bad, 777).unwrap();
+    k.quarantine(bad, "test: misbehaving peer");
+    assert!(k.is_quarantined(bad));
+    let gauge_addr = k.threads[&good].tte + off::GAUGE;
+    let g = k.m.mem.peek(gauge_addr, Size::L);
+    k.m.mem.poke(gauge_addr, Size::L, g + 1_000);
+
+    let mut policy = FineGrain::new();
+    policy.adapt(&mut k);
+
+    // The healthy thread got all the traffic share, hence the max
+    // quantum; the quarantined one was skipped entirely — its quantum,
+    // TTE mirror, and sw_in immediate are all untouched.
+    assert_eq!(k.threads[&good].quantum_us, QUANTUM_MAX_US);
+    assert_eq!(k.threads[&bad].quantum_us, 777);
+    let tte = k.threads[&bad].tte;
+    assert_eq!(k.m.mem.peek(tte + off::QUANTUM, Size::L), 777);
+    assert_eq!(patched_quantum(&k, bad), 777);
+
+    // And quarantine still means what it always meant: no restarts.
+    assert!(k.start(bad).is_err());
 }
 
 #[test]

@@ -32,6 +32,39 @@ use synthesis::machine::mem::AddressMap;
 /// Distinct seeds each pipeline soaks under.
 const SEEDS: u64 = 32;
 
+/// The base seed: 0 by default (so CI is deterministic run over run),
+/// overridable with `SOAK_SEED=<n>` to reproduce a failure or to soak a
+/// different window of the seed space.
+fn soak_base() -> u64 {
+    std::env::var("SOAK_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// The seeds a soak loop iterates: `base`, `base + 1`, ...
+fn soak_seeds(n: u64) -> impl Iterator<Item = u64> {
+    let base = soak_base();
+    (0..n).map(move |i| base.wrapping_add(i))
+}
+
+/// Run one seeded case; if it panics, re-panic with the exact command
+/// that reproduces this seed in isolation (`SOAK_SEED=<seed>` makes the
+/// failing seed the first — and reported — iteration).
+fn soak_case<T>(test: &str, seed: u64, f: impl FnOnce() -> T + std::panic::UnwindSafe) -> T {
+    match std::panic::catch_unwind(f) {
+        Ok(v) => v,
+        Err(e) => {
+            let msg = e
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| e.downcast_ref::<&str>().copied())
+                .unwrap_or("non-string panic payload");
+            panic!("{msg}\n  reproduce with: SOAK_SEED={seed} cargo test --test fault_soak {test}");
+        }
+    }
+}
+
 const USTACK: u32 = layout::USER_BASE + 0x1_0000;
 const UBUF: u32 = layout::USER_BASE + 0x2_0000;
 const UBUF2: u32 = layout::USER_BASE + 0x3_0000;
@@ -104,14 +137,17 @@ fn disk_scenario(seed: u64) -> (Vec<FaultRecord>, u32) {
 fn disk_pipeline_soaks_across_seeds() {
     let mut total_faults = 0usize;
     let mut traces = Vec::new();
-    for seed in 0..SEEDS {
-        let (trace, _) = disk_scenario(seed);
-        // Same seed, same workload: the trace replays byte for byte.
-        let (replay, _) = disk_scenario(seed);
-        assert_eq!(
-            trace, replay,
-            "seed {seed}: fault trace must be reproducible"
-        );
+    for seed in soak_seeds(SEEDS) {
+        let trace = soak_case("disk_pipeline_soaks_across_seeds", seed, || {
+            let (trace, _) = disk_scenario(seed);
+            // Same seed, same workload: the trace replays byte for byte.
+            let (replay, _) = disk_scenario(seed);
+            assert_eq!(
+                trace, replay,
+                "seed {seed}: fault trace must be reproducible"
+            );
+            trace
+        });
         total_faults += trace.len();
         traces.push(trace);
     }
@@ -125,7 +161,15 @@ fn disk_pipeline_soaks_across_seeds() {
 
 #[test]
 fn exhausted_retries_surface_eio_and_quarantine() {
-    for seed in 0..SEEDS {
+    for seed in soak_seeds(SEEDS) {
+        soak_case("exhausted_retries_surface_eio_and_quarantine", seed, || {
+            exhausted_retries_scenario(seed);
+        });
+    }
+}
+
+fn exhausted_retries_scenario(seed: u64) {
+    {
         let mut k = boot();
         k.m.fault = FaultPlan::seeded(
             seed,
@@ -236,13 +280,16 @@ fn tty_scenario(seed: u64) -> Vec<FaultRecord> {
 #[test]
 fn tty_pipeline_soaks_across_seeds() {
     let mut total_faults = 0usize;
-    for seed in 0..SEEDS {
-        let trace = tty_scenario(seed);
-        let replay = tty_scenario(seed);
-        assert_eq!(
-            trace, replay,
-            "seed {seed}: fault trace must be reproducible"
-        );
+    for seed in soak_seeds(SEEDS) {
+        let trace = soak_case("tty_pipeline_soaks_across_seeds", seed, || {
+            let trace = tty_scenario(seed);
+            let replay = tty_scenario(seed);
+            assert_eq!(
+                trace, replay,
+                "seed {seed}: fault trace must be reproducible"
+            );
+            trace
+        });
         total_faults += trace.len();
     }
     assert!(total_faults > 0, "drop/dup rates must inject faults");
@@ -307,8 +354,10 @@ fn pipe_scenario(seed: u64) {
 
 #[test]
 fn pipe_pipeline_soaks_across_seeds() {
-    for seed in 0..SEEDS {
-        pipe_scenario(seed);
+    for seed in soak_seeds(SEEDS) {
+        soak_case("pipe_pipeline_soaks_across_seeds", seed, || {
+            pipe_scenario(seed);
+        });
     }
 }
 
@@ -318,7 +367,15 @@ fn pipe_pipeline_soaks_across_seeds() {
 /// the kernel reaps it and every other thread keeps running.
 #[test]
 fn wild_jump_is_reaped_not_fatal() {
-    for seed in 0..8 {
+    for seed in soak_seeds(8) {
+        soak_case("wild_jump_is_reaped_not_fatal", seed, || {
+            wild_jump_scenario(seed);
+        });
+    }
+}
+
+fn wild_jump_scenario(seed: u64) {
+    {
         let mut k = boot();
         k.m.fault = FaultPlan::seeded(seed, FaultConfig::soak());
 
