@@ -5,9 +5,82 @@
 //! tables --table 3  # one table
 //! tables --kernel-size
 //! tables --iters 100
+//! tables --json BENCH_4.json  # tables 1-3 + cache figures, as JSON
 //! ```
 
 use synthesis_bench::{render, table1, table2, table3, table4, table5, Row};
+
+/// Minimal JSON string escaping (the row labels are plain ASCII, but be
+/// safe about quotes and backslashes).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_rows(rows: &[Row]) -> String {
+    let items: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            let paper = r.paper.map_or("null".to_string(), |p| format!("{p}"));
+            format!(
+                "    {{\"what\": {}, \"paper\": {}, \"measured\": {:.3}, \"unit\": {}}}",
+                json_str(&r.what),
+                paper,
+                r.measured,
+                json_str(r.unit)
+            )
+        })
+        .collect();
+    format!("[\n{}\n  ]", items.join(",\n"))
+}
+
+/// Emit Tables 1–3 plus the specialization-cache figures as JSON.
+fn emit_json(path: &str, iters: u32) {
+    eprintln!("[json: running tables 1-3 and the cache benchmark ({iters} iterations)...]");
+    let t1 = table1::run(iters);
+    let t2 = table2::run();
+    let t3 = table3::run();
+    let cache = table2::open_cold_warm();
+    let json = format!(
+        "{{\n  \"machine\": \"16 MHz + 1 wait state (SUN 3/160 emulation mode)\",\n  \
+         \"iters\": {iters},\n  \
+         \"table1\": {},\n  \
+         \"table2\": {},\n  \
+         \"table3\": {},\n  \
+         \"cache\": {{\n    \
+         \"cold_open_us\": {:.3},\n    \
+         \"warm_open_us\": {:.3},\n    \
+         \"hits\": {},\n    \
+         \"misses\": {},\n    \
+         \"hit_rate\": {:.4},\n    \
+         \"shared_bytes\": {}\n  }}\n}}\n",
+        json_rows(&t1),
+        json_rows(&t2),
+        json_rows(&t3),
+        cache.cold_us,
+        cache.warm_us,
+        cache.hits,
+        cache.misses,
+        cache.hit_rate,
+        cache.shared_bytes
+    );
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {path}");
+}
 
 fn kernel_size() -> Vec<Row> {
     // Section 6.4: the whole kernel assembles to 64 KB; with 3 processes
@@ -111,6 +184,11 @@ fn main() {
         std::process::exit(2);
     }
     let size_only = args.iter().any(|a| a == "--kernel-size");
+
+    if let Some(path) = get("--json") {
+        emit_json(&path, iters);
+        return;
+    }
 
     println!("Synthesis kernel reproduction — paper (SOSP '89) vs measured");
     println!("machine: 16 MHz + 1 wait state (SUN 3/160 emulation mode)");

@@ -133,6 +133,57 @@ fn unix_open_close(path_off: u32) -> impl Fn(&mut Asm) {
     }
 }
 
+/// The specialization-cache measurement behind the cold/warm open rows
+/// and the `--json` report.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheBench {
+    /// First `open()` of a path: full synthesis (µs).
+    pub cold_us: f64,
+    /// Second `open()` of the same path: cache hit, link cost only (µs).
+    pub warm_us: f64,
+    /// Specialization-cache hits over the measurement.
+    pub hits: u64,
+    /// Specialization-cache misses over the measurement.
+    pub misses: u64,
+    /// Hit rate over the measurement.
+    pub hit_rate: f64,
+    /// Bytes of synthesized code shared instead of duplicated.
+    pub shared_bytes: u64,
+}
+
+/// Measure a cold open (synthesizes both channel ends) against a warm
+/// open of the same path (both ends come from the specialization cache),
+/// host-side with the kernel monitor's interval meter.
+#[must_use]
+pub fn open_cold_warm() -> CacheBench {
+    let mut k = crate::boot_kernel();
+    let mut a = Asm::new("parked");
+    a.move_i(L, general::EXIT, Dr(0));
+    a.trap(traps::GENERAL);
+    let entry = k
+        .load_user_program(a.assemble().expect("assembles"))
+        .unwrap();
+    let tid = k.create_thread(entry, USTACK, user_map()).unwrap();
+    k.fs.create(&mut k.m, &mut k.heap, "/tmp/bench", 65536)
+        .expect("file fits");
+
+    let (_, cold) = synthesis_core::monitor::measure(&mut k, |k| {
+        k.open_for(tid, "/tmp/bench").expect("cold open")
+    });
+    let (_, warm) = synthesis_core::monitor::measure(&mut k, |k| {
+        k.open_for(tid, "/tmp/bench").expect("warm open")
+    });
+    let stats = &k.creator.stats;
+    CacheBench {
+        cold_us: cold.us,
+        warm_us: warm.us,
+        hits: stats.cache_hits,
+        misses: stats.cache_misses,
+        hit_rate: stats.hit_rate(),
+        shared_bytes: k.creator.cache.shared_bytes(),
+    }
+}
+
 /// Regenerate Table 2.
 #[must_use]
 pub fn run() -> Vec<Row> {
@@ -156,6 +207,10 @@ pub fn run() -> Vec<Row> {
     let oc_null_emu = measure_native(16, noop, unix_open_close(0), true);
     let oc_tty_nat = measure_native(16, noop, native_open_close(0x10), false);
     let oc_tty_emu = measure_native(16, noop, unix_open_close(0x10), true);
+
+    // Cold vs warm open of the same file: the specialization cache
+    // turning the second open into pure linking.
+    let cache = open_cold_warm();
 
     vec![
         Row::new(
@@ -209,5 +264,7 @@ pub fn run() -> Vec<Row> {
             emu_null,
             "us",
         ),
+        Row::new("open file, cold (synthesizes)", None, cache.cold_us, "us"),
+        Row::new("open file, warm (cache hit)", None, cache.warm_us, "us"),
     ]
 }

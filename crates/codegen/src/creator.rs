@@ -16,6 +16,7 @@ use crate::codebuf::{CodeBuf, CodeBufFull};
 use crate::collapse::{self, CollapseError};
 use crate::factor::{self, FactorError};
 use crate::peephole;
+use crate::speccache::{Release, SpecCache, SpecKey};
 use crate::template::{Bindings, Template, TemplateLib};
 use crate::verify::{self, VerifyError};
 
@@ -23,9 +24,13 @@ use crate::verify::{self, VerifyError};
 pub const SYNTH_BASE_CYCLES: u64 = 40;
 /// Cycles charged per template instruction processed.
 pub const SYNTH_CYCLES_PER_INSTR: u64 = 24;
+/// Cycles charged for a specialization-cache hit: taking a reference and
+/// handing out the already-installed block is one table lookup plus the
+/// link bookkeeping — link cost, not synthesis cost.
+pub const CACHE_HIT_CYCLES: u64 = 24;
 
 /// Which synthesis stages run (the ablation switchboard).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SynthesisOptions {
     /// Collapsing Layers: inline `call:` sites. When off, `call:` holes
     /// are bound to the callees' installed addresses instead (layered
@@ -143,6 +148,28 @@ pub struct CreatorStats {
     pub bytes_installed: u64,
     /// Total instructions eliminated by optimization.
     pub instrs_eliminated: u64,
+    /// Specialization-cache hits (references handed out without
+    /// synthesizing).
+    pub cache_hits: u64,
+    /// Specialization-cache misses (cacheable requests that synthesized
+    /// fresh code).
+    pub cache_misses: u64,
+    /// Total bytes of synthesis avoided by cache hits (Σ size of every
+    /// block handed out from the cache).
+    pub bytes_shared: u64,
+}
+
+impl CreatorStats {
+    /// Cache hit rate over cacheable requests, in `[0, 1]`.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
 }
 
 /// The quaject creator.
@@ -154,6 +181,9 @@ pub struct QuajectCreator {
     /// Installed entry points for layered (non-collapsed) linkage:
     /// template name → address.
     pub linked: HashMap<String, u32>,
+    /// The specialization cache ([`synthesize_cached`]
+    /// (QuajectCreator::synthesize_cached) entries).
+    pub cache: SpecCache,
     /// Statistics.
     pub stats: CreatorStats,
 }
@@ -166,6 +196,7 @@ impl QuajectCreator {
             lib: TemplateLib::new(),
             codebuf: CodeBuf::new(base, len),
             linked: HashMap::new(),
+            cache: SpecCache::new(),
             stats: CreatorStats::default(),
         }
     }
@@ -287,9 +318,61 @@ impl QuajectCreator {
         })
     }
 
+    /// Synthesize through the specialization cache: if a block with the
+    /// same `(template, bindings, opts)` is already installed, take a
+    /// reference to it and charge only link cost ([`CACHE_HIT_CYCLES`]);
+    /// otherwise run the full pipeline and cache the result with one
+    /// reference.
+    ///
+    /// Only code that is never patched after installation may be shared
+    /// this way (I/O channel endpoints qualify; context-switch code and
+    /// executable data structures, whose installed instructions are
+    /// rewritten in place, must use [`synthesize`]
+    /// (QuajectCreator::synthesize)).
+    ///
+    /// The returned block's `synth_cycles` reflects what *this* request
+    /// was charged, so a hit reports [`CACHE_HIT_CYCLES`].
+    ///
+    /// # Errors
+    ///
+    /// See [`SynthError`].
+    pub fn synthesize_cached(
+        &mut self,
+        m: &mut Machine,
+        template_name: &str,
+        bindings: &Bindings,
+        opts: SynthesisOptions,
+    ) -> Result<Synthesized, SynthError> {
+        let key = SpecKey::new(template_name, bindings, opts);
+        if let Some(mut s) = self.cache.acquire(&key) {
+            m.charge(CACHE_HIT_CYCLES);
+            s.synth_cycles = CACHE_HIT_CYCLES;
+            self.stats.cache_hits += 1;
+            self.stats.cycles += CACHE_HIT_CYCLES;
+            self.stats.bytes_shared += u64::from(s.size);
+            return Ok(s);
+        }
+        let s = self.synthesize(m, template_name, bindings, opts)?;
+        self.stats.cache_misses += 1;
+        self.cache.insert(key, s.clone());
+        Ok(s)
+    }
+
     /// Unload and free a synthesized object (e.g. at `close` or thread
     /// destruction).
+    ///
+    /// Cache-aware: a block handed out by [`synthesize_cached`]
+    /// (QuajectCreator::synthesize_cached) only drops a reference; the
+    /// code stays installed until the last reference is destroyed.
     pub fn destroy(&mut self, m: &mut Machine, s: &Synthesized) {
+        match self.cache.release(s.base) {
+            Release::Shared => {}
+            Release::Evicted(cached) => self.unload(m, &cached),
+            Release::NotCached => self.unload(m, s),
+        }
+    }
+
+    fn unload(&mut self, m: &mut Machine, s: &Synthesized) {
         if m.code.unload(s.base).is_some() {
             self.codebuf.free(s.base, s.size);
             self.stats.destroyed += 1;

@@ -63,8 +63,10 @@ pub mod factor;
 pub mod interfacer;
 pub mod peephole;
 pub mod rewrite;
+pub mod speccache;
 pub mod template;
 pub mod verify;
 
 pub use creator::{QuajectCreator, SynthesisOptions, Synthesized};
+pub use speccache::{SpecCache, SpecKey};
 pub use template::{Bindings, Template, TemplateLib};

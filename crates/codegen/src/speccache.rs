@@ -1,0 +1,264 @@
+//! The specialization cache: shared synthesized code blocks.
+//!
+//! The paper shares specialized code whenever the invariants match:
+//! "Sharing occurs when the translation tables point to the same code"
+//! (Section 3.1), and the Section 6.4 size accounting depends on it —
+//! kernel size grows with the number of *distinct* specializations, not
+//! the number of references. This module keys installed [`Synthesized`]
+//! blocks on `(template name, bindings, SynthesisOptions)` and reference
+//! counts them: a second `synthesize` with identical invariants returns
+//! the already-installed block (charging only link cost), and `destroy`
+//! frees the code-buffer extent only when the last reference drops.
+
+use std::collections::HashMap;
+
+use crate::creator::{SynthesisOptions, Synthesized};
+use crate::template::Bindings;
+
+/// The cache key: one distinct specialization.
+///
+/// The key is exact (the full sorted binding list, not a lossy hash), so
+/// two different specializations can never collide into one cache entry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SpecKey {
+    /// Template name.
+    pub template: String,
+    /// The bindings, sorted by hole name — the specialization's
+    /// invariants, i.e. its fingerprint.
+    pub bindings: Vec<(String, u32)>,
+    /// The synthesis switchboard in effect (different ablation settings
+    /// produce different code from the same template and bindings).
+    pub opts: SynthesisOptions,
+}
+
+impl SpecKey {
+    /// Build the key for `template` specialized with `bindings` under
+    /// `opts`.
+    #[must_use]
+    pub fn new(template: &str, bindings: &Bindings, opts: SynthesisOptions) -> SpecKey {
+        SpecKey {
+            template: template.to_string(),
+            bindings: bindings.sorted_pairs(),
+            opts,
+        }
+    }
+
+    /// A stable 64-bit fingerprint of the key (FNV-1a over the fields) —
+    /// for diagnostics and size reports; equality always uses the full
+    /// key.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(self.template.as_bytes());
+        eat(&[0]);
+        for (name, val) in &self.bindings {
+            eat(name.as_bytes());
+            eat(&val.to_le_bytes());
+        }
+        eat(&[
+            u8::from(self.opts.collapse),
+            u8::from(self.opts.fold),
+            u8::from(self.opts.peephole),
+        ]);
+        h
+    }
+}
+
+/// One cached specialization.
+#[derive(Debug)]
+struct SpecEntry {
+    code: Synthesized,
+    refs: u32,
+}
+
+/// What a [`SpecCache::release`] did.
+#[derive(Debug)]
+pub enum Release {
+    /// The block was never cached (private code: context switches,
+    /// dispatchers, interrupt handlers).
+    NotCached,
+    /// Other references remain; the block stays installed.
+    Shared,
+    /// The last reference dropped: the entry was evicted and the caller
+    /// must unload and free the returned block.
+    Evicted(Synthesized),
+}
+
+/// The reference-counted specialization cache.
+#[derive(Debug, Default)]
+pub struct SpecCache {
+    entries: HashMap<SpecKey, SpecEntry>,
+    /// Reverse index: installed base address → key (for `release`, which
+    /// only has the `Synthesized` in hand).
+    by_base: HashMap<u32, SpecKey>,
+}
+
+impl SpecCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> SpecCache {
+        SpecCache::default()
+    }
+
+    /// Look up `key`; on a hit, take a reference and return the shared
+    /// block.
+    pub fn acquire(&mut self, key: &SpecKey) -> Option<Synthesized> {
+        let e = self.entries.get_mut(key)?;
+        e.refs += 1;
+        Some(e.code.clone())
+    }
+
+    /// Insert a freshly synthesized block with one reference.
+    pub fn insert(&mut self, key: SpecKey, code: Synthesized) {
+        self.by_base.insert(code.base, key.clone());
+        self.entries.insert(key, SpecEntry { code, refs: 1 });
+    }
+
+    /// Drop a reference to the block at `base`.
+    pub fn release(&mut self, base: u32) -> Release {
+        let Some(key) = self.by_base.get(&base) else {
+            return Release::NotCached;
+        };
+        let e = self.entries.get_mut(key).expect("index consistent");
+        e.refs -= 1;
+        if e.refs > 0 {
+            return Release::Shared;
+        }
+        let key = self.by_base.remove(&base).expect("present");
+        let e = self.entries.remove(&key).expect("present");
+        Release::Evicted(e.code)
+    }
+
+    /// Reference count of the block at `base`, if cached.
+    #[must_use]
+    pub fn refs(&self, base: u32) -> Option<u32> {
+        let key = self.by_base.get(&base)?;
+        Some(self.entries[key].refs)
+    }
+
+    /// Number of distinct cached specializations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Bytes of installed code the cache is sharing: Σ `(refs − 1) ×
+    /// size`. This is exactly the code a cache-less kernel would have
+    /// duplicated (the paper's Section 6.4 accounting).
+    #[must_use]
+    pub fn shared_bytes(&self) -> u64 {
+        self.entries
+            .values()
+            .map(|e| u64::from(e.refs.saturating_sub(1)) * u64::from(e.code.size))
+            .sum()
+    }
+
+    /// Bytes of installed code held by the cache (one copy per distinct
+    /// specialization).
+    #[must_use]
+    pub fn resident_bytes(&self) -> u64 {
+        self.entries.values().map(|e| u64::from(e.code.size)).sum()
+    }
+
+    /// Bytes of resident code currently referenced more than once (one
+    /// installed copy serving several references).
+    #[must_use]
+    pub fn multi_ref_bytes(&self) -> u64 {
+        self.entries
+            .values()
+            .filter(|e| e.refs > 1)
+            .map(|e| u64::from(e.code.size))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap as Map;
+
+    fn synth(base: u32, size: u32) -> Synthesized {
+        Synthesized {
+            base,
+            size,
+            entries: Map::new(),
+            instrs_in: 1,
+            instrs_out: 1,
+            synth_cycles: 0,
+        }
+    }
+
+    fn key(template: &str, v: u32) -> SpecKey {
+        SpecKey::new(
+            template,
+            &Bindings::new().with("x", v),
+            SynthesisOptions::full(),
+        )
+    }
+
+    #[test]
+    fn acquire_release_lifecycle() {
+        let mut c = SpecCache::new();
+        assert!(c.acquire(&key("t", 1)).is_none());
+        c.insert(key("t", 1), synth(0x100, 8));
+        let hit = c.acquire(&key("t", 1)).expect("hit");
+        assert_eq!(hit.base, 0x100);
+        assert_eq!(c.refs(0x100), Some(2));
+        assert_eq!(c.shared_bytes(), 8);
+        assert!(matches!(c.release(0x100), Release::Shared));
+        assert_eq!(c.shared_bytes(), 0);
+        match c.release(0x100) {
+            Release::Evicted(s) => assert_eq!((s.base, s.size), (0x100, 8)),
+            other => panic!("expected eviction, got {other:?}"),
+        }
+        assert!(c.is_empty());
+        assert!(matches!(c.release(0x100), Release::NotCached));
+    }
+
+    #[test]
+    fn distinct_bindings_are_distinct_entries() {
+        let mut c = SpecCache::new();
+        c.insert(key("t", 1), synth(0x100, 8));
+        c.insert(key("t", 2), synth(0x200, 8));
+        assert_eq!(c.len(), 2);
+        assert!(c.acquire(&key("t", 3)).is_none());
+        assert_ne!(key("t", 1).fingerprint(), key("t", 2).fingerprint());
+    }
+
+    #[test]
+    fn key_is_binding_order_independent() {
+        let a = SpecKey::new(
+            "t",
+            &Bindings::new().with("a", 1).with("b", 2),
+            SynthesisOptions::full(),
+        );
+        let b = SpecKey::new(
+            "t",
+            &Bindings::new().with("b", 2).with("a", 1),
+            SynthesisOptions::full(),
+        );
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn options_are_part_of_the_key() {
+        let full = SpecKey::new("t", &Bindings::new(), SynthesisOptions::full());
+        let none = SpecKey::new("t", &Bindings::new(), SynthesisOptions::none());
+        assert_ne!(full, none);
+    }
+}

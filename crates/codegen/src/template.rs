@@ -149,6 +149,15 @@ impl Bindings {
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
     }
+
+    /// The bindings as `(name, value)` pairs sorted by name — the
+    /// canonical form used by the specialization cache key.
+    #[must_use]
+    pub fn sorted_pairs(&self) -> Vec<(String, u32)> {
+        let mut v: Vec<(String, u32)> = self.map.iter().map(|(k, &x)| (k.clone(), x)).collect();
+        v.sort();
+        v
+    }
 }
 
 /// A library of templates, keyed by name (used by Collapsing Layers to

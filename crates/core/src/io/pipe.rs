@@ -32,9 +32,10 @@ pub struct Pipe {
     pub r_wait_slot: u32,
     /// Writer-waiting flag slot (checked by the synthesized reader).
     pub w_wait_slot: u32,
-    /// Reference counts.
+    /// Open read-end fds (the kernel frees the ring when both end
+    /// counts reach zero).
     pub readers: u32,
-    /// Writer reference count.
+    /// Open write-end fds.
     pub writers: u32,
 }
 
@@ -64,8 +65,8 @@ impl Pipe {
             w_wait_slot: slots + 12,
             buf,
             size,
-            readers: 1,
-            writers: 1,
+            readers: 0,
+            writers: 0,
         })
     }
 

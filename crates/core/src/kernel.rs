@@ -27,6 +27,7 @@ use synthesis_codegen::template::Bindings;
 use synthesis_blocks::gauge::Gauge;
 
 use crate::alloc::FastFit;
+use crate::channel::{ChannelClass, ChannelSpec, FileChan};
 use crate::charges;
 use crate::fs::Fs;
 use crate::io::disk::{DiskOutcome, DiskRequest, DiskScheduler};
@@ -215,6 +216,9 @@ pub struct Kernel {
     pub tty_srv: TtyServer,
     /// Kernel pipes.
     pub pipes: Vec<Pipe>,
+    /// Per-`(thread, file)` channel state: the shared seek-offset slot
+    /// and its fd refcount (see [`crate::channel::FileChan`]).
+    pub file_chans: HashMap<(Tid, u32), FileChan>,
     /// The synthesis switchboard in effect.
     pub opts: SynthesisOptions,
     /// Default quantum for new threads.
@@ -363,6 +367,7 @@ impl Kernel {
             dev,
             tty_srv,
             pipes: Vec::new(),
+            file_chans: HashMap::new(),
             opts,
             default_quantum_us: cfg.default_quantum_us,
             console: Vec::new(),
@@ -902,7 +907,7 @@ impl Kernel {
         // Close fds.
         for fd in 0..t.fds.len() {
             let obj = std::mem::replace(&mut t.fds[fd], FdObject::Free);
-            self.release_fd_object(obj);
+            self.release_fd_object(tid, obj);
         }
         self.creator.destroy(&mut self.m, &t.sw);
         for s in &t.aux_code {
@@ -922,52 +927,50 @@ impl Kernel {
         Ok(())
     }
 
-    fn release_fd_object(&mut self, obj: FdObject) {
-        match obj {
-            FdObject::Free => {}
-            FdObject::Null { code } | FdObject::Tty { code } => {
-                for s in &code {
-                    self.creator.destroy(&mut self.m, s);
+    fn release_fd_object(&mut self, tid: Tid, obj: FdObject) {
+        if let FdObject::Channel { class, code } = obj {
+            self.release_channel(tid, class, &code);
+        }
+    }
+
+    /// THE teardown path: destroy the endpoint code (dropping cache
+    /// references) and release the class state. Used by `close`, thread
+    /// destruction, and the open pipeline's rollback — there is exactly
+    /// one unwind.
+    fn release_channel(&mut self, tid: Tid, class: ChannelClass, code: &[Synthesized]) {
+        for s in code {
+            self.creator.destroy(&mut self.m, s);
+        }
+        match class {
+            ChannelClass::Null | ChannelClass::Tty { .. } => {}
+            ChannelClass::File { fid, offset_slot } => {
+                let gone = {
+                    let chan = self
+                        .file_chans
+                        .get_mut(&(tid, fid))
+                        .expect("file channel state exists while referenced");
+                    chan.refs -= 1;
+                    chan.refs == 0
+                };
+                if gone {
+                    self.file_chans.remove(&(tid, fid));
+                    self.heap.free(offset_slot, 4);
                 }
-            }
-            FdObject::File {
-                fid,
-                offset_slot,
-                code,
-            } => {
-                for s in &code {
-                    self.creator.destroy(&mut self.m, s);
-                }
-                self.heap.free(offset_slot, 4);
                 if let Some(f) = self.fs.file_mut(fid) {
                     f.opens = f.opens.saturating_sub(1);
                 }
             }
-            FdObject::Pipe {
-                pid,
-                read_end,
-                code,
-            } => {
-                for s in &code {
-                    self.creator.destroy(&mut self.m, s);
-                }
-                // The pipe may not (yet) be registered if endpoint setup
-                // failed partway; nothing further to release in that case.
-                if self.pipes.get(pid as usize).is_none() {
+            ChannelClass::Pipe { pid, read_end } => {
+                let Some(p) = self.pipes.get_mut(pid as usize) else {
                     return;
-                }
-                let release = {
-                    let p = &mut self.pipes[pid as usize];
-                    if read_end {
-                        p.readers = p.readers.saturating_sub(1);
-                    } else {
-                        p.writers = p.writers.saturating_sub(1);
-                    }
-                    p.readers == 0 && p.writers == 0
                 };
-                if release {
+                if read_end {
+                    p.readers = p.readers.saturating_sub(1);
+                } else {
+                    p.writers = p.writers.saturating_sub(1);
+                }
+                if p.readers == 0 && p.writers == 0 {
                     // Free the ring; keep the table slot (ids are stable).
-                    let p = &self.pipes[pid as usize];
                     let (hs, buf, sz) = (p.head_slot, p.buf, p.size);
                     self.heap.free(hs, 16);
                     self.heap.free(buf, sz);
@@ -1475,13 +1478,13 @@ impl Kernel {
                 Ok(()) => 0,
                 Err(_) => -i64::from(errno::EINVAL),
             },
-            general::OPEN => {
-                let path = self.read_user_string(a0);
-                match self.open(&path) {
+            general::OPEN => match self.read_user_string(a0) {
+                Ok(path) => match self.open(&path) {
                     Ok(fd) => i64::from(fd),
                     Err(e) => -i64::from(e),
-                }
-            }
+                },
+                Err(e) => -i64::from(e),
+            },
             general::CLOSE => match self.close(d1) {
                 Ok(()) => 0,
                 Err(e) => -i64::from(e),
@@ -1575,7 +1578,10 @@ impl Kernel {
         };
         let t = &self.threads[&tid];
         match t.fds.get(fd as usize) {
-            Some(FdObject::File { offset_slot, .. }) => {
+            Some(FdObject::Channel {
+                class: ChannelClass::File { offset_slot, .. },
+                ..
+            }) => {
                 let slot = *offset_slot;
                 self.m.mem.poke(slot, Size::L, pos);
                 i64::from(pos)
@@ -1584,17 +1590,27 @@ impl Kernel {
         }
     }
 
+    /// Maximum path length accepted by [`Kernel::read_user_string`]
+    /// (bytes, excluding the terminating NUL).
+    pub const PATH_MAX: u32 = 255;
+
     /// Read a NUL-terminated string from the caller's space.
-    fn read_user_string(&self, addr: u32) -> String {
+    ///
+    /// # Errors
+    ///
+    /// `ENAMETOOLONG` when no NUL appears within [`Kernel::PATH_MAX`]
+    /// bytes — a longer buffer must not be silently truncated into a
+    /// valid-looking path.
+    pub fn read_user_string(&self, addr: u32) -> Result<String, i32> {
         let mut s = Vec::new();
-        for i in 0..256 {
+        for i in 0..=Kernel::PATH_MAX {
             let b = self.m.mem.peek(addr + i, Size::B) as u8;
             if b == 0 {
-                break;
+                return Ok(String::from_utf8_lossy(&s).into_owned());
             }
             s.push(b);
         }
-        String::from_utf8_lossy(&s).into_owned()
+        Err(errno::ENAMETOOLONG)
     }
 
     // --- open / close / pipe ------------------------------------------------
@@ -1616,70 +1632,19 @@ impl Kernel {
     ///
     /// Returns an errno.
     pub fn open_for(&mut self, tid: Tid, path: &str) -> Result<u32, u32> {
-        let t = self.threads.get(&tid).ok_or(errno::EINVAL as u32)?;
-        let fd = t.free_fd().ok_or(errno::EMFILE as u32)?;
-        let tte = t.tte;
-        let gauge = tte + off::GAUGE;
-        let opts = self.opts;
+        let spec = self.lookup_channel(tid, path)?;
+        self.open_channel(tid, spec)
+    }
 
-        let obj: FdObject = match path {
-            "/dev/null" => {
-                let r = self
-                    .creator
-                    .synthesize(
-                        &mut self.m,
-                        "read_null",
-                        Bindings::new().bind("gauge", gauge),
-                        opts,
-                    )
-                    .map_err(|_| errno::ENOMEM as u32)?;
-                let w = match self.creator.synthesize(
-                    &mut self.m,
-                    "write_null",
-                    Bindings::new().bind("gauge", gauge),
-                    opts,
-                ) {
-                    Ok(w) => w,
-                    Err(_) => {
-                        self.creator.destroy(&mut self.m, &r);
-                        return Err(errno::ENOMEM as u32);
-                    }
-                };
-                self.link_fd(tid, fd, r.base, w.base);
-                FdObject::Null { code: vec![r, w] }
-            }
+    /// The name-lookup stage of `open`: map a path to its [`ChannelSpec`]
+    /// and acquire the class state (file offset slot, open counts).
+    fn lookup_channel(&mut self, tid: Tid, path: &str) -> Result<ChannelSpec, u32> {
+        let t = self.threads.get(&tid).ok_or(errno::EINVAL as u32)?;
+        let gauge = t.tte + off::GAUGE;
+        match path {
+            "/dev/null" => Ok(ChannelSpec::null(gauge)),
             "/dev/tty" | "/dev/tty-raw" => {
-                let cooked = path == "/dev/tty";
-                let mut rb = Bindings::new();
-                rb.bind("qhead", self.tty_srv.qhead_slot)
-                    .bind("qtail", self.tty_srv.qtail_slot)
-                    .bind("qbuf", self.tty_srv.qbuf)
-                    .bind("qmask", self.tty_srv.qmask)
-                    .bind("gauge", gauge);
-                if cooked {
-                    rb.bind("tty_data", self.tty_srv.data_reg);
-                }
-                let rname = if cooked { "cooked_read" } else { "read_tty" };
-                let r = self
-                    .creator
-                    .synthesize(&mut self.m, rname, &rb, opts)
-                    .map_err(|_| errno::ENOMEM as u32)?;
-                let w = match self.creator.synthesize(
-                    &mut self.m,
-                    "write_tty",
-                    Bindings::new()
-                        .bind("tty_data", self.tty_srv.data_reg)
-                        .bind("gauge", gauge),
-                    opts,
-                ) {
-                    Ok(w) => w,
-                    Err(_) => {
-                        self.creator.destroy(&mut self.m, &r);
-                        return Err(errno::ENOMEM as u32);
-                    }
-                };
-                self.link_fd(tid, fd, r.base, w.base);
-                FdObject::Tty { code: vec![r, w] }
+                Ok(ChannelSpec::tty(&self.tty_srv, path == "/dev/tty", gauge))
             }
             _ => {
                 // The name lookup: charge per character actually scanned
@@ -1688,54 +1653,73 @@ impl Kernel {
                 let c = charges::name_scan(&self.m.cost, scanned as u32);
                 self.m.charge(c);
                 let fid = found.ok_or(errno::ENOENT as u32)?;
-                let f = self.fs.file(fid).expect("fid valid");
-                let (buf, cap, len_slot) = (f.buf, f.cap, f.len_slot);
-                let offset_slot = self.heap.alloc(4).map_err(|_| errno::ENOMEM as u32)?;
-                self.m.mem.poke(offset_slot, Size::L, 0);
-                let r = match self.creator.synthesize(
-                    &mut self.m,
-                    "read_file",
-                    Bindings::new()
-                        .bind("offset_slot", offset_slot)
-                        .bind("len_slot", len_slot)
-                        .bind("buf", buf)
-                        .bind("gauge", gauge),
-                    opts,
-                ) {
-                    Ok(r) => r,
-                    Err(_) => {
-                        self.heap.free(offset_slot, 4);
-                        return Err(errno::ENOMEM as u32);
+                // One offset slot per (thread, file): every open of the
+                // same file in the same thread shares it, so the bindings
+                // — and therefore the synthesized code — are identical
+                // and the specialization cache hits.
+                let offset_slot = match self.file_chans.get_mut(&(tid, fid)) {
+                    Some(chan) => {
+                        chan.refs += 1;
+                        chan.offset_slot
                     }
-                };
-                let w = match self.creator.synthesize(
-                    &mut self.m,
-                    "write_file",
-                    Bindings::new()
-                        .bind("offset_slot", offset_slot)
-                        .bind("len_slot", len_slot)
-                        .bind("buf", buf)
-                        .bind("cap", cap)
-                        .bind("gauge", gauge),
-                    opts,
-                ) {
-                    Ok(w) => w,
-                    Err(_) => {
-                        self.creator.destroy(&mut self.m, &r);
-                        self.heap.free(offset_slot, 4);
-                        return Err(errno::ENOMEM as u32);
+                    None => {
+                        let slot = self.heap.alloc(4).map_err(|_| errno::ENOMEM as u32)?;
+                        self.m.mem.poke(slot, Size::L, 0);
+                        self.file_chans.insert(
+                            (tid, fid),
+                            FileChan {
+                                offset_slot: slot,
+                                refs: 1,
+                            },
+                        );
+                        slot
                     }
                 };
                 self.fs.file_mut(fid).expect("fid valid").opens += 1;
-                self.link_fd(tid, fd, r.base, w.base);
-                FdObject::File {
-                    fid,
-                    offset_slot,
-                    code: vec![r, w],
-                }
+                let f = self.fs.file(fid).expect("fid valid");
+                Ok(ChannelSpec::file(f, offset_slot, gauge))
             }
+        }
+    }
+
+    /// The generic open pipeline: allocate an fd, specialize each
+    /// endpoint through the creator's cache, dynamic-link the entries
+    /// into the fd table. All failures funnel through the one
+    /// `release_channel` rollback — the same teardown `close` uses.
+    fn open_channel(&mut self, tid: Tid, spec: ChannelSpec) -> Result<u32, u32> {
+        let rollback = |k: &mut Kernel, code: &[Synthesized], e: i32| -> u32 {
+            k.release_channel(tid, spec.class, code);
+            e as u32
         };
-        self.threads.get_mut(&tid).expect("exists").fds[fd as usize] = obj;
+        let Some(t) = self.threads.get(&tid) else {
+            return Err(rollback(self, &[], errno::EINVAL));
+        };
+        let Some(fd) = t.free_fd() else {
+            return Err(rollback(self, &[], errno::EMFILE));
+        };
+        let ebadf = self.shared.ebadf;
+        let mut code: Vec<Synthesized> = Vec::with_capacity(2);
+        let mut entries = [ebadf, ebadf];
+        for (i, end) in [&spec.read, &spec.write].into_iter().enumerate() {
+            let Some(end) = end else { continue };
+            match self.creator.synthesize_cached(
+                &mut self.m,
+                end.template,
+                &end.bindings,
+                self.opts,
+            ) {
+                Ok(s) => {
+                    entries[i] = s.base;
+                    code.push(s);
+                }
+                Err(_) => return Err(rollback(self, &code, errno::ENOMEM)),
+            }
+        }
+        self.link_fd(tid, fd, entries[0], entries[1]);
+        self.threads.get_mut(&tid).expect("exists").fds[fd as usize] = FdObject::Channel {
+            class: spec.class,
+            code,
+        };
         Ok(fd)
     }
 
@@ -1774,7 +1758,7 @@ impl Kernel {
         let obj = std::mem::replace(slot, FdObject::Free);
         let ebadf = self.shared.ebadf;
         self.link_fd(tid, fd, ebadf, ebadf);
-        self.release_fd_object(obj);
+        self.release_fd_object(tid, obj);
         Ok(())
     }
 
@@ -1797,14 +1781,17 @@ impl Kernel {
         let pid = self.pipes.len() as u32;
         let p = Pipe::allocate(&mut self.m, &mut self.heap, pid, DEFAULT_PIPE_SIZE)
             .map_err(|_| errno::ENOMEM as u32)?;
-        match self.pipe_attach_inner(tid, &p) {
-            Ok((rfd, wfd)) => {
-                self.pipes.push(p);
-                Ok((rfd, wfd))
-            }
+        // Register before attaching so the endpoints go through the
+        // ordinary registry path; the end refcounts start at zero and
+        // count attached fds.
+        self.pipes.push(p);
+        match self.pipe_attach_inner(tid, pid) {
+            Ok(fds) => Ok(fds),
             Err(e) => {
-                // Endpoint setup unwound its fds; release the ring too.
-                p.release(&mut self.heap);
+                // The endpoint rollback already released the fds and —
+                // with both refcounts back at zero — the ring; drop the
+                // never-exposed table slot.
+                self.pipes.pop();
                 Err(e)
             }
         }
@@ -1817,93 +1804,35 @@ impl Kernel {
     ///
     /// Returns an errno.
     pub fn pipe_attach(&mut self, tid: Tid, pid: u32) -> Result<(u32, u32), u32> {
-        let p = std::mem::replace(
-            self.pipes
-                .get_mut(pid as usize)
-                .ok_or(errno::EINVAL as u32)?,
-            // Temporarily take the pipe out to satisfy the borrow checker;
-            // the placeholder is never observed.
-            Pipe {
-                pid,
-                head_slot: 0,
-                tail_slot: 0,
-                buf: 0,
-                size: 1,
-                r_wait_slot: 0,
-                w_wait_slot: 0,
-                readers: 0,
-                writers: 0,
-            },
-        );
-        let r = self.pipe_attach_inner(tid, &p);
-        let slot = self.pipes.get_mut(pid as usize).expect("checked");
-        *slot = p;
-        if r.is_ok() {
-            slot.readers += 1;
-            slot.writers += 1;
+        if self.pipes.get(pid as usize).is_none() {
+            return Err(errno::EINVAL as u32);
         }
-        r
+        self.pipe_attach_inner(tid, pid)
     }
 
-    fn pipe_attach_inner(&mut self, tid: Tid, p: &Pipe) -> Result<(u32, u32), u32> {
+    /// Open both ends of pipe `pid` in `tid` through the channel
+    /// registry. Each end holds one reference on the ring; a write-end
+    /// failure closes the read end through the normal `close` teardown.
+    fn pipe_attach_inner(&mut self, tid: Tid, pid: u32) -> Result<(u32, u32), u32> {
         let t = self.threads.get(&tid).ok_or(errno::EINVAL as u32)?;
         let gauge = t.tte + off::GAUGE;
-        let rfd = t.free_fd().ok_or(errno::EMFILE as u32)?;
-        let mut b = Bindings::new();
-        b.bind("head_slot", p.head_slot)
-            .bind("tail_slot", p.tail_slot)
-            .bind("buf", p.buf)
-            .bind("size", p.size)
-            .bind("mask", p.size - 1)
-            .bind("gauge", gauge)
-            .bind("pid", p.pid)
-            .bind("r_wait", p.r_wait_slot)
-            .bind("w_wait", p.w_wait_slot);
-        let rcode = self
-            .creator
-            .synthesize(&mut self.m, "pipe_read", &b, self.opts)
-            .map_err(|_| errno::ENOMEM as u32)?;
-        let ebadf = self.shared.ebadf;
-        self.link_fd(tid, rfd, rcode.base, ebadf);
-        self.threads.get_mut(&tid).expect("exists").fds[rfd as usize] = FdObject::Pipe {
-            pid: p.pid,
-            read_end: true,
-            code: vec![rcode],
+        let (rspec, wspec) = {
+            let p = &self.pipes[pid as usize];
+            (
+                ChannelSpec::pipe(p, true, gauge),
+                ChannelSpec::pipe(p, false, gauge),
+            )
         };
-
-        // The write end; if it cannot be created, unwind the read end so
-        // no fd is left pointing at a pipe that was never registered.
-        let unwind_read = |k: &mut Kernel| {
-            let obj = std::mem::replace(
-                &mut k.threads.get_mut(&tid).expect("exists").fds[rfd as usize],
-                FdObject::Free,
-            );
-            let ebadf = k.shared.ebadf;
-            k.link_fd(tid, rfd, ebadf, ebadf);
-            k.release_fd_object(obj);
-        };
-        let t = &self.threads[&tid];
-        let Some(wfd) = t.free_fd() else {
-            unwind_read(self);
-            return Err(errno::EMFILE as u32);
-        };
-        let wcode = match self
-            .creator
-            .synthesize(&mut self.m, "pipe_write", &b, self.opts)
-        {
-            Ok(w) => w,
-            Err(_) => {
-                unwind_read(self);
-                return Err(errno::ENOMEM as u32);
+        self.pipes[pid as usize].readers += 1;
+        let rfd = self.open_channel(tid, rspec)?;
+        self.pipes[pid as usize].writers += 1;
+        match self.open_channel(tid, wspec) {
+            Ok(wfd) => Ok((rfd, wfd)),
+            Err(e) => {
+                let _ = self.close_for(tid, rfd);
+                Err(e)
             }
-        };
-        self.link_fd(tid, wfd, ebadf, wcode.base);
-        self.threads.get_mut(&tid).expect("exists").fds[wfd as usize] = FdObject::Pipe {
-            pid: p.pid,
-            read_end: false,
-            code: vec![wcode],
-        };
-        Ok((rfd, wfd))
+        }
     }
 
     // --- Lazy FP -------------------------------------------------------------

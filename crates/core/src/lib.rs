@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod alloc;
+pub mod channel;
 pub mod charges;
 pub mod fs;
 pub mod interrupt;

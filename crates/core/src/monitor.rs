@@ -60,18 +60,35 @@ pub struct SizeReport {
     pub threads: usize,
     /// Installed code blocks.
     pub code_blocks: usize,
+    /// Bytes of resident synthesized code held once but referenced more
+    /// than once — what a cache-less kernel would have duplicated
+    /// (Σ `(refs − 1) × size` over the specialization cache).
+    pub code_shared_bytes: u64,
+    /// Bytes of resident code serving a single reference (resident minus
+    /// the multi-referenced cached blocks).
+    pub code_private_bytes: u64,
+    /// Specialization-cache hits since boot.
+    pub cache_hits: u64,
+    /// Specialization-cache misses since boot.
+    pub cache_misses: u64,
 }
 
 /// Snapshot the kernel's space consumption.
 #[must_use]
 pub fn size_report(k: &Kernel) -> SizeReport {
+    let resident = k.m.code.resident_bytes();
+    let cache = &k.creator.cache;
     SizeReport {
-        code_resident: k.m.code.resident_bytes(),
+        code_resident: resident,
         code_total: k.m.code.bytes_loaded,
         heap_in_use: k.heap.in_use,
         heap_high_water: k.heap.high_water,
         threads: k.threads.len(),
         code_blocks: k.m.code.block_count(),
+        code_shared_bytes: cache.shared_bytes(),
+        code_private_bytes: resident.saturating_sub(cache.multi_ref_bytes()),
+        cache_hits: k.creator.stats.cache_hits,
+        cache_misses: k.creator.stats.cache_misses,
     }
 }
 

@@ -72,6 +72,8 @@ pub mod errno {
     pub const EMFILE: i32 = 24;
     /// I/O error (disk retries exhausted or sector quarantined).
     pub const EIO: i32 = 5;
+    /// Path name too long (no NUL within the kernel's path limit).
+    pub const ENAMETOOLONG: i32 = 63;
 }
 
 /// `kcall` selectors used by synthesized code (see the template modules

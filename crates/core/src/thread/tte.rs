@@ -15,6 +15,8 @@
 use quamachine::mem::AddressMap;
 use synthesis_codegen::creator::Synthesized;
 
+use crate::channel::ChannelClass;
+
 /// Thread identifier.
 pub type Tid = u32;
 
@@ -78,36 +80,20 @@ pub enum WaitObject {
 }
 
 /// What each fd refers to (host mirror of the synthesized routines).
+///
+/// Every open object is a channel: the class carries the teardown state
+/// and the code vector holds the (possibly cache-shared) endpoint
+/// routines.
 #[derive(Debug)]
 pub enum FdObject {
     /// The slot is free (points at the shared `EBADF` routine).
     Free,
-    /// `/dev/null`.
-    Null {
-        /// The synthesized read/write code.
-        code: Vec<Synthesized>,
-    },
-    /// The tty.
-    Tty {
-        /// The synthesized read/write code.
-        code: Vec<Synthesized>,
-    },
-    /// A cached file.
-    File {
-        /// File identifier in the [`crate::fs::Fs`].
-        fid: u32,
-        /// This open's offset slot in kernel memory.
-        offset_slot: u32,
-        /// The synthesized read/write code.
-        code: Vec<Synthesized>,
-    },
-    /// One end of a pipe.
-    Pipe {
-        /// Pipe identifier.
-        pid: u32,
-        /// Whether this is the read end.
-        read_end: bool,
-        /// The synthesized code.
+    /// An open channel from the registry.
+    Channel {
+        /// The object class (and its teardown state).
+        class: ChannelClass,
+        /// The synthesized endpoint code (shared via the specialization
+        /// cache; destroying drops references).
         code: Vec<Synthesized>,
     },
 }

@@ -137,6 +137,35 @@ fn adapt_is_a_noop_for_quarantined_threads() {
 }
 
 #[test]
+fn closing_a_quarantined_threads_fds_releases_cached_refs() {
+    // Regression for the channel registry: quarantine stops scheduling,
+    // but the thread's channels must still release their specialization-
+    // cache references so the shared code can be evicted.
+    let mut k = boot();
+    let bad = spin_thread(&mut k, USTACK);
+    k.fs.create(&mut k.m, &mut k.heap, "/tmp/q", 4096).unwrap();
+    let code_base = k.creator.codebuf.in_use;
+    let heap_base = k.heap.in_use;
+
+    let fd1 = k.open_for(bad, "/tmp/q").unwrap();
+    let fd2 = k.open_for(bad, "/tmp/q").unwrap();
+    assert_eq!(k.creator.stats.cache_hits, 2, "second open shared the code");
+
+    k.quarantine(bad, "test: fault storm");
+    assert!(k.is_quarantined(bad));
+
+    k.close_for(bad, fd1).unwrap();
+    k.close_for(bad, fd2).unwrap();
+    assert!(k.creator.cache.is_empty(), "all cached refs released");
+    assert_eq!(k.creator.codebuf.in_use, code_base, "shared code evicted");
+    assert_eq!(k.heap.in_use, heap_base, "offset slot freed");
+
+    // Destroying the quarantined thread afterwards stays clean too.
+    let destroyed = k.destroy(bad);
+    assert!(destroyed.is_ok(), "destroy after quarantine: {destroyed:?}");
+}
+
+#[test]
 fn adapt_rewards_io_bound_threads() {
     let mut k = boot();
     // I/O thread: writes /dev/null forever.

@@ -144,15 +144,21 @@ impl UnixEmulator {
                 }
                 0
             }
-            abi::SYS_OPEN => {
-                let path = read_string(&self.k, a0);
-                match self.k.open(&path) {
+            abi::SYS_OPEN => match self.k.read_user_string(a0) {
+                Ok(path) => match self.k.open(&path) {
                     Ok(fd) => i64::from(fd),
                     Err(e) => -i64::from(e),
-                }
-            }
+                },
+                Err(e) => -i64::from(e),
+            },
             abi::SYS_CREAT => {
-                let path = read_string(&self.k, a0);
+                let path = match self.k.read_user_string(a0) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        self.k.m.cpu.d[0] = (-i64::from(e)) as u32;
+                        return;
+                    }
+                };
                 if self.k.fs.lookup(&path).0.is_none() {
                     let _ = self
                         .k
@@ -184,13 +190,17 @@ impl UnixEmulator {
     }
 
     fn k_seek(&mut self, fd: u32, pos: u32) -> i64 {
+        use synthesis_core::channel::ChannelClass;
         use synthesis_core::thread::FdObject;
         let Some(tid) = self.k.current_tid() else {
             return -i64::from(errno::EBADF);
         };
         let t = &self.k.threads[&tid];
         match t.fds.get(fd as usize) {
-            Some(FdObject::File { offset_slot, .. }) => {
+            Some(FdObject::Channel {
+                class: ChannelClass::File { offset_slot, .. },
+                ..
+            }) => {
                 let slot = *offset_slot;
                 self.k.m.mem.poke(slot, quamachine::isa::Size::L, pos);
                 i64::from(pos)
@@ -198,18 +208,6 @@ impl UnixEmulator {
             _ => -i64::from(errno::EBADF),
         }
     }
-}
-
-fn read_string(k: &Kernel, addr: u32) -> String {
-    let mut s = Vec::new();
-    for i in 0..256 {
-        let b = k.m.mem.peek(addr + i, quamachine::isa::Size::B) as u8;
-        if b == 0 {
-            break;
-        }
-        s.push(b);
-    }
-    String::from_utf8_lossy(&s).into_owned()
 }
 
 /// Convenience: boot a Synthesis kernel, load a UNIX program, install the

@@ -1,0 +1,170 @@
+//! Leak soak for the channel registry: thousands of open/close cycles
+//! across every device class must return the code buffer and the
+//! FastFit kernel heap to their initial byte counts, with the
+//! specialization cache empty at every quiescent point.
+
+use quamachine::asm::Asm;
+use quamachine::isa::{Operand::*, Size::*};
+use quamachine::mem::AddressMap;
+use synthesis::kernel::io::stream::standard;
+use synthesis::kernel::kernel::{Kernel, KernelConfig};
+use synthesis::kernel::layout;
+use synthesis::kernel::syscall::{general, traps};
+use synthesis::kernel::thread::Tid;
+
+const CYCLES: usize = 10_000;
+
+fn boot_with_thread() -> (Kernel, Tid) {
+    let mut k = Kernel::boot(KernelConfig::default()).expect("kernel boots");
+    let mut a = Asm::new("parked");
+    a.move_i(L, general::EXIT, Dr(0));
+    a.trap(traps::GENERAL);
+    let entry = k.load_user_program(a.assemble().unwrap()).unwrap();
+    let tid = k
+        .create_thread(
+            entry,
+            layout::USER_BASE + 0x1_0000,
+            AddressMap::single(1, layout::USER_BASE, layout::USER_LEN),
+        )
+        .unwrap();
+    (k, tid)
+}
+
+struct Baseline {
+    code_in_use: u32,
+    code_free: u32,
+    heap_in_use: u32,
+    heap_free: u32,
+}
+
+fn baseline(k: &Kernel) -> Baseline {
+    Baseline {
+        code_in_use: k.creator.codebuf.in_use,
+        code_free: k.creator.codebuf.free_bytes(),
+        heap_in_use: k.heap.in_use,
+        heap_free: k.heap.free_bytes(),
+    }
+}
+
+fn assert_restored(k: &Kernel, b: &Baseline, what: &str, cycle: usize) {
+    assert_eq!(
+        k.creator.codebuf.in_use, b.code_in_use,
+        "{what} cycle {cycle}: codebuf bytes in use"
+    );
+    assert_eq!(
+        k.creator.codebuf.free_bytes(),
+        b.code_free,
+        "{what} cycle {cycle}: codebuf free list"
+    );
+    assert_eq!(
+        k.heap.in_use, b.heap_in_use,
+        "{what} cycle {cycle}: heap bytes in use"
+    );
+    assert_eq!(
+        k.heap.free_bytes(),
+        b.heap_free,
+        "{what} cycle {cycle}: heap free list"
+    );
+    assert!(
+        k.creator.cache.is_empty(),
+        "{what} cycle {cycle}: stale cache entries"
+    );
+}
+
+#[test]
+fn ten_thousand_open_close_cycles_leak_nothing() {
+    let (mut k, tid) = boot_with_thread();
+    k.fs.create(&mut k.m, &mut k.heap, "/tmp/soak", 4096)
+        .unwrap();
+    let b = baseline(&k);
+
+    // Spread the budget across the device classes; each iteration is a
+    // full open→close (or pipe→close-both) round trip.
+    let per = CYCLES / 5;
+    for i in 0..per {
+        let fd = k.open_for(tid, "/dev/null").unwrap();
+        k.close_for(tid, fd).unwrap();
+        if i % 1024 == 0 {
+            assert_restored(&k, &b, "/dev/null", i);
+        }
+    }
+    assert_restored(&k, &b, "/dev/null", per);
+
+    for i in 0..per {
+        let fd = k.open_for(tid, "/dev/tty").unwrap();
+        k.close_for(tid, fd).unwrap();
+        if i % 1024 == 0 {
+            assert_restored(&k, &b, "/dev/tty", i);
+        }
+    }
+    assert_restored(&k, &b, "/dev/tty", per);
+
+    for i in 0..per {
+        let fd = k.open_for(tid, "/dev/tty-raw").unwrap();
+        k.close_for(tid, fd).unwrap();
+        if i % 1024 == 0 {
+            assert_restored(&k, &b, "/dev/tty-raw", i);
+        }
+    }
+    assert_restored(&k, &b, "/dev/tty-raw", per);
+
+    for i in 0..per {
+        let fd = k.open_for(tid, "/tmp/soak").unwrap();
+        k.close_for(tid, fd).unwrap();
+        if i % 1024 == 0 {
+            assert_restored(&k, &b, "/tmp/soak", i);
+        }
+    }
+    assert_restored(&k, &b, "/tmp/soak", per);
+
+    for i in 0..per {
+        let (rfd, wfd) = k.pipe_for(tid).unwrap();
+        k.close_for(tid, rfd).unwrap();
+        k.close_for(tid, wfd).unwrap();
+        if i % 1024 == 0 {
+            assert_restored(&k, &b, "pipe", i);
+        }
+    }
+    assert_restored(&k, &b, "pipe", per);
+}
+
+#[test]
+fn interleaved_open_close_with_sharing_leaks_nothing() {
+    // The cache-heavy pattern: several fds on the same channel live at
+    // once, closed in a different order than opened.
+    let (mut k, tid) = boot_with_thread();
+    k.fs.create(&mut k.m, &mut k.heap, "/tmp/soak", 4096)
+        .unwrap();
+    let b = baseline(&k);
+
+    for round in 0..500 {
+        let a = k.open_for(tid, "/tmp/soak").unwrap();
+        let c = k.open_for(tid, "/tmp/soak").unwrap();
+        let d = k.open_for(tid, "/dev/null").unwrap();
+        k.close_for(tid, a).unwrap();
+        let e = k.open_for(tid, "/tmp/soak").unwrap();
+        k.close_for(tid, d).unwrap();
+        k.close_for(tid, c).unwrap();
+        k.close_for(tid, e).unwrap();
+        if round % 100 == 0 {
+            assert_restored(&k, &b, "interleaved", round);
+        }
+    }
+    assert_restored(&k, &b, "interleaved", 500);
+}
+
+#[test]
+fn stream_open_close_cycles_leak_nothing() {
+    let mut k = Kernel::boot(KernelConfig::default()).expect("kernel boots");
+    let b = baseline(&k);
+    for i in 0..500 {
+        let chan = k.open_stream(standard::device_to_cooked(), 64).unwrap();
+        let put2 = k.stream_attach_producer(&chan).unwrap();
+        k.stream_release_endpoint(&put2);
+        k.close_stream(chan);
+        if i % 100 == 0 {
+            assert_restored(&k, &b, "stream", i);
+        }
+    }
+    assert_restored(&k, &b, "stream", 500);
+}
