@@ -6,9 +6,11 @@
 //! tables --kernel-size
 //! tables --iters 100
 //! tables --json BENCH_4.json  # tables 1-3 + cache figures, as JSON
+//! tables --trace-report       # profiler: per-thread I/O rates + quanta
+//! tables --trace-report --json BENCH_5.json
 //! ```
 
-use synthesis_bench::{render, table1, table2, table3, table4, table5, Row};
+use synthesis_bench::{profile, render, table1, table2, table3, table4, table5, Row};
 
 /// Minimal JSON string escaping (the row labels are plain ASCII, but be
 /// safe about quotes and backslashes).
@@ -80,6 +82,59 @@ fn emit_json(path: &str, iters: u32) {
         std::process::exit(1);
     }
     println!("wrote {path}");
+}
+
+/// Serialize the profiler's result (the per-thread I/O-rate table and
+/// scheduler outcomes) as JSON.
+fn trace_report_json(p: &profile::ProfileResult) -> String {
+    let quanta: std::collections::HashMap<u32, (&str, u32)> = p
+        .threads
+        .iter()
+        .map(|t| (t.tid, (t.role, t.quantum_us)))
+        .collect();
+    let rows: Vec<String> = p
+        .report
+        .threads
+        .iter()
+        .map(|t| {
+            let (role, q) = quanta.get(&t.tid).copied().unwrap_or(("kernel/idle", 0));
+            let latency: Vec<String> = t.latency.iter().map(u64::to_string).collect();
+            format!(
+                "    {{\"tid\": {}, \"role\": {}, \"ctx_switches\": {}, \"syscalls\": {}, \
+                 \"irqs\": {}, \"queue_puts\": {}, \"queue_gets\": {}, \"cache_hits\": {}, \
+                 \"cache_misses\": {}, \"recoveries\": {}, \"io_events\": {}, \
+                 \"io_per_ms\": {:.3}, \"quantum_us\": {}, \"latency\": [{}]}}",
+                t.tid,
+                json_str(role),
+                t.ctx_switches,
+                t.syscalls,
+                t.irqs,
+                t.queue_puts,
+                t.queue_gets,
+                t.cache_hits,
+                t.cache_misses,
+                t.recoveries,
+                t.io_events,
+                t.io_per_ms,
+                q,
+                latency.join(", ")
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"machine\": \"16 MHz + 1 wait state (SUN 3/160 emulation mode)\",\n  \
+         \"window_start\": {},\n  \"window_end\": {},\n  \"records\": {},\n  \
+         \"dropped\": {},\n  \"adapt_passes\": {},\n  \"quantum_changes\": {},\n  \
+         \"latency_buckets\": {:?},\n  \"threads\": [\n{}\n  ]\n}}\n",
+        p.report.window_start,
+        p.report.window_end,
+        p.report.records,
+        p.report.dropped,
+        p.passes,
+        p.adjustments,
+        synthesis_core::monitor::LATENCY_BUCKETS,
+        rows.join(",\n")
+    )
 }
 
 fn kernel_size() -> Vec<Row> {
@@ -184,6 +239,21 @@ fn main() {
         std::process::exit(2);
     }
     let size_only = args.iter().any(|a| a == "--kernel-size");
+
+    if args.iter().any(|a| a == "--trace-report") {
+        eprintln!("[trace report: profiling the mixed workload...]");
+        let p = profile::run(8, 2_000_000);
+        if let Some(path) = get("--json") {
+            if let Err(e) = std::fs::write(&path, trace_report_json(&p)) {
+                eprintln!("error: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("wrote {path}");
+        } else {
+            print!("{}", p.render());
+        }
+        return;
+    }
 
     if let Some(path) = get("--json") {
         emit_json(&path, iters);

@@ -49,6 +49,7 @@ pub mod spmc;
 pub mod spsc;
 pub mod switch;
 pub mod sync;
+pub mod tap;
 
 /// Result of a non-blocking queue insert: the queue was full and the item
 /// is handed back.

@@ -1,0 +1,142 @@
+//! Queue-operation tap (feature `trace`): a thread-local ring of recent
+//! queue put/get operations.
+//!
+//! Code-Isolation style, like the queues it observes: each host thread
+//! writes only its own ring, so the tap takes no locks and adds no
+//! shared-memory traffic to the optimistic synchronization it is
+//! watching. A harness drains the calling thread's ring with [`drain`].
+//!
+//! With the feature off, [`record`] is an empty inline function and the
+//! queues compile to exactly the uninstrumented code.
+
+/// What a tap record describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Items were inserted (`Q_put` / the multi-item insert).
+    Put,
+    /// An item was removed (`Q_get`).
+    Get,
+}
+
+/// One queue operation, as observed on the calling thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueOp {
+    /// Put or get.
+    pub kind: OpKind,
+    /// Identifies the queue (the shared ring's address, truncated).
+    pub queue: u32,
+    /// Items moved by the operation.
+    pub n: u32,
+    /// Per-thread monotonic sequence number.
+    pub seq: u64,
+}
+
+/// Per-thread ring capacity in records; on wraparound the newest records
+/// win.
+pub const TAP_RECORDS: usize = 4096;
+
+#[cfg(feature = "trace")]
+mod imp {
+    use std::cell::RefCell;
+
+    use super::{OpKind, QueueOp, TAP_RECORDS};
+
+    struct Ring {
+        buf: Vec<QueueOp>,
+        head: usize,
+        seq: u64,
+    }
+
+    thread_local! {
+        static RING: RefCell<Ring> = const {
+            RefCell::new(Ring { buf: Vec::new(), head: 0, seq: 0 })
+        };
+    }
+
+    /// Record one queue operation on the calling thread's ring.
+    pub fn record(kind: OpKind, queue: u32, n: u32) {
+        RING.with(|r| {
+            let mut r = r.borrow_mut();
+            let seq = r.seq;
+            r.seq += 1;
+            let rec = QueueOp {
+                kind,
+                queue,
+                n,
+                seq,
+            };
+            if r.buf.len() < TAP_RECORDS {
+                r.buf.push(rec);
+            } else {
+                let h = r.head;
+                r.buf[h] = rec;
+                r.head = (h + 1) % TAP_RECORDS;
+            }
+        });
+    }
+
+    /// Drain the calling thread's ring, oldest record first.
+    pub fn drain() -> Vec<QueueOp> {
+        RING.with(|r| {
+            let mut r = r.borrow_mut();
+            let mut v = Vec::with_capacity(r.buf.len());
+            v.extend_from_slice(&r.buf[r.head..]);
+            v.extend_from_slice(&r.buf[..r.head]);
+            r.buf.clear();
+            r.head = 0;
+            v
+        })
+    }
+}
+
+#[cfg(feature = "trace")]
+pub use imp::{drain, record};
+
+/// Record one queue operation on the calling thread's ring (feature
+/// `trace` off: compiles to nothing).
+#[cfg(not(feature = "trace"))]
+#[inline(always)]
+pub fn record(_kind: OpKind, _queue: u32, _n: u32) {}
+
+/// Drain the calling thread's ring (feature `trace` off: always empty).
+#[cfg(not(feature = "trace"))]
+#[must_use]
+pub fn drain() -> Vec<QueueOp> {
+    Vec::new()
+}
+
+#[cfg(all(test, feature = "trace"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_wraps_keeping_newest_and_seq_is_monotonic() {
+        let _ = drain();
+        for i in 0..(TAP_RECORDS + 10) as u32 {
+            record(OpKind::Put, 7, i);
+        }
+        let ops = drain();
+        assert_eq!(ops.len(), TAP_RECORDS);
+        // The oldest 10 were overwritten; what's left is in order.
+        assert_eq!(ops[0].n, 10);
+        assert!(ops.windows(2).all(|w| w[0].seq + 1 == w[1].seq));
+        assert!(drain().is_empty(), "drain empties the ring");
+    }
+
+    #[test]
+    fn rings_are_per_thread() {
+        let _ = drain();
+        record(OpKind::Put, 1, 1);
+        let other = std::thread::spawn(|| {
+            record(OpKind::Get, 2, 1);
+            drain()
+        })
+        .join()
+        .unwrap();
+        let mine = drain();
+        assert_eq!(other.len(), 1);
+        assert_eq!(other[0].queue, 2);
+        assert_eq!(mine.len(), 1, "the other thread's op stayed off my ring");
+        assert_eq!(mine[0].queue, 1);
+    }
+}

@@ -172,6 +172,40 @@ impl CreatorStats {
     }
 }
 
+/// One specialization-cache transition (feature `trace`): the creator
+/// does not know which thread asked, so it logs the raw event and the
+/// kernel drains [`QuajectCreator::cache_events`] right after each call,
+/// attributing the events to the requesting thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheEvent {
+    /// A cached block was handed out ([`QuajectCreator::synthesize_cached`]).
+    Hit {
+        /// Base address of the shared block.
+        base: u32,
+        /// Block size in bytes.
+        bytes: u32,
+    },
+    /// A cacheable request synthesized fresh code.
+    Miss {
+        /// Base address of the new block.
+        base: u32,
+        /// Block size in bytes.
+        bytes: u32,
+    },
+    /// A cached reference was destroyed.
+    Release {
+        /// Base address of the referenced block.
+        base: u32,
+        /// Whether this was the last reference (the code was unloaded).
+        evicted: bool,
+    },
+}
+
+/// Upper bound on buffered cache events between drains (a safety cap for
+/// embedders that never drain; the kernel drains after every call).
+#[cfg(feature = "trace")]
+const CACHE_EVENT_CAP: usize = 8192;
+
 /// The quaject creator.
 pub struct QuajectCreator {
     /// The template library.
@@ -186,6 +220,9 @@ pub struct QuajectCreator {
     pub cache: SpecCache,
     /// Statistics.
     pub stats: CreatorStats,
+    /// Undrained cache transitions (feature `trace`; always empty
+    /// otherwise).
+    pub cache_events: Vec<CacheEvent>,
 }
 
 impl QuajectCreator {
@@ -198,6 +235,18 @@ impl QuajectCreator {
             linked: HashMap::new(),
             cache: SpecCache::new(),
             stats: CreatorStats::default(),
+            cache_events: Vec::new(),
+        }
+    }
+
+    /// Log a cache transition (feature `trace`; compiled out otherwise).
+    #[allow(unused_variables)]
+    fn cache_event(&mut self, ev: CacheEvent) {
+        #[cfg(feature = "trace")]
+        {
+            if self.cache_events.len() < CACHE_EVENT_CAP {
+                self.cache_events.push(ev);
+            }
         }
     }
 
@@ -350,11 +399,19 @@ impl QuajectCreator {
             self.stats.cache_hits += 1;
             self.stats.cycles += CACHE_HIT_CYCLES;
             self.stats.bytes_shared += u64::from(s.size);
+            self.cache_event(CacheEvent::Hit {
+                base: s.base,
+                bytes: s.size,
+            });
             return Ok(s);
         }
         let s = self.synthesize(m, template_name, bindings, opts)?;
         self.stats.cache_misses += 1;
         self.cache.insert(key, s.clone());
+        self.cache_event(CacheEvent::Miss {
+            base: s.base,
+            bytes: s.size,
+        });
         Ok(s)
     }
 
@@ -366,8 +423,17 @@ impl QuajectCreator {
     /// code stays installed until the last reference is destroyed.
     pub fn destroy(&mut self, m: &mut Machine, s: &Synthesized) {
         match self.cache.release(s.base) {
-            Release::Shared => {}
-            Release::Evicted(cached) => self.unload(m, &cached),
+            Release::Shared => self.cache_event(CacheEvent::Release {
+                base: s.base,
+                evicted: false,
+            }),
+            Release::Evicted(cached) => {
+                self.cache_event(CacheEvent::Release {
+                    base: s.base,
+                    evicted: true,
+                });
+                self.unload(m, &cached);
+            }
             Release::NotCached => self.unload(m, s),
         }
     }

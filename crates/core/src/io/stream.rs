@@ -139,6 +139,8 @@ impl Kernel {
             Ok(g) => g,
             Err(e) => return Err(rollback(self, &[put], e)),
         };
+        let tid = self.trace_tid();
+        self.drain_cache_events(tid);
         Ok(StreamChannel {
             connector,
             put,
@@ -167,14 +169,20 @@ impl Kernel {
             _ => unreachable!("open_stream only builds queue connectors"),
         };
         let b = chan.bindings(matches!(chan.connector, Connector::MpscQueue));
-        self.creator
+        let s = self
+            .creator
             .synthesize_cached(&mut self.m, name, &b, self.opts)
-            .map_err(KernelError::Synth)
+            .map_err(KernelError::Synth)?;
+        let tid = self.trace_tid();
+        self.drain_cache_events(tid);
+        Ok(s)
     }
 
     /// Release an endpoint obtained from [`Kernel::stream_attach_producer`].
     pub fn stream_release_endpoint(&mut self, s: &Synthesized) {
         self.creator.destroy(&mut self.m, s);
+        let tid = self.trace_tid();
+        self.drain_cache_events(tid);
     }
 
     /// Tear the stream down: drop the endpoint references (the code
@@ -182,6 +190,8 @@ impl Kernel {
     pub fn close_stream(&mut self, chan: StreamChannel) {
         self.creator.destroy(&mut self.m, &chan.put);
         self.creator.destroy(&mut self.m, &chan.get);
+        let tid = self.trace_tid();
+        self.drain_cache_events(tid);
         self.release_stream_storage(&chan);
     }
 

@@ -63,6 +63,9 @@ pub struct KernelConfig {
     /// Initial per-thread CPU quantum in µs ("a typical quantum is on the
     /// order of a few hundred microseconds", Section 4.4).
     pub default_quantum_us: u32,
+    /// Per-thread trace-ring capacity in records (see [`crate::trace`]).
+    /// Only consulted when the `trace` feature is on.
+    pub trace_records: usize,
 }
 
 impl Default for KernelConfig {
@@ -74,6 +77,7 @@ impl Default for KernelConfig {
             },
             synthesis: SynthesisOptions::full(),
             default_quantum_us: 200,
+            trace_records: crate::trace::DEFAULT_RING_RECORDS,
         }
     }
 }
@@ -236,6 +240,12 @@ pub struct Kernel {
     pub recovery: RecoveryGauges,
     /// Recovery log: threads reaped or quarantined, with the reason.
     pub recovery_log: Vec<(Tid, String)>,
+    /// Kernel event trace: per-thread rings of fixed-size records (see
+    /// [`crate::trace`]). Always present so the
+    /// [`TraceQuery`](crate::trace::TraceQuery) API and manual pushes
+    /// compile with the `trace` feature off; the kernel's own recording
+    /// paths are what the feature gates.
+    pub trace: crate::trace::TraceSet,
 
     shared: SharedCode,
     next_tid: Tid,
@@ -376,6 +386,7 @@ impl Kernel {
             disk_sched: DiskScheduler::new(disk),
             recovery: RecoveryGauges::default(),
             recovery_log: Vec::new(),
+            trace: crate::trace::TraceSet::new(cfg.trace_records),
             shared: SharedCode {
                 trampoline,
                 ebadf,
@@ -536,6 +547,7 @@ impl Kernel {
                 .map(|_| FdObject::Free)
                 .collect(),
             last_gauge: 0,
+            last_io: 0,
         };
         self.threads.insert(tid, thread);
         Ok(tid)
@@ -789,6 +801,95 @@ impl Kernel {
         self.vbr_to_tid.get(&self.m.cpu.vbr).copied()
     }
 
+    /// The thread to charge an event to: the current thread, or the idle
+    /// thread when the machine is between identities.
+    pub(crate) fn trace_tid(&self) -> Tid {
+        self.current_tid().unwrap_or(self.idle_tid)
+    }
+
+    /// Drain the machine's hook log into the per-thread trace rings.
+    ///
+    /// The machine records what happened (traps, interrupt accepts,
+    /// `rte`s, VBR writes) without knowing whose events they are; this is
+    /// where the kernel attributes them, using the VBR each event was
+    /// accepted under — the same identity [`Kernel::current_tid`] uses.
+    /// Trap/`rte` pairs are matched through a per-thread frame stack so a
+    /// syscall's exit record carries its enter→exit cycle count; the
+    /// stack is per thread because the hardware frames live on the
+    /// thread's own kernel stack, so the pairing survives context
+    /// switches. Host-fabricated frames (block/resume) make an `rte`
+    /// occasionally pop a trap frame early, so `SyscallExit` can land at
+    /// a resume rather than the true return — a documented approximation,
+    /// bounded by the frame-stack depth cap.
+    ///
+    /// Compiled without the `trace` feature the hook log is always empty
+    /// and this is a no-op.
+    pub fn pump_trace(&mut self) {
+        use crate::trace::Kind;
+        use quamachine::trace::MachEvent;
+        self.trace.dropped = self.m.hooks.dropped;
+        if self.m.hooks.is_empty() {
+            return;
+        }
+        for ev in self.m.hooks.drain() {
+            match ev {
+                // Guest-side dispatch: sw_in installing the incoming
+                // thread's vector table IS the context switch.
+                MachEvent::VbrWrite { vbr, cycle } => {
+                    if let Some(&tid) = self.vbr_to_tid.get(&vbr) {
+                        self.trace.push(tid, cycle, Kind::CtxSwitch, 0, 0);
+                    }
+                }
+                MachEvent::Trap { vector, vbr, cycle } => {
+                    let tid = self.vbr_to_tid.get(&vbr).copied().unwrap_or(self.idle_tid);
+                    self.trace
+                        .push(tid, cycle, Kind::SyscallEnter, u32::from(vector), 0);
+                    self.trace.push_frame(tid, Some((vector, cycle)));
+                }
+                MachEvent::IrqAccept { level, vbr, cycle } => {
+                    let tid = self.vbr_to_tid.get(&vbr).copied().unwrap_or(self.idle_tid);
+                    self.trace.push(tid, cycle, Kind::Irq, u32::from(level), 0);
+                    self.trace.push_frame(tid, None);
+                }
+                MachEvent::Rte { vbr, cycle } => {
+                    let tid = self.vbr_to_tid.get(&vbr).copied().unwrap_or(self.idle_tid);
+                    if let Some(Some((vector, t0))) = self.trace.pop_frame(tid) {
+                        let dt = u32::try_from(cycle.saturating_sub(t0)).unwrap_or(u32::MAX);
+                        self.trace
+                            .push(tid, cycle, Kind::SyscallExit, u32::from(vector), dt);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Move the creator's pending specialization-cache events into
+    /// `tid`'s trace ring. Called at each synthesis/teardown site so the
+    /// events land on the thread that drove them; the buffer is always
+    /// empty without the `trace` feature.
+    pub(crate) fn drain_cache_events(&mut self, tid: Tid) {
+        use crate::trace::Kind;
+        use synthesis_codegen::creator::CacheEvent;
+        if self.creator.cache_events.is_empty() {
+            return;
+        }
+        let cycle = self.m.meter.cycles;
+        for ev in std::mem::take(&mut self.creator.cache_events) {
+            match ev {
+                CacheEvent::Hit { base, .. } => {
+                    self.trace.push(tid, cycle, Kind::CacheHit, base, 0);
+                }
+                CacheEvent::Miss { base, .. } => {
+                    self.trace.push(tid, cycle, Kind::CacheMiss, base, 0);
+                }
+                CacheEvent::Release { base, evicted } => {
+                    self.trace
+                        .push(tid, cycle, Kind::Destroy, base, u32::from(evicted));
+                }
+            }
+        }
+    }
+
     /// Whether `pc` is inside any thread's context-switch code — the
     /// window during which CPU contents and the VBR identity are
     /// transitional, so host-side surgery would corrupt thread state.
@@ -872,6 +973,7 @@ impl Kernel {
     /// Point the machine at `tid`'s switch-in (it must have a valid frame
     /// and saved state).
     fn enter(&mut self, tid: Tid) {
+        crate::trace!(self, tid, crate::trace::Kind::CtxSwitch, 1, 0);
         let t = &self.threads[&tid];
         let need_map = t.map.id != self.installed_map_id;
         self.m.cpu.pc = if need_map { t.sw_in_mmu } else { t.sw_in };
@@ -894,6 +996,10 @@ impl Kernel {
             return Err(KernelError::Invalid("destroying the idle thread"));
         }
         self.ensure_safe_point();
+        // Attribute pending machine events while the VBR mapping still
+        // exists; the thread's ring itself outlives it (post-mortems
+        // drain it after the reap).
+        self.pump_trace();
         let was_current = self.current_tid() == Some(tid);
         if self.ready.position(tid).is_some() {
             self.ready.remove(&mut self.m, tid)?;
@@ -941,6 +1047,7 @@ impl Kernel {
         for s in code {
             self.creator.destroy(&mut self.m, s);
         }
+        self.drain_cache_events(tid);
         match class {
             ChannelClass::Null | ChannelClass::Tty { .. } => {}
             ChannelClass::File { fid, offset_slot } => {
@@ -1230,6 +1337,7 @@ impl Kernel {
                 }
                 other => return other,
             }
+            self.pump_trace();
             if let Some(w) = self.watch_exit {
                 if self.exited.contains(&w) {
                     return RunExit::Breakpoint(w);
@@ -1262,6 +1370,14 @@ impl Kernel {
         }
         self.recovery_log.push((tid, format!("reaped: {e}")));
         self.recovery.reaped.tick();
+        self.pump_trace();
+        crate::trace!(
+            self,
+            tid,
+            crate::trace::Kind::Recovery,
+            crate::trace::REC_REAP,
+            0
+        );
         if self.destroy(tid).is_err() {
             return Err(RunExit::Error(e));
         }
@@ -1309,6 +1425,13 @@ impl Kernel {
         self.recovery.quarantined.tick();
         self.recovery_log
             .push((tid, format!("quarantined: {reason}")));
+        crate::trace!(
+            self,
+            tid,
+            crate::trace::Kind::Recovery,
+            crate::trace::REC_QUARANTINE,
+            0
+        );
         // A storming thread is runnable by definition; if stop fails the
         // thread is already off the ready chain and the quarantine flag
         // alone keeps it from coming back.
@@ -1381,6 +1504,13 @@ impl Kernel {
                 let _ = self.m.host_reg_read(addr); // acknowledge
                 match self.disk_sched.on_complete(&mut self.m) {
                     Some(DiskOutcome::Done(req)) => {
+                        crate::trace!(
+                            self,
+                            self.trace_tid(),
+                            crate::trace::Kind::QueueGet,
+                            crate::trace::QCLASS_DISK,
+                            req.sector
+                        );
                         self.disk_results.insert(req.cookie, Ok(req));
                         self.wake(WaitObject::Disk);
                     }
@@ -1388,6 +1518,13 @@ impl Kernel {
                     // the retry completes one way or the other.
                     Some(DiskOutcome::Retrying { .. }) => {}
                     Some(DiskOutcome::Failed(req)) => {
+                        crate::trace!(
+                            self,
+                            self.trace_tid(),
+                            crate::trace::Kind::Recovery,
+                            crate::trace::REC_IO_ERROR,
+                            req.sector
+                        );
                         self.disk_results.insert(req.cookie, Err(errno::EIO));
                         self.recovery.io_errors.tick();
                         self.wake(WaitObject::Disk);
@@ -1424,13 +1561,36 @@ impl Kernel {
                     self.block_current(WaitObject::PipeSpace(pid));
                 }
             }
-            kcalls::WAKE_TTY => self.wake(WaitObject::TtyInput),
+            kcalls::WAKE_TTY => {
+                crate::trace!(
+                    self,
+                    self.trace_tid(),
+                    crate::trace::Kind::QueuePut,
+                    crate::trace::QCLASS_TTY,
+                    0
+                );
+                self.wake(WaitObject::TtyInput);
+            }
             kcalls::WAKE_PIPE_DATA => {
                 let pid = self.m.cpu.d[2];
+                crate::trace!(
+                    self,
+                    self.trace_tid(),
+                    crate::trace::Kind::QueuePut,
+                    crate::trace::QCLASS_PIPE,
+                    pid
+                );
                 self.wake(WaitObject::PipeData(pid));
             }
             kcalls::WAKE_PIPE_SPACE => {
                 let pid = self.m.cpu.d[2];
+                crate::trace!(
+                    self,
+                    self.trace_tid(),
+                    crate::trace::Kind::QueueGet,
+                    crate::trace::QCLASS_PIPE,
+                    pid
+                );
                 self.wake(WaitObject::PipeSpace(pid));
             }
             _ => return false,
@@ -1715,6 +1875,7 @@ impl Kernel {
                 Err(_) => return Err(rollback(self, &code, errno::ENOMEM)),
             }
         }
+        self.drain_cache_events(tid);
         self.link_fd(tid, fd, entries[0], entries[1]);
         self.threads.get_mut(&tid).expect("exists").fds[fd as usize] = FdObject::Channel {
             class: spec.class,
@@ -2018,9 +2179,27 @@ impl Kernel {
     /// `Err(errno::EIO)` immediately when the range touches a
     /// quarantined sector — known-bad hardware is not worth a wait.
     pub fn disk_submit(&mut self, req: DiskRequest) -> Result<(), i32> {
+        #[allow(unused_variables)]
+        let sector = req.sector;
         match self.disk_sched.submit(&mut self.m, req) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                crate::trace!(
+                    self,
+                    self.trace_tid(),
+                    crate::trace::Kind::QueuePut,
+                    crate::trace::QCLASS_DISK,
+                    sector
+                );
+                Ok(())
+            }
             Err(_) => {
+                crate::trace!(
+                    self,
+                    self.trace_tid(),
+                    crate::trace::Kind::Recovery,
+                    crate::trace::REC_IO_ERROR,
+                    sector
+                );
                 self.recovery.io_errors.tick();
                 Err(errno::EIO)
             }

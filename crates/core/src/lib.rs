@@ -24,6 +24,10 @@
 //!   mentions "a fast-fit heap with randomized traversal added");
 //! - [`monitor`] — the kernel monitor's measurement interface (Section
 //!   6.3's instruction-counting methodology);
+//! - [`trace`] — kernel-wide event tracing: per-thread ring buffers of
+//!   fixed-size binary records, the [`trace!`] recording hook (compiles
+//!   to nothing without the `trace` feature), and the
+//!   [`TraceQuery`](trace::TraceQuery) assertion API;
 //! - [`kernel`] — the [`Kernel`](kernel::Kernel) tying it all together:
 //!   boot, kernel-call dispatch, and the run loop.
 
@@ -42,5 +46,6 @@ pub mod sched;
 pub mod syscall;
 pub mod templates;
 pub mod thread;
+pub mod trace;
 
 pub use kernel::{Kernel, KernelConfig};

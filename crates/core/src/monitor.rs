@@ -135,3 +135,187 @@ pub fn recovery_report(k: &Kernel) -> RecoveryReport {
         io_errors: k.recovery.io_errors.read(),
     }
 }
+
+/// Syscall-latency histogram buckets, in cycles (each bucket's upper
+/// bound; the last is open-ended).
+pub const LATENCY_BUCKETS: [u32; 6] = [100, 300, 1_000, 3_000, 10_000, u32::MAX];
+
+/// Per-thread statistics distilled from one thread's trace ring.
+#[derive(Debug, Clone)]
+pub struct ThreadTrace {
+    /// The thread.
+    pub tid: crate::thread::Tid,
+    /// Dispatches (guest `sw_in` VBR installs + host enters).
+    pub ctx_switches: u64,
+    /// Syscall entries.
+    pub syscalls: u64,
+    /// Interrupts accepted while the thread ran.
+    pub irqs: u64,
+    /// Kernel queue insertions attributed to the thread.
+    pub queue_puts: u64,
+    /// Kernel queue removals.
+    pub queue_gets: u64,
+    /// Specialization-cache hits driven by the thread.
+    pub cache_hits: u64,
+    /// Specialization-cache misses.
+    pub cache_misses: u64,
+    /// Cached-code destroys.
+    pub destroys: u64,
+    /// Recovery actions charged to the thread (reap/quarantine/IO error).
+    pub recoveries: u64,
+    /// Cumulative I/O-classed events (monotonic; survives wraparound).
+    pub io_events: u64,
+    /// I/O-classed events per millisecond of virtual time over the
+    /// report window (the paper's Table-5-style I/O rate).
+    pub io_per_ms: f64,
+    /// Syscall-latency histogram: completed syscalls whose enter→exit
+    /// cycle count fell in each [`LATENCY_BUCKETS`] bucket.
+    pub latency: [u64; LATENCY_BUCKETS.len()],
+}
+
+/// The kernel-wide trace report: the bench profiler's data model.
+#[derive(Debug, Clone)]
+pub struct TraceReport {
+    /// Per-thread rows, by thread id.
+    pub threads: Vec<ThreadTrace>,
+    /// First record's cycle stamp (0 when the trace is empty).
+    pub window_start: u64,
+    /// Last record's cycle stamp.
+    pub window_end: u64,
+    /// Machine hook events dropped before the kernel attributed them.
+    pub dropped: u64,
+    /// Total records the report distilled.
+    pub records: usize,
+}
+
+/// Distill the kernel's trace rings into per-thread statistics without
+/// consuming them. With the `trace` feature off the rings are empty and
+/// every row is zero.
+#[must_use]
+pub fn trace_report(k: &mut Kernel) -> TraceReport {
+    use crate::trace::Kind;
+    k.pump_trace();
+    let merged = k.trace.snapshot_all();
+    let window_start = merged.first().map_or(0, |r| r.cycle);
+    let window_end = merged.last().map_or(0, |r| r.cycle);
+    let window_ms =
+        k.m.cost
+            .cycles_to_us(window_end.saturating_sub(window_start))
+            / 1_000.0;
+    let mut threads = Vec::new();
+    for tid in k.trace.tids() {
+        let mut row = ThreadTrace {
+            tid,
+            ctx_switches: 0,
+            syscalls: 0,
+            irqs: 0,
+            queue_puts: 0,
+            queue_gets: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            destroys: 0,
+            recoveries: 0,
+            io_events: k.trace.io_events(tid),
+            io_per_ms: 0.0,
+            latency: [0; LATENCY_BUCKETS.len()],
+        };
+        for r in k.trace.snapshot(tid) {
+            match r.kind {
+                Kind::CtxSwitch => row.ctx_switches += 1,
+                Kind::SyscallEnter => row.syscalls += 1,
+                Kind::SyscallExit => {
+                    let slot = LATENCY_BUCKETS
+                        .iter()
+                        .position(|&hi| r.b <= hi)
+                        .unwrap_or(LATENCY_BUCKETS.len() - 1);
+                    row.latency[slot] += 1;
+                }
+                Kind::Irq => row.irqs += 1,
+                Kind::QueuePut => row.queue_puts += 1,
+                Kind::QueueGet => row.queue_gets += 1,
+                Kind::CacheHit => row.cache_hits += 1,
+                Kind::CacheMiss => row.cache_misses += 1,
+                Kind::Destroy => row.destroys += 1,
+                Kind::Recovery => row.recoveries += 1,
+            }
+        }
+        if window_ms > 0.0 {
+            row.io_per_ms = row.io_events as f64 / window_ms;
+        }
+        threads.push(row);
+    }
+    TraceReport {
+        threads,
+        window_start,
+        window_end,
+        dropped: k.trace.dropped,
+        records: merged.len(),
+    }
+}
+
+impl TraceReport {
+    /// Render the report as the profiler's text table: one row per
+    /// thread plus the latency histogram of threads that completed
+    /// syscalls.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "trace report: {} records over cycles {}..{} ({} dropped)",
+            self.records, self.window_start, self.window_end, self.dropped
+        );
+        let _ = writeln!(
+            out,
+            "{:>4} {:>6} {:>8} {:>6} {:>6} {:>6} {:>5} {:>6} {:>5} {:>8} {:>9}",
+            "tid",
+            "ctxsw",
+            "syscall",
+            "irq",
+            "qput",
+            "qget",
+            "hit",
+            "miss",
+            "rec",
+            "io-ev",
+            "io/ms"
+        );
+        for t in &self.threads {
+            let _ = writeln!(
+                out,
+                "{:>4} {:>6} {:>8} {:>6} {:>6} {:>6} {:>5} {:>6} {:>5} {:>8} {:>9.2}",
+                t.tid,
+                t.ctx_switches,
+                t.syscalls,
+                t.irqs,
+                t.queue_puts,
+                t.queue_gets,
+                t.cache_hits,
+                t.cache_misses,
+                t.recoveries,
+                t.io_events,
+                t.io_per_ms
+            );
+        }
+        let _ = writeln!(out, "syscall latency (cycles):");
+        for t in &self.threads {
+            if t.latency.iter().sum::<u64>() == 0 {
+                continue;
+            }
+            let mut lo = 0u64;
+            let _ = write!(out, "  tid {:>2}:", t.tid);
+            for (i, &n) in t.latency.iter().enumerate() {
+                let hi = LATENCY_BUCKETS[i];
+                if hi == u32::MAX {
+                    let _ = write!(out, " >{lo}:{n}");
+                } else {
+                    let _ = write!(out, " {lo}-{hi}:{n}");
+                }
+                lo = u64::from(hi);
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}

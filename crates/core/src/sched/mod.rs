@@ -5,11 +5,25 @@
 //! execute' criterion. ... a thread's 'need to execute' is determined by
 //! the rate at which I/O data flows into and out of its quaspace."
 //!
-//! Every synthesized I/O routine increments its thread's TTE gauge; the
-//! policy below samples the gauges, computes each thread's share of the
-//! recent I/O traffic, and sets its quantum proportionally — patching the
-//! quantum immediate inside the thread's `sw_in` code in place (an
-//! executable data structure being retuned at run time).
+//! The policy below measures each thread's I/O rate two ways and uses
+//! whichever saw traffic this window:
+//!
+//! 1. **Traced I/O events** (primary): the kernel event trace classifies
+//!    records as I/O data flow — read/write traps, device interrupts,
+//!    queue put/get (see
+//!    [`TraceSet::is_io_event`](crate::trace::TraceSet::is_io_event)) —
+//!    and keeps a monotonic per-thread count not subject to ring
+//!    wraparound. This sees *all* I/O, including flows that never touch
+//!    a TTE gauge.
+//! 2. **TTE gauges** (fallback): every synthesized I/O routine
+//!    increments its thread's gauge. With the `trace` feature off (or a
+//!    window with no traced I/O), the gauges alone drive adaptation, as
+//!    before.
+//!
+//! Each pass computes a thread's share of the window's I/O traffic and
+//! sets its quantum proportionally — patching the quantum immediate
+//! inside the thread's `sw_in` code in place (an executable data
+//! structure being retuned at run time).
 
 use quamachine::isa::{Instr, Operand, Size};
 
@@ -39,12 +53,16 @@ impl FineGrain {
         FineGrain::default()
     }
 
-    /// One adaptation pass: sample every thread's I/O gauge, compute
-    /// rates since the last pass, and retune quanta.
+    /// One adaptation pass: sample every thread's I/O activity since the
+    /// last pass — traced I/O events when the window saw any, TTE gauges
+    /// otherwise — and retune quanta.
     pub fn adapt(&mut self, k: &mut Kernel) {
         self.passes += 1;
-        // Sample.
-        let mut samples: Vec<(Tid, u64)> = Vec::new();
+        // Attribute any machine events still sitting in the hook log so
+        // this window's traced counts are complete.
+        k.pump_trace();
+        // Sample both meters.
+        let mut samples: Vec<(Tid, u64, u64)> = Vec::new();
         for (&tid, t) in &k.threads {
             // The idle thread has no traffic to adapt to, and quarantined
             // threads will never run again — retuning their switch code
@@ -54,15 +72,22 @@ impl FineGrain {
                 continue;
             }
             let g = u64::from(k.m.mem.peek(t.tte + off::GAUGE, Size::L));
-            let delta = g.saturating_sub(t.last_gauge);
-            samples.push((tid, delta));
+            let dgauge = g.saturating_sub(t.last_gauge);
+            let dtrace = k.trace.io_events(tid).saturating_sub(t.last_io);
+            samples.push((tid, dtrace, dgauge));
         }
-        let total: u64 = samples.iter().map(|&(_, d)| d).sum();
-        for (tid, delta) in samples {
-            let share = if total == 0 {
-                0.0
+        let trace_total: u64 = samples.iter().map(|&(_, dt, _)| dt).sum();
+        let gauge_total: u64 = samples.iter().map(|&(_, _, dg)| dg).sum();
+        for (tid, dtrace, dgauge) in samples {
+            // Prefer the traced rate; a window with no traced I/O at all
+            // (feature off, or purely gauge-visible traffic) falls back
+            // to the gauges.
+            let share = if trace_total > 0 {
+                dtrace as f64 / trace_total as f64
+            } else if gauge_total > 0 {
+                dgauge as f64 / gauge_total as f64
             } else {
-                delta as f64 / total as f64
+                0.0
             };
             // "The faster the I/O rate the faster a thread needs to run":
             // quantum scales with the thread's share of recent traffic.
@@ -74,9 +99,11 @@ impl FineGrain {
                 self.adjustments += 1;
             }
             let _ = set_quantum(k, tid, q);
+            let io = k.trace.io_events(tid);
             if let Some(t) = k.threads.get_mut(&tid) {
                 let g = u64::from(k.m.mem.peek(t.tte + off::GAUGE, Size::L));
                 t.last_gauge = g;
+                t.last_io = io;
             }
         }
     }

@@ -134,6 +134,9 @@ pub struct Thread {
     pub fds: Vec<FdObject>,
     /// Gauge value at the scheduler's last adaptation pass.
     pub last_gauge: u64,
+    /// Traced I/O-event count at the scheduler's last adaptation pass
+    /// (see [`crate::trace::TraceSet::io_events`]).
+    pub last_io: u64,
 }
 
 impl Thread {
@@ -202,6 +205,7 @@ mod tests {
             map: AddressMap::default(),
             fds: Vec::new(),
             last_gauge: 0,
+            last_io: 0,
         };
         assert_eq!(t.fd_read_slot(0), 0x4000 + off::FD_TABLE);
         assert_eq!(t.fd_write_slot(2), 0x4000 + off::FD_TABLE + 20);

@@ -1,0 +1,286 @@
+//! Kernel-wide event tracing: lock-free per-thread ring buffers of
+//! fixed-size binary records.
+//!
+//! The paper's kernel monitor "records in memory the instructions
+//! executed by the current thread" (Section 6.3); this module applies
+//! the same idea one level up, to kernel *events*: context switches,
+//! syscall entry/exit, interrupts, queue put/get, specialization-cache
+//! hit/miss, and fault-recovery actions. Code-Isolation style, each
+//! thread's events go only into that thread's ring — the simulated
+//! threads are time-multiplexed on the host, so the single writer per
+//! ring holds by construction and no locking is ever needed.
+//!
+//! Recording is feature-gated: with the `trace` feature off, the
+//! [`trace!`](crate::trace!) hook expands to nothing and none of the
+//! collection paths (machine hook pump, cache-event drain) produce
+//! records, so tracing costs zero bytes and zero cycles. Tracing never
+//! charges *guest* cycles even when on — it is host-side observability,
+//! which is what keeps the benchmark tables identical with the feature
+//! on and off.
+//!
+//! Rings are owned by the kernel and keyed by thread id, **not** stored
+//! in the `Thread`: a reaped thread's ring stays drainable after the
+//! thread is destroyed, which is exactly when a post-mortem wants it.
+
+pub mod query;
+pub mod record;
+pub mod ring;
+
+pub use query::TraceQuery;
+pub use record::{
+    Kind, TraceRecord, QCLASS_DISK, QCLASS_PIPE, QCLASS_TTY, RECORD_BYTES, REC_IO_ERROR,
+    REC_QUARANTINE, REC_REAP,
+};
+pub use ring::Ring;
+
+use std::collections::BTreeMap;
+
+use crate::thread::Tid;
+
+/// Default per-thread ring capacity in records (24 KB per thread).
+pub const DEFAULT_RING_RECORDS: usize = 1024;
+
+/// An open exception frame, tracked per thread so `rte` events can be
+/// matched back to the trap that opened them: `Some((vector, cycle))`
+/// for a trap frame, `None` for an interrupt frame.
+type Frame = Option<(u8, u64)>;
+
+/// Bound on tracked frames per thread (drift from host-fabricated
+/// frames stays bounded).
+const FRAME_DEPTH: usize = 64;
+
+/// The kernel's trace rings, one per thread.
+#[derive(Debug)]
+pub struct TraceSet {
+    rings: BTreeMap<Tid, Ring>,
+    frames: BTreeMap<Tid, Vec<Frame>>,
+    io_counts: BTreeMap<Tid, u64>,
+    cap: usize,
+    /// Runtime switch (orthogonal to the compile-time feature): when
+    /// false, [`TraceSet::push`] drops everything. Lets one binary
+    /// compare traced and untraced runs of the same workload.
+    pub enabled: bool,
+    /// Machine hook events dropped before the kernel drained them
+    /// (mirrors the hook log's counter at the last pump).
+    pub dropped: u64,
+}
+
+impl TraceSet {
+    /// A trace set whose rings hold `cap` records each.
+    #[must_use]
+    pub fn new(cap: usize) -> TraceSet {
+        TraceSet {
+            rings: BTreeMap::new(),
+            frames: BTreeMap::new(),
+            io_counts: BTreeMap::new(),
+            cap,
+            enabled: true,
+            dropped: 0,
+        }
+    }
+
+    /// Whether `kind`/`a` counts as I/O data flow for the fine-grain
+    /// scheduler's "need to execute" criterion: read/write/unix traps,
+    /// non-quantum interrupts, and queue traffic. Context switches,
+    /// cache events, and the quantum timer are scheduling mechanics,
+    /// not I/O.
+    #[must_use]
+    pub fn is_io_event(kind: Kind, a: u32) -> bool {
+        match kind {
+            Kind::QueuePut | Kind::QueueGet => true,
+            Kind::SyscallEnter => matches!(a, 1..=3),
+            Kind::Irq => a != u32::from(crate::kernel::irq_levels::QUANTUM),
+            _ => false,
+        }
+    }
+
+    /// Record one event against `tid` at `cycle`.
+    pub fn push(&mut self, tid: Tid, cycle: u64, kind: Kind, a: u32, b: u32) {
+        if !self.enabled {
+            return;
+        }
+        if Self::is_io_event(kind, a) {
+            *self.io_counts.entry(tid).or_insert(0) += 1;
+        }
+        let cap = self.cap;
+        self.rings
+            .entry(tid)
+            .or_insert_with(|| Ring::new(cap))
+            .push(TraceRecord {
+                cycle,
+                tid,
+                kind,
+                flags: 0,
+                a,
+                b,
+            });
+    }
+
+    /// Track an opened exception frame for `tid` (trap: `Some((vector,
+    /// cycle))`; interrupt: `None`).
+    pub(crate) fn push_frame(&mut self, tid: Tid, frame: Frame) {
+        let stack = self.frames.entry(tid).or_default();
+        if stack.len() < FRAME_DEPTH {
+            stack.push(frame);
+        }
+    }
+
+    /// Pop `tid`'s most recent exception frame, if any.
+    pub(crate) fn pop_frame(&mut self, tid: Tid) -> Option<Frame> {
+        self.frames.get_mut(&tid).and_then(Vec::pop)
+    }
+
+    /// Cumulative I/O-classed events recorded for `tid` (monotonic; not
+    /// subject to ring wraparound — the scheduler samples deltas of
+    /// this).
+    #[must_use]
+    pub fn io_events(&self, tid: Tid) -> u64 {
+        self.io_counts.get(&tid).copied().unwrap_or(0)
+    }
+
+    /// Threads that have a ring (including reaped threads).
+    #[must_use]
+    pub fn tids(&self) -> Vec<Tid> {
+        self.rings.keys().copied().collect()
+    }
+
+    /// Copy `tid`'s ring, oldest record first.
+    #[must_use]
+    pub fn snapshot(&self, tid: Tid) -> Vec<TraceRecord> {
+        self.rings.get(&tid).map(Ring::snapshot).unwrap_or_default()
+    }
+
+    /// The last `n` records of `tid`'s ring, oldest of those first.
+    #[must_use]
+    pub fn last(&self, tid: Tid, n: usize) -> Vec<TraceRecord> {
+        let mut v = self.snapshot(tid);
+        if v.len() > n {
+            v.drain(..v.len() - n);
+        }
+        v
+    }
+
+    /// Take `tid`'s ring contents, oldest first.
+    pub fn drain(&mut self, tid: Tid) -> Vec<TraceRecord> {
+        self.rings
+            .get_mut(&tid)
+            .map(Ring::drain)
+            .unwrap_or_default()
+    }
+
+    /// Copy every ring, merged by cycle (ties keep thread order).
+    #[must_use]
+    pub fn snapshot_all(&self) -> Vec<TraceRecord> {
+        let mut v: Vec<TraceRecord> = self.rings.values().flat_map(Ring::snapshot).collect();
+        v.sort_by_key(|r| r.cycle);
+        v
+    }
+
+    /// Take every ring's contents, merged by cycle.
+    pub fn drain_all(&mut self) -> Vec<TraceRecord> {
+        let mut v: Vec<TraceRecord> =
+            self.rings
+                .values_mut()
+                .map(Ring::drain)
+                .fold(Vec::new(), |mut acc, mut part| {
+                    acc.append(&mut part);
+                    acc
+                });
+        v.sort_by_key(|r| r.cycle);
+        v
+    }
+
+    /// Total records currently held across all rings.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rings.values().map(Ring::len).sum()
+    }
+
+    /// Whether every ring is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rings.values().all(Ring::is_empty)
+    }
+
+    /// Drop all records, frames, and I/O counts.
+    pub fn clear(&mut self) {
+        self.rings.clear();
+        self.frames.clear();
+        self.io_counts.clear();
+    }
+}
+
+/// Record one trace event: `trace!(kernel, tid, kind, a, b)`. The cycle
+/// stamp is read from the kernel's meter. Compiles to nothing when the
+/// `trace` feature is off — the arguments are not even evaluated.
+#[cfg(feature = "trace")]
+#[macro_export]
+macro_rules! trace {
+    ($k:expr, $tid:expr, $kind:expr, $a:expr, $b:expr) => {{
+        let cycle = $k.m.meter.cycles;
+        $k.trace.push($tid, cycle, $kind, $a, $b);
+    }};
+}
+
+/// Record one trace event (feature `trace` off: expands to nothing).
+#[cfg(not(feature = "trace"))]
+#[macro_export]
+macro_rules! trace {
+    ($k:expr, $tid:expr, $kind:expr, $a:expr, $b:expr) => {{}};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn push_n(ts: &mut TraceSet, tid: Tid, n: u64) {
+        for i in 0..n {
+            ts.push(tid, i, Kind::CtxSwitch, 0, 0);
+        }
+    }
+
+    #[test]
+    fn rings_wrap_keeping_newest() {
+        let mut ts = TraceSet::new(4);
+        push_n(&mut ts, 1, 10);
+        let recs = ts.snapshot(1);
+        assert_eq!(recs.len(), 4);
+        let cycles: Vec<u64> = recs.iter().map(|r| r.cycle).collect();
+        assert_eq!(cycles, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn io_classification() {
+        assert!(TraceSet::is_io_event(Kind::SyscallEnter, 1));
+        assert!(TraceSet::is_io_event(Kind::SyscallEnter, 2));
+        assert!(!TraceSet::is_io_event(Kind::SyscallEnter, 0));
+        assert!(TraceSet::is_io_event(Kind::QueuePut, 0));
+        assert!(!TraceSet::is_io_event(
+            Kind::Irq,
+            u32::from(crate::kernel::irq_levels::QUANTUM)
+        ));
+        assert!(TraceSet::is_io_event(Kind::Irq, 4));
+        assert!(!TraceSet::is_io_event(Kind::CacheHit, 0));
+    }
+
+    #[test]
+    fn disabled_set_records_nothing() {
+        let mut ts = TraceSet::new(4);
+        ts.enabled = false;
+        push_n(&mut ts, 1, 3);
+        assert!(ts.is_empty());
+        assert_eq!(ts.io_events(1), 0);
+    }
+
+    #[test]
+    fn drain_all_merges_by_cycle() {
+        let mut ts = TraceSet::new(8);
+        ts.push(1, 5, Kind::CtxSwitch, 0, 0);
+        ts.push(2, 3, Kind::CtxSwitch, 0, 0);
+        ts.push(1, 9, Kind::CtxSwitch, 0, 0);
+        let all = ts.drain_all();
+        let cycles: Vec<u64> = all.iter().map(|r| r.cycle).collect();
+        assert_eq!(cycles, vec![3, 5, 9]);
+        assert!(ts.is_empty());
+    }
+}

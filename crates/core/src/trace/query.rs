@@ -1,0 +1,175 @@
+//! The trace-assertion test API: match, count, and order predicates
+//! over drained rings.
+//!
+//! Tests pin kernel behavior down by asserting on the event stream
+//! instead of reconstructing history from side effects:
+//!
+//! ```ignore
+//! let q = TraceQuery::drain(&mut k);
+//! assert_eq!(q.thread(tid).count_kind(Kind::CacheHit), 7);
+//! assert!(q.ordered(&[
+//!     &|r| r.kind == Kind::SyscallEnter,
+//!     &|r| r.kind == Kind::SyscallExit,
+//! ]));
+//! ```
+
+use super::record::{Kind, TraceRecord};
+use crate::kernel::Kernel;
+use crate::thread::Tid;
+
+/// A predicate over one record.
+pub type Pred<'a> = &'a dyn Fn(&TraceRecord) -> bool;
+
+/// An immutable view over a set of trace records, merged by cycle.
+#[derive(Debug, Clone)]
+pub struct TraceQuery {
+    recs: Vec<TraceRecord>,
+}
+
+impl TraceQuery {
+    /// Pump pending machine events, then take every ring's contents.
+    /// Subsequent drains see only newer events — use this to mark a
+    /// cut point ("everything after the open()").
+    pub fn drain(k: &mut Kernel) -> TraceQuery {
+        k.pump_trace();
+        TraceQuery {
+            recs: k.trace.drain_all(),
+        }
+    }
+
+    /// Pump pending machine events, then copy every ring's contents
+    /// without consuming them.
+    pub fn snapshot(k: &mut Kernel) -> TraceQuery {
+        k.pump_trace();
+        TraceQuery {
+            recs: k.trace.snapshot_all(),
+        }
+    }
+
+    /// Wrap an explicit record list (e.g. a single drained ring).
+    #[must_use]
+    pub fn from_records(recs: Vec<TraceRecord>) -> TraceQuery {
+        TraceQuery { recs }
+    }
+
+    /// The records, oldest first.
+    #[must_use]
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.recs
+    }
+
+    /// Number of records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.recs.len()
+    }
+
+    /// Whether the query is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.recs.is_empty()
+    }
+
+    /// Only the records belonging to `tid`.
+    #[must_use]
+    pub fn thread(&self, tid: Tid) -> TraceQuery {
+        TraceQuery {
+            recs: self.recs.iter().copied().filter(|r| r.tid == tid).collect(),
+        }
+    }
+
+    /// Only the records of `kind`.
+    #[must_use]
+    pub fn kind(&self, kind: Kind) -> TraceQuery {
+        TraceQuery {
+            recs: self
+                .recs
+                .iter()
+                .copied()
+                .filter(|r| r.kind == kind)
+                .collect(),
+        }
+    }
+
+    /// Records matching `pred`.
+    #[must_use]
+    pub fn count(&self, pred: impl Fn(&TraceRecord) -> bool) -> usize {
+        self.recs.iter().filter(|r| pred(r)).count()
+    }
+
+    /// Records of `kind`.
+    #[must_use]
+    pub fn count_kind(&self, kind: Kind) -> usize {
+        self.count(|r| r.kind == kind)
+    }
+
+    /// Whether any record matches.
+    #[must_use]
+    pub fn any(&self, pred: impl Fn(&TraceRecord) -> bool) -> bool {
+        self.recs.iter().any(pred)
+    }
+
+    /// Whether every record matches.
+    #[must_use]
+    pub fn all(&self, pred: impl Fn(&TraceRecord) -> bool) -> bool {
+        self.recs.iter().all(pred)
+    }
+
+    /// Whether kinds `a` and `b` occur equally often (e.g. synthesize
+    /// and destroy events balance over an open/close soak).
+    #[must_use]
+    pub fn balanced(&self, a: Kind, b: Kind) -> bool {
+        self.count_kind(a) == self.count_kind(b)
+    }
+
+    /// Whether the predicates match *in order* as a subsequence: some
+    /// record matching `preds[0]` is followed (not necessarily
+    /// immediately) by one matching `preds[1]`, and so on.
+    #[must_use]
+    pub fn ordered(&self, preds: &[Pred<'_>]) -> bool {
+        let mut next = 0;
+        for r in &self.recs {
+            if next == preds.len() {
+                break;
+            }
+            if preds[next](r) {
+                next += 1;
+            }
+        }
+        next == preds.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(cycle: u64, tid: u32, kind: Kind) -> TraceRecord {
+        TraceRecord {
+            cycle,
+            tid,
+            kind,
+            flags: 0,
+            a: 0,
+            b: 0,
+        }
+    }
+
+    #[test]
+    fn count_match_and_order() {
+        let q = TraceQuery::from_records(vec![
+            rec(1, 1, Kind::SyscallEnter),
+            rec(2, 2, Kind::Irq),
+            rec(3, 1, Kind::SyscallExit),
+        ]);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.thread(1).len(), 2);
+        assert_eq!(q.count_kind(Kind::Irq), 1);
+        assert!(q.any(|r| r.kind == Kind::Irq));
+        assert!(q.balanced(Kind::SyscallEnter, Kind::SyscallExit));
+        assert!(q.ordered(&[&|r| r.kind == Kind::SyscallEnter, &|r| r.kind
+            == Kind::SyscallExit,]));
+        assert!(!q.ordered(&[&|r| r.kind == Kind::SyscallExit, &|r| r.kind
+            == Kind::SyscallEnter,]));
+    }
+}

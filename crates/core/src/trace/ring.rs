@@ -1,0 +1,76 @@
+//! The per-thread trace ring: fixed capacity, newest records win.
+//!
+//! Same discipline as the quamachine meter's instruction trace: a flat
+//! buffer with a wrap index, no allocation after the first lap, and on
+//! overflow the *oldest* record is overwritten — a post-mortem wants the
+//! most recent history, not the oldest.
+
+use super::record::TraceRecord;
+
+/// A fixed-capacity ring of trace records.
+#[derive(Debug)]
+pub struct Ring {
+    buf: Vec<TraceRecord>,
+    cap: usize,
+    head: usize,
+}
+
+impl Ring {
+    /// A ring holding at most `cap` records (`cap` = 0 records nothing).
+    #[must_use]
+    pub fn new(cap: usize) -> Ring {
+        Ring {
+            buf: Vec::with_capacity(cap.min(4096)),
+            cap,
+            head: 0,
+        }
+    }
+
+    /// Append a record, overwriting the oldest when full.
+    pub fn push(&mut self, rec: TraceRecord) {
+        if self.cap == 0 {
+            return;
+        }
+        if self.buf.len() < self.cap {
+            self.buf.push(rec);
+        } else {
+            self.buf[self.head] = rec;
+            self.head = (self.head + 1) % self.cap;
+        }
+    }
+
+    /// Records currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The ring's capacity in records.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Copy the contents out, oldest record first.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<TraceRecord> {
+        let mut v = Vec::with_capacity(self.buf.len());
+        v.extend_from_slice(&self.buf[self.head..]);
+        v.extend_from_slice(&self.buf[..self.head]);
+        v
+    }
+
+    /// Take the contents (oldest first), leaving the ring empty.
+    pub fn drain(&mut self) -> Vec<TraceRecord> {
+        let v = self.snapshot();
+        self.buf.clear();
+        self.head = 0;
+        v
+    }
+}

@@ -223,6 +223,115 @@ fn adapt_rewards_io_bound_threads() {
     );
 }
 
+/// A quarantined thread leaves exactly one trace: the quarantine record
+/// itself. No dispatch (context-switch) or syscall records may follow
+/// it — the watchdog's promise, checked through the event trace.
+#[cfg(feature = "trace")]
+#[test]
+fn quarantined_threads_emit_no_dispatch_records() {
+    use synthesis_core::trace::{Kind, TraceQuery, REC_QUARANTINE};
+
+    let mut k = boot();
+    let bad = spin_thread(&mut k, USTACK);
+    let good = spin_thread(&mut k, USTACK + 0x1000);
+    k.start(bad).unwrap();
+    k.start(good).unwrap();
+    k.run(2_000_000);
+
+    // Both threads were dispatched before the cut point...
+    let before = TraceQuery::drain(&mut k);
+    assert!(
+        before.thread(bad).count_kind(Kind::CtxSwitch) > 0,
+        "the bad thread ran before quarantine"
+    );
+
+    k.quarantine(bad, "test: fault storm");
+    k.run(2_000_000);
+
+    let after = TraceQuery::drain(&mut k);
+    let bad_trace = after.thread(bad);
+    assert_eq!(
+        bad_trace.count(
+            |r: &synthesis_core::trace::TraceRecord| r.kind == Kind::Recovery
+                && r.a == REC_QUARANTINE
+        ),
+        1,
+        "the quarantine itself is on the record"
+    );
+    assert_eq!(
+        bad_trace.count_kind(Kind::CtxSwitch),
+        0,
+        "a quarantined thread must never be dispatched"
+    );
+    assert_eq!(
+        bad_trace.count_kind(Kind::SyscallEnter),
+        0,
+        "a quarantined thread must never enter a syscall"
+    );
+    assert!(
+        after.thread(good).count_kind(Kind::CtxSwitch) > 0,
+        "the healthy thread keeps running"
+    );
+}
+
+/// Feed `n` synthetic queue events into `tid`'s trace, stamped at the
+/// current cycle. `TraceSet::push` is compiled in both feature legs, so
+/// this drives the scheduler's traced path even in `--no-default-features`
+/// builds.
+fn inject_io(k: &mut Kernel, tid: synthesis_core::thread::Tid, n: u64) {
+    use synthesis_core::trace::{Kind, QCLASS_PIPE};
+    let cycle = k.m.meter.cycles;
+    for i in 0..n {
+        k.trace.push(
+            tid,
+            cycle + i,
+            Kind::QueuePut,
+            QCLASS_PIPE,
+            u32::try_from(i).unwrap(),
+        );
+    }
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(16))]
+
+    /// Section 4.4 as a property: whatever the traffic volumes, the
+    /// I/O-heavy thread of a window gets the larger quantum, a traffic
+    /// reversal moves both quanta in opposite directions, and every
+    /// quantum the policy ever sets stays within
+    /// `[QUANTUM_MIN_US, QUANTUM_MAX_US]`.
+    #[test]
+    fn synthetic_io_windows_move_quanta_oppositely_within_bounds(
+        heavy in 50u64..400,
+        light_pct in 0u64..50,
+    ) {
+        let light = heavy * light_pct / 100;
+        let mut k = boot();
+        let a = spin_thread(&mut k, USTACK);
+        let b = spin_thread(&mut k, USTACK + 0x1000);
+        let mut policy = FineGrain::new();
+
+        // Window 1: A is I/O-heavy, B mostly computes.
+        inject_io(&mut k, a, heavy);
+        inject_io(&mut k, b, light);
+        policy.adapt(&mut k);
+        let (qa1, qb1) = (k.threads[&a].quantum_us, k.threads[&b].quantum_us);
+        proptest::prop_assert!(qa1 > qb1, "I/O-heavy thread got the larger quantum: {qa1} vs {qb1}");
+        proptest::prop_assert!((QUANTUM_MIN_US..=QUANTUM_MAX_US).contains(&qa1));
+        proptest::prop_assert!((QUANTUM_MIN_US..=QUANTUM_MAX_US).contains(&qb1));
+
+        // Window 2: the traffic pattern reverses.
+        inject_io(&mut k, a, light);
+        inject_io(&mut k, b, heavy);
+        policy.adapt(&mut k);
+        let (qa2, qb2) = (k.threads[&a].quantum_us, k.threads[&b].quantum_us);
+        proptest::prop_assert!(qa2 < qa1, "the now-quiet thread's quantum shrinks: {qa1} -> {qa2}");
+        proptest::prop_assert!(qb2 > qb1, "the now-busy thread's quantum grows: {qb1} -> {qb2}");
+        proptest::prop_assert!((QUANTUM_MIN_US..=QUANTUM_MAX_US).contains(&qa2));
+        proptest::prop_assert!((QUANTUM_MIN_US..=QUANTUM_MAX_US).contains(&qb2));
+    }
+}
+
 #[test]
 fn gauges_count_synthesized_io() {
     let mut k = boot();

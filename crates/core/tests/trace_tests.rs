@@ -1,0 +1,206 @@
+//! The tracing subsystem's own contract: fixed-size binary records,
+//! rings that wrap keeping the newest events, strict per-thread
+//! isolation, post-mortem drains that outlive the reaped thread, and a
+//! disabled trace that costs nothing and records nothing.
+
+use quamachine::asm::Asm;
+use quamachine::isa::{Cond, Operand::*, Size::*};
+use quamachine::mem::AddressMap;
+use synthesis_core::kernel::{Kernel, KernelConfig};
+use synthesis_core::layout;
+use synthesis_core::syscall::{general, traps};
+use synthesis_core::thread::Tid;
+use synthesis_core::trace::{Kind, TraceRecord, RECORD_BYTES};
+
+const USTACK: u32 = layout::USER_BASE + 0x1_0000;
+const UBUF: u32 = layout::USER_BASE + 0x2_0000;
+const UPATH: u32 = layout::USER_BASE + 0x2_8000;
+
+fn user_map() -> AddressMap {
+    AddressMap::single(1, layout::USER_BASE, layout::USER_LEN)
+}
+
+/// A thread that opens `/dev/null` and writes 8-byte records forever —
+/// a steady event source for the trace.
+fn io_writer(k: &mut Kernel, stack: u32) -> Tid {
+    let mut a = Asm::new("trace_io");
+    a.move_i(L, general::OPEN, Dr(0));
+    a.lea(Abs(UPATH), 0);
+    a.trap(traps::GENERAL);
+    a.move_(L, Dr(0), Dr(5));
+    let top = a.here();
+    a.move_(L, Dr(5), Dr(0));
+    a.lea(Abs(UBUF), 0);
+    a.move_i(L, 8, Dr(1));
+    a.trap(traps::WRITE);
+    a.bcc(Cond::T, top);
+    let entry = k.load_user_program(a.assemble().unwrap()).unwrap();
+    k.create_thread(entry, stack, user_map()).unwrap()
+}
+
+fn boot_io_kernel(cfg: KernelConfig) -> (Kernel, Tid) {
+    let mut k = Kernel::boot(cfg).expect("kernel boots");
+    k.m.mem.poke_bytes(UPATH, b"/dev/null\0");
+    let tid = io_writer(&mut k, USTACK);
+    k.start(tid).unwrap();
+    (k, tid)
+}
+
+#[test]
+fn records_are_24_bytes_and_roundtrip() {
+    let r = TraceRecord {
+        cycle: 0x0123_4567_89AB_CDEF,
+        tid: 7,
+        kind: Kind::SyscallExit,
+        flags: 0,
+        a: 0xDEAD_BEEF,
+        b: 42,
+    };
+    let wire = r.to_bytes();
+    assert_eq!(wire.len(), RECORD_BYTES);
+    assert_eq!(TraceRecord::from_bytes(&wire), Some(r));
+
+    // An unknown kind on the wire decodes to None instead of garbage.
+    let mut bad = wire;
+    bad[12] = 0xFF;
+    bad[13] = 0xFF;
+    assert_eq!(TraceRecord::from_bytes(&bad), None);
+}
+
+#[test]
+fn rings_are_isolated_per_thread() {
+    // Synthetic pushes work in both feature legs: `TraceSet::push` is
+    // always compiled, only the kernel's recording hooks are gated.
+    let mut k = Kernel::boot(KernelConfig::default()).expect("kernel boots");
+    for i in 0..5u32 {
+        k.trace.push(1, u64::from(i), Kind::QueuePut, 1, i);
+    }
+    for i in 0..3u32 {
+        k.trace.push(2, u64::from(i), Kind::QueueGet, 2, i);
+    }
+
+    let one = k.trace.snapshot(1);
+    assert_eq!(one.len(), 5);
+    assert!(one.iter().all(|r| r.tid == 1 && r.kind == Kind::QueuePut));
+
+    // Draining thread 2 takes its records and leaves thread 1 alone.
+    let two = k.trace.drain(2);
+    assert_eq!(two.len(), 3);
+    assert!(two.iter().all(|r| r.tid == 2 && r.kind == Kind::QueueGet));
+    assert!(k.trace.drain(2).is_empty());
+    assert_eq!(k.trace.snapshot(1).len(), 5);
+
+    // Per-thread I/O counters stay separate too.
+    assert_eq!(k.trace.io_events(1), 5);
+    assert_eq!(k.trace.io_events(2), 3);
+}
+
+#[cfg(feature = "trace")]
+#[test]
+fn rings_wrap_keeping_the_newest_records() {
+    // A deliberately tiny ring under a real workload: the ring must hold
+    // exactly its capacity, all of it newer than the first window.
+    let cfg = KernelConfig {
+        trace_records: 16,
+        ..KernelConfig::default()
+    };
+    let (mut k, tid) = boot_io_kernel(cfg);
+
+    k.run(2_000_000);
+    k.pump_trace();
+    let c1 = k.trace.snapshot(tid).last().map_or(0, |r| r.cycle);
+    assert!(c1 > 0, "the first window produced events");
+
+    k.run(2_000_000);
+    k.pump_trace();
+    let recs = k.trace.snapshot(tid);
+    assert_eq!(recs.len(), 16, "the ring holds exactly its capacity");
+    assert!(
+        recs.iter().all(|r| r.cycle > c1),
+        "wraparound kept only the newest records"
+    );
+    assert!(
+        recs.windows(2).all(|w| w[0].cycle <= w[1].cycle),
+        "snapshot is oldest-first"
+    );
+    // The monotonic I/O counter is not subject to wraparound.
+    assert!(k.trace.io_events(tid) > 16);
+}
+
+#[cfg(feature = "trace")]
+#[test]
+fn reaped_threads_stay_drainable_post_mortem() {
+    // A victim scribbles a wild address over its own trap vector; taking
+    // the trap is a machine error and the kernel reaps the thread. Its
+    // ring must survive for the post-mortem, reap record included.
+    use synthesis_core::trace::REC_REAP;
+
+    let mut k = Kernel::boot(KernelConfig::default()).expect("kernel boots");
+    let mut v = Asm::new("victim");
+    v.trap(traps::UNIX);
+    let entry = k.load_user_program(v.assemble().unwrap()).unwrap();
+    let victim = k.create_thread(entry, USTACK, user_map()).unwrap();
+    k.set_vector(victim, 32 + u32::from(traps::UNIX), 0x00F0_0000)
+        .unwrap();
+    k.start(victim).unwrap();
+    k.run(5_000_000);
+
+    assert!(
+        !k.threads.contains_key(&victim),
+        "the victim was reaped and destroyed"
+    );
+    assert!(
+        k.trace.tids().contains(&victim),
+        "the reaped thread's ring is still registered"
+    );
+    let recs = k.trace.drain(victim);
+    assert!(
+        recs.iter().any(|r| r.kind == Kind::CtxSwitch),
+        "the victim's dispatch is on the record"
+    );
+    assert!(
+        recs.iter()
+            .any(|r| r.kind == Kind::Recovery && r.a == REC_REAP),
+        "the reap itself is the ring's final word"
+    );
+}
+
+#[cfg(feature = "trace")]
+#[test]
+fn runtime_disable_records_nothing_and_charges_no_cycles() {
+    // Same workload, same windows; one kernel records, the other has the
+    // runtime switch off. Virtual time must be identical — tracing is
+    // host-side observability and never charges guest cycles — and the
+    // disabled kernel's rings must stay empty.
+    let (mut on, t_on) = boot_io_kernel(KernelConfig::default());
+    let (mut off, t_off) = boot_io_kernel(KernelConfig::default());
+    off.trace.enabled = false;
+
+    on.run(3_000_000);
+    off.run(3_000_000);
+    on.pump_trace();
+    off.pump_trace();
+
+    assert_eq!(
+        on.m.meter.cycles, off.m.meter.cycles,
+        "tracing must not perturb virtual time"
+    );
+    assert!(!on.trace.snapshot(t_on).is_empty());
+    assert!(off.trace.is_empty(), "disabled trace records nothing");
+    assert_eq!(off.trace.io_events(t_off), 0);
+}
+
+#[cfg(not(feature = "trace"))]
+#[test]
+fn disabled_build_records_nothing() {
+    // With the feature off the `trace!` hook compiles to nothing: a full
+    // workload leaves zero records, zero I/O counts, zero drops.
+    let (mut k, tid) = boot_io_kernel(KernelConfig::default());
+    k.run(3_000_000);
+    k.pump_trace();
+    assert!(k.trace.is_empty());
+    assert_eq!(k.trace.len(), 0);
+    assert_eq!(k.trace.io_events(tid), 0);
+    assert_eq!(k.trace.dropped, 0);
+    assert!(k.trace.tids().is_empty());
+}

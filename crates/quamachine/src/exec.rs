@@ -174,6 +174,26 @@ impl Machine {
     /// A fault during exception processing (unreadable or null vector) is
     /// a double fault, which is fatal.
     pub fn take_exception(&mut self, e: Exception, push_pc: u32) -> Result<(), MachineError> {
+        // Exception-entry hook: traps are the syscall boundary and
+        // interrupt acceptance is the I/O boundary, both stamped with the
+        // VBR (= running thread) before any vectoring happens. Charges no
+        // guest cycles.
+        #[cfg(feature = "trace")]
+        match e {
+            Exception::Trap(n) => self.hooks.push(crate::trace::MachEvent::Trap {
+                vector: n,
+                vbr: self.cpu.vbr,
+                cycle: self.meter.cycles,
+            }),
+            Exception::Interrupt(level) => {
+                self.hooks.push(crate::trace::MachEvent::IrqAccept {
+                    level,
+                    vbr: self.cpu.vbr,
+                    cycle: self.meter.cycles,
+                });
+            }
+            _ => {}
+        }
         self.meter.exception_count += 1;
         self.meter.cycles += EXCEPTION_BASE + EXCEPTION_REFS * self.cost.bus_cycles();
 
@@ -584,6 +604,11 @@ impl Machine {
                 self.meter.cycles += RTE_BASE + RTE_REFS * self.cost.bus_cycles();
                 self.cpu.write_sr(sr as u16);
                 self.cpu.pc = pc;
+                #[cfg(feature = "trace")]
+                self.hooks.push(crate::trace::MachEvent::Rte {
+                    vbr: self.cpu.vbr,
+                    cycle: self.meter.cycles,
+                });
             }
             Trap(n) => {
                 return Err(Exception::Trap(n).into());
@@ -648,6 +673,11 @@ impl Machine {
                 if to_vbr {
                     let v = self.read_src(ea, Size::L)?;
                     self.cpu.vbr = v;
+                    #[cfg(feature = "trace")]
+                    self.hooks.push(crate::trace::MachEvent::VbrWrite {
+                        vbr: v,
+                        cycle: self.meter.cycles,
+                    });
                 } else {
                     let vbr = self.cpu.vbr;
                     let p = self.resolve(ea, Size::L);

@@ -85,6 +85,10 @@ pub struct Machine {
     pub devices: Vec<Box<dyn Device>>,
     /// Counters and trace.
     pub meter: Meter,
+    /// Hooked execution events (feature `trace`): exception entry/exit
+    /// and VBR installs for the embedder to attribute to threads. Always
+    /// present but only ever written when the feature is on.
+    pub hooks: crate::trace::HookLog,
     /// The cost model.
     pub cost: CostModel,
     /// Breakpoint addresses (kernel-monitor debugging).
@@ -105,6 +109,7 @@ impl Machine {
             events: EventQueue::new(),
             devices: Vec::new(),
             meter: Meter::new(config.trace_capacity),
+            hooks: crate::trace::HookLog::default(),
             cost: config.cost,
             breakpoints: HashSet::new(),
             fault: FaultPlan::none(),

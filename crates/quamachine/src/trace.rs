@@ -99,6 +99,91 @@ impl Meter {
     }
 }
 
+/// An execution event hooked out of the executor (feature `trace`):
+/// exception entry, exception return, and VBR installs, stamped with the
+/// cycle count and the VBR in effect. The VBR identifies the running
+/// thread (each Synthesis thread has its own vector table), so an
+/// embedder can attribute every event to a thread without the executor
+/// knowing anything about threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachEvent {
+    /// An interrupt was accepted at `level`.
+    IrqAccept {
+        /// Interrupt level (1–7).
+        level: u8,
+        /// VBR installed when the interrupt hit.
+        vbr: u32,
+        /// Cycle count at acceptance.
+        cycle: u64,
+    },
+    /// A `trap #vector` instruction vectored through the table.
+    Trap {
+        /// Trap vector number (the `#n` operand).
+        vector: u8,
+        /// VBR installed when the trap executed.
+        vbr: u32,
+        /// Cycle count at the trap.
+        cycle: u64,
+    },
+    /// An `rte` unwound an exception frame.
+    Rte {
+        /// VBR installed when the `rte` executed.
+        vbr: u32,
+        /// Cycle count after the frame was popped.
+        cycle: u64,
+    },
+    /// The VBR was written (the context-switch-in marker: `sw_in`
+    /// installs the incoming thread's vector table this way).
+    VbrWrite {
+        /// The new VBR value.
+        vbr: u32,
+        /// Cycle count at the write.
+        cycle: u64,
+    },
+}
+
+/// Upper bound on buffered hook events between drains.
+pub const HOOK_LOG_CAP: usize = 1 << 16;
+
+/// A bounded log of [`MachEvent`]s, drained by the embedder. When the
+/// embedder falls behind, the oldest events are dropped (and counted in
+/// [`HookLog::dropped`]) — newest records win, like the instruction
+/// trace ring above.
+#[derive(Debug, Default)]
+pub struct HookLog {
+    buf: std::collections::VecDeque<MachEvent>,
+    /// Events dropped because the log filled up before a drain.
+    pub dropped: u64,
+}
+
+impl HookLog {
+    /// Append an event, dropping the oldest if the log is full.
+    pub fn push(&mut self, ev: MachEvent) {
+        if self.buf.len() == HOOK_LOG_CAP {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(ev);
+    }
+
+    /// Take every buffered event, oldest first.
+    pub fn drain(&mut self) -> Vec<MachEvent> {
+        self.buf.drain(..).collect()
+    }
+
+    /// Buffered events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the log is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
 /// A point-in-time copy of the counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MeterSnapshot {

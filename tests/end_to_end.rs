@@ -18,13 +18,9 @@ fn user_map() -> AddressMap {
     AddressMap::single(1, layout::USER_BASE, layout::USER_LEN)
 }
 
-/// Boot → create file → open → write → seek → read → console print →
-/// exit, all through synthesized code, in one pass.
-#[test]
-fn full_stack_file_roundtrip() {
-    let mut k = Kernel::boot(KernelConfig::default()).unwrap();
-    k.fs.create(&mut k.m, &mut k.heap, "/notes", 4096).unwrap();
-
+/// open("/notes") → write → seek → read back → close → exit, as one
+/// user program.
+fn roundtrip_program() -> Asm {
     let mut a = Asm::new("roundtrip");
     // open("/notes") -> d5
     a.move_i(L, general::OPEN, Dr(0));
@@ -53,17 +49,79 @@ fn full_stack_file_roundtrip() {
     a.trap(traps::GENERAL);
     let dead = a.here();
     a.bcc(Cond::T, dead);
+    a
+}
 
-    let entry = k.load_user_program(a.assemble().unwrap()).unwrap();
+/// Boot the roundtrip program onto a fresh kernel, ready to run.
+fn boot_roundtrip() -> (Kernel, synthesis::kernel::thread::Tid) {
+    let mut k = Kernel::boot(KernelConfig::default()).unwrap();
+    k.fs.create(&mut k.m, &mut k.heap, "/notes", 4096).unwrap();
+    let entry = k
+        .load_user_program(roundtrip_program().assemble().unwrap())
+        .unwrap();
     k.m.mem.poke_bytes(UPATH, b"/notes\0");
     k.m.mem.poke_bytes(UBUF, b"quaject!");
     let tid = k.create_thread(entry, USTACK, user_map()).unwrap();
+    (k, tid)
+}
+
+/// Boot → create file → open → write → seek → read → console print →
+/// exit, all through synthesized code, in one pass.
+#[test]
+fn full_stack_file_roundtrip() {
+    let (mut k, tid) = boot_roundtrip();
     k.start(tid).unwrap();
     assert!(k.run_until_exit(tid, 2_000_000_000));
     assert_eq!(k.m.mem.peek_bytes(UBUF + 0x100, 8), b"quaject!");
     // And the file's contents are visible host-side.
     let (fid, _) = k.fs.lookup("/notes");
     assert_eq!(k.fs.read_contents(&k.m, fid.unwrap()), b"quaject!");
+}
+
+/// The same roundtrip seen through the event trace: the thread is
+/// dispatched before its first syscall, syscalls enter and exit with
+/// measured latencies, and the channel's synthesis precedes its destroy.
+#[cfg(feature = "trace")]
+#[test]
+fn full_stack_roundtrip_tells_a_coherent_trace_story() {
+    use synthesis::kernel::trace::{Kind, TraceQuery};
+
+    let (mut k, tid) = boot_roundtrip();
+    let _ = TraceQuery::drain(&mut k); // cut: drop boot-time events
+    k.start(tid).unwrap();
+    assert!(k.run_until_exit(tid, 2_000_000_000));
+
+    let q = TraceQuery::drain(&mut k).thread(tid);
+    assert!(
+        q.ordered(&[
+            &|r| r.kind == Kind::CtxSwitch,
+            &|r| r.kind == Kind::SyscallEnter,
+            &|r| r.kind == Kind::SyscallExit,
+        ]),
+        "dispatch precedes the first syscall, which then returns"
+    );
+    // The program traps six times: open, write, seek, read, close, exit.
+    assert!(
+        q.count_kind(Kind::SyscallEnter) >= 6,
+        "all six traps are on the record, got {}",
+        q.count_kind(Kind::SyscallEnter)
+    );
+    assert!(
+        q.any(|r| r.kind == Kind::SyscallExit && r.b > 0),
+        "at least one syscall has a measured enter-to-exit latency"
+    );
+    // open() synthesized the channel; close() destroyed it, in order.
+    assert!(
+        q.count_kind(Kind::CacheHit) + q.count_kind(Kind::CacheMiss) > 0,
+        "open() emitted a synthesis event"
+    );
+    assert!(
+        q.ordered(&[
+            &|r| matches!(r.kind, Kind::CacheHit | Kind::CacheMiss),
+            &|r| r.kind == Kind::Destroy,
+        ]),
+        "synthesis precedes the destroy"
+    );
 }
 
 /// The same binary produces the same observable bytes under the

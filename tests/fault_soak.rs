@@ -48,11 +48,15 @@ fn soak_seeds(n: u64) -> impl Iterator<Item = u64> {
     (0..n).map(move |i| base.wrapping_add(i))
 }
 
-/// Run one seeded case; if it panics, re-panic with the exact command
-/// that reproduces this seed in isolation (`SOAK_SEED=<seed>` makes the
-/// failing seed the first — and reported — iteration).
-fn soak_case<T>(test: &str, seed: u64, f: impl FnOnce() -> T + std::panic::UnwindSafe) -> T {
-    match std::panic::catch_unwind(f) {
+/// Run one seeded case; if it panics, re-panic with a post-mortem — the
+/// last trace records of every thread in the scenario's kernel — plus
+/// the exact command that reproduces this seed in isolation
+/// (`SOAK_SEED=<seed>` makes the failing seed the first — and reported —
+/// iteration). Scenarios park their kernel in the provided slot so the
+/// post-mortem can read its rings after the unwind.
+fn soak_case<T>(test: &str, seed: u64, f: impl FnOnce(&mut Option<Kernel>) -> T) -> T {
+    let mut slot: Option<Kernel> = None;
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut slot))) {
         Ok(v) => v,
         Err(e) => {
             let msg = e
@@ -60,9 +64,35 @@ fn soak_case<T>(test: &str, seed: u64, f: impl FnOnce() -> T + std::panic::Unwin
                 .map(String::as_str)
                 .or_else(|| e.downcast_ref::<&str>().copied())
                 .unwrap_or("non-string panic payload");
-            panic!("{msg}\n  reproduce with: SOAK_SEED={seed} cargo test --test fault_soak {test}");
+            let tail = slot.as_mut().map(|k| trace_tail(k, 64)).unwrap_or_default();
+            panic!(
+                "{msg}\n{tail}  reproduce with: SOAK_SEED={seed} cargo test --test fault_soak {test}"
+            );
         }
     }
+}
+
+/// The last `n` trace records of every thread ring, rendered for a
+/// failure message. Reaped threads' rings are still here — exactly the
+/// history a soak post-mortem needs.
+fn trace_tail(k: &mut Kernel, n: usize) -> String {
+    use std::fmt::Write;
+    k.pump_trace();
+    let mut out = String::new();
+    for tid in k.trace.tids() {
+        let recs = k.trace.last(tid, n);
+        if recs.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "  last {} trace records of tid {}:", recs.len(), tid);
+        for r in recs {
+            let _ = writeln!(out, "    {r}");
+        }
+    }
+    if out.is_empty() {
+        out.push_str("  (no trace records; build with the `trace` feature for post-mortems)\n");
+    }
+    out
 }
 
 const USTACK: u32 = layout::USER_BASE + 0x1_0000;
@@ -87,8 +117,8 @@ fn boot() -> Kernel {
 /// One disk soak run: four one-sector files loaded through the scheduler
 /// pipeline under transient + sticky disk faults. Returns the fault
 /// trace and how many loads failed with an I/O error.
-fn disk_scenario(seed: u64) -> (Vec<FaultRecord>, u32) {
-    let mut k = boot();
+fn disk_scenario(slot: &mut Option<Kernel>, seed: u64) -> (Vec<FaultRecord>, u32) {
+    let k = slot.insert(boot());
     k.m.fault = FaultPlan::seeded(
         seed,
         FaultConfig {
@@ -138,13 +168,18 @@ fn disk_pipeline_soaks_across_seeds() {
     let mut total_faults = 0usize;
     let mut traces = Vec::new();
     for seed in soak_seeds(SEEDS) {
-        let trace = soak_case("disk_pipeline_soaks_across_seeds", seed, || {
-            let (trace, _) = disk_scenario(seed);
+        let trace = soak_case("disk_pipeline_soaks_across_seeds", seed, |slot| {
+            let (trace, _) = disk_scenario(slot, seed);
             // Same seed, same workload: the trace replays byte for byte.
-            let (replay, _) = disk_scenario(seed);
-            assert_eq!(
-                trace, replay,
-                "seed {seed}: fault trace must be reproducible"
+            let (replay, _) = disk_scenario(slot, seed);
+            // A terse mismatch message: the kernel-trace post-mortem that
+            // soak_case attaches replaces the old full byte-diff dump.
+            assert!(
+                trace == replay,
+                "seed {seed}: fault trace must be reproducible \
+                 ({} vs {} fault records)",
+                trace.len(),
+                replay.len()
             );
             trace
         });
@@ -162,15 +197,19 @@ fn disk_pipeline_soaks_across_seeds() {
 #[test]
 fn exhausted_retries_surface_eio_and_quarantine() {
     for seed in soak_seeds(SEEDS) {
-        soak_case("exhausted_retries_surface_eio_and_quarantine", seed, || {
-            exhausted_retries_scenario(seed);
-        });
+        soak_case(
+            "exhausted_retries_surface_eio_and_quarantine",
+            seed,
+            |slot| {
+                exhausted_retries_scenario(slot, seed);
+            },
+        );
     }
 }
 
-fn exhausted_retries_scenario(seed: u64) {
+fn exhausted_retries_scenario(slot: &mut Option<Kernel>, seed: u64) {
     {
-        let mut k = boot();
+        let k = slot.insert(boot());
         k.m.fault = FaultPlan::seeded(
             seed,
             FaultConfig {
@@ -209,7 +248,7 @@ fn exhausted_retries_scenario(seed: u64) {
         assert!(k.disk_take_result(7).is_none(), "rejected, never in flight");
         // The monitor's scoreboard aggregates both sides of the story:
         // what was injected and what recovery did about it.
-        let rep = synthesis::kernel::monitor::recovery_report(&k);
+        let rep = synthesis::kernel::monitor::recovery_report(k);
         assert!(rep.injected.disk_transient > u64::from(MAX_RETRIES));
         assert_eq!(rep.disk_retries, u64::from(MAX_RETRIES));
         assert_eq!(rep.disk_backoff_us, 7_500, "500+1000+2000+4000 µs");
@@ -224,8 +263,8 @@ fn exhausted_retries_scenario(seed: u64) {
 /// One tty soak run: a guest reads from `/dev/tty-raw` while 24 bytes
 /// are typed through a plan that drops and duplicates characters.
 /// Returns the fault trace.
-fn tty_scenario(seed: u64) -> Vec<FaultRecord> {
-    let mut k = boot();
+fn tty_scenario(slot: &mut Option<Kernel>, seed: u64) -> Vec<FaultRecord> {
+    let k = slot.insert(boot());
     k.m.fault = FaultPlan::seeded(
         seed,
         FaultConfig {
@@ -281,12 +320,15 @@ fn tty_scenario(seed: u64) -> Vec<FaultRecord> {
 fn tty_pipeline_soaks_across_seeds() {
     let mut total_faults = 0usize;
     for seed in soak_seeds(SEEDS) {
-        let trace = soak_case("tty_pipeline_soaks_across_seeds", seed, || {
-            let trace = tty_scenario(seed);
-            let replay = tty_scenario(seed);
-            assert_eq!(
-                trace, replay,
-                "seed {seed}: fault trace must be reproducible"
+        let trace = soak_case("tty_pipeline_soaks_across_seeds", seed, |slot| {
+            let trace = tty_scenario(slot, seed);
+            let replay = tty_scenario(slot, seed);
+            assert!(
+                trace == replay,
+                "seed {seed}: fault trace must be reproducible \
+                 ({} vs {} fault records)",
+                trace.len(),
+                replay.len()
             );
             trace
         });
@@ -300,8 +342,8 @@ fn tty_pipeline_soaks_across_seeds() {
 /// One pipe soak run: writer → reader through a kernel pipe while the
 /// interrupt fabric misbehaves (lost quantum raises, spurious device
 /// interrupts, jittered timer periods).
-fn pipe_scenario(seed: u64) {
-    let mut k = boot();
+fn pipe_scenario(slot: &mut Option<Kernel>, seed: u64) {
+    let k = slot.insert(boot());
     k.m.fault = FaultPlan::seeded(
         seed,
         FaultConfig {
@@ -355,8 +397,8 @@ fn pipe_scenario(seed: u64) {
 #[test]
 fn pipe_pipeline_soaks_across_seeds() {
     for seed in soak_seeds(SEEDS) {
-        soak_case("pipe_pipeline_soaks_across_seeds", seed, || {
-            pipe_scenario(seed);
+        soak_case("pipe_pipeline_soaks_across_seeds", seed, |slot| {
+            pipe_scenario(slot, seed);
         });
     }
 }
@@ -368,15 +410,15 @@ fn pipe_pipeline_soaks_across_seeds() {
 #[test]
 fn wild_jump_is_reaped_not_fatal() {
     for seed in soak_seeds(8) {
-        soak_case("wild_jump_is_reaped_not_fatal", seed, || {
-            wild_jump_scenario(seed);
+        soak_case("wild_jump_is_reaped_not_fatal", seed, |slot| {
+            wild_jump_scenario(slot, seed);
         });
     }
 }
 
-fn wild_jump_scenario(seed: u64) {
+fn wild_jump_scenario(slot: &mut Option<Kernel>, seed: u64) {
     {
-        let mut k = boot();
+        let k = slot.insert(boot());
         k.m.fault = FaultPlan::seeded(seed, FaultConfig::soak());
 
         let mut v = Asm::new("victim");

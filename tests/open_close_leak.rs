@@ -128,6 +128,58 @@ fn ten_thousand_open_close_cycles_leak_nothing() {
     assert_restored(&k, &b, "pipe", per);
 }
 
+/// The same invariant seen through the event trace: every device class
+/// emits one synthesis event (cache hit or miss) per cached block it
+/// opens and exactly one destroy event per block it releases, with the
+/// first synthesis strictly before the first destroy.
+#[cfg(feature = "trace")]
+#[test]
+fn every_device_class_balances_synthesize_and_destroy_events() {
+    use synthesis::kernel::trace::{Kind, TraceQuery};
+
+    let (mut k, tid) = boot_with_thread();
+    k.fs.create(&mut k.m, &mut k.heap, "/tmp/soak", 4096)
+        .unwrap();
+    // Cut point: discard boot-time synthesis events.
+    let _ = TraceQuery::drain(&mut k);
+
+    for class in ["/dev/null", "/dev/tty", "/dev/tty-raw", "/tmp/soak"] {
+        for _ in 0..8 {
+            let fd = k.open_for(tid, class).unwrap();
+            k.close_for(tid, fd).unwrap();
+        }
+        let q = TraceQuery::drain(&mut k).thread(tid);
+        let synths = q.count_kind(Kind::CacheHit) + q.count_kind(Kind::CacheMiss);
+        let destroys = q.count_kind(Kind::Destroy);
+        assert!(synths > 0, "{class}: opens must emit synthesis events");
+        assert_eq!(
+            synths, destroys,
+            "{class}: synthesize events must balance destroy events"
+        );
+        assert!(
+            q.ordered(&[
+                &|r| matches!(r.kind, Kind::CacheHit | Kind::CacheMiss),
+                &|r| r.kind == Kind::Destroy,
+            ]),
+            "{class}: a synthesis must precede the first destroy"
+        );
+    }
+
+    for _ in 0..8 {
+        let (rfd, wfd) = k.pipe_for(tid).unwrap();
+        k.close_for(tid, rfd).unwrap();
+        k.close_for(tid, wfd).unwrap();
+    }
+    let q = TraceQuery::drain(&mut k).thread(tid);
+    let synths = q.count_kind(Kind::CacheHit) + q.count_kind(Kind::CacheMiss);
+    assert!(synths > 0, "pipe: opens must emit synthesis events");
+    assert_eq!(
+        synths,
+        q.count_kind(Kind::Destroy),
+        "pipe: synthesize events must balance destroy events"
+    );
+}
+
 #[test]
 fn interleaved_open_close_with_sharing_leaks_nothing() {
     // The cache-heavy pattern: several fds on the same channel live at
