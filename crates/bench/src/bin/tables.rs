@@ -8,9 +8,16 @@
 //! tables --json BENCH_4.json  # tables 1-3 + cache figures, as JSON
 //! tables --trace-report       # profiler: per-thread I/O rates + quanta
 //! tables --trace-report --json BENCH_5.json
+//! tables --cpus 4             # SMP scaling table at 1, 2, and 4 CPUs
+//! tables --cpus 4 --json BENCH_6.json
 //! ```
+//!
+//! `--cpus 1` (the default) reproduces the uniprocessor kernel byte for
+//! byte: every other mode's output is unchanged from the pre-SMP
+//! binary. `--cpus N` with N > 1 switches to the SMP scaling report
+//! (and makes `--trace-report` profile an N-CPU kernel).
 
-use synthesis_bench::{profile, render, table1, table2, table3, table4, table5, Row};
+use synthesis_bench::{profile, render, smp, table1, table2, table3, table4, table5, Row};
 
 /// Minimal JSON string escaping (the row labels are plain ASCII, but be
 /// safe about quotes and backslashes).
@@ -84,6 +91,67 @@ fn emit_json(path: &str, iters: u32) {
     println!("wrote {path}");
 }
 
+/// Emit the SMP scaling table plus the cross-CPU cache figures as JSON
+/// (the BENCH_6 shape).
+fn emit_smp_json(path: &str, points: &[smp::ScalingPoint], cache: &smp::CacheSmp) {
+    let base = points.first().map_or(0.0, |p| p.ops_per_ms);
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            let per_cpu: Vec<String> = p
+                .per_cpu
+                .iter()
+                .map(|c| {
+                    format!(
+                        "        {{\"cpu\": {}, \"steals\": {}, \"offloads\": {}, \
+                         \"busy_cycles\": {}, \"idle_cycles\": {}}}",
+                        c.cpu, c.steals, c.offloads, c.busy_cycles, c.idle_cycles
+                    )
+                })
+                .collect();
+            format!(
+                "    {{\"cpus\": {}, \"total_ops\": {}, \"elapsed_ms\": {:.3}, \
+                 \"ops_per_ms\": {:.3}, \"speedup\": {:.3},\n      \"per_cpu\": [\n{}\n      ]}}",
+                p.cpus,
+                p.total_ops,
+                p.elapsed_ms,
+                p.ops_per_ms,
+                if base > 0.0 { p.ops_per_ms / base } else { 0.0 },
+                per_cpu.join(",\n")
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"machine\": \"16 MHz + 1 wait state (SUN 3/160 emulation mode)\",\n  \
+         \"workload\": \"{} counter spinners + {} /dev/null writers, {} cycles per point\",\n  \
+         \"scaling\": [\n{}\n  ],\n  \
+         \"cache_smp\": {{\n    \
+         \"cold_open_us\": {:.3},\n    \
+         \"warm_local_us\": {:.3},\n    \
+         \"warm_cross_us\": {:.3},\n    \
+         \"hits_local\": {},\n    \
+         \"hits_cross\": {},\n    \
+         \"bytes_shared_cross\": {},\n    \
+         \"shared_tier_bytes\": {}\n  }}\n}}\n",
+        smp::SPINNERS,
+        smp::WRITERS,
+        smp::RUN_CYCLES,
+        rows.join(",\n"),
+        cache.cold_open_us,
+        cache.warm_local_us,
+        cache.warm_cross_us,
+        cache.hits_local,
+        cache.hits_cross,
+        cache.bytes_shared_cross,
+        cache.shared_tier_bytes
+    );
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {path}");
+}
+
 /// Serialize the profiler's result (the per-thread I/O-rate table and
 /// scheduler outcomes) as JSON.
 fn trace_report_json(p: &profile::ProfileResult) -> String {
@@ -121,11 +189,38 @@ fn trace_report_json(p: &profile::ProfileResult) -> String {
             )
         })
         .collect();
+    // Only multiprocessor reports carry per-CPU rows; on one CPU the
+    // key is omitted entirely so the JSON is byte-identical to the
+    // uniprocessor binary's.
+    let cpus_section = if p.report.cpus.is_empty() {
+        String::new()
+    } else {
+        let rows: Vec<String> = p
+            .report
+            .cpus
+            .iter()
+            .map(|c| {
+                format!(
+                    "    {{\"cpu\": {}, \"utilization\": {:.4}, \"steals\": {}, \
+                     \"steal_records\": {}, \"offloads\": {}, \"busy_cycles\": {}, \
+                     \"idle_cycles\": {}}}",
+                    c.cpu,
+                    c.utilization,
+                    c.steals,
+                    c.steal_records,
+                    c.offloads,
+                    c.busy_cycles,
+                    c.idle_cycles
+                )
+            })
+            .collect();
+        format!("  \"cpus\": [\n{}\n  ],\n", rows.join(",\n"))
+    };
     format!(
         "{{\n  \"machine\": \"16 MHz + 1 wait state (SUN 3/160 emulation mode)\",\n  \
          \"window_start\": {},\n  \"window_end\": {},\n  \"records\": {},\n  \
          \"dropped\": {},\n  \"adapt_passes\": {},\n  \"quantum_changes\": {},\n  \
-         \"latency_buckets\": {:?},\n  \"threads\": [\n{}\n  ]\n}}\n",
+         \"latency_buckets\": {:?},\n{}  \"threads\": [\n{}\n  ]\n}}\n",
         p.report.window_start,
         p.report.window_end,
         p.report.records,
@@ -133,6 +228,7 @@ fn trace_report_json(p: &profile::ProfileResult) -> String {
         p.passes,
         p.adjustments,
         synthesis_core::monitor::LATENCY_BUCKETS,
+        cpus_section,
         rows.join(",\n")
     )
 }
@@ -238,11 +334,25 @@ fn main() {
         eprintln!("error: --iters must be at least 1");
         std::process::exit(2);
     }
+    let cpus: usize = match get("--cpus") {
+        Some(s) => match s.parse::<usize>() {
+            Ok(n @ 1..=8) => n,
+            _ => {
+                eprintln!("error: --cpus takes a number 1-8, got {s:?}");
+                std::process::exit(2);
+            }
+        },
+        None => 1,
+    };
     let size_only = args.iter().any(|a| a == "--kernel-size");
 
     if args.iter().any(|a| a == "--trace-report") {
         eprintln!("[trace report: profiling the mixed workload...]");
-        let p = profile::run(8, 2_000_000);
+        let p = if cpus > 1 {
+            profile::run_on(cpus, 8, 2_000_000)
+        } else {
+            profile::run(8, 2_000_000)
+        };
         if let Some(path) = get("--json") {
             if let Err(e) = std::fs::write(&path, trace_report_json(&p)) {
                 eprintln!("error: cannot write {path}: {e}");
@@ -251,6 +361,33 @@ fn main() {
             println!("wrote {path}");
         } else {
             print!("{}", p.render());
+        }
+        return;
+    }
+
+    if cpus > 1 {
+        eprintln!(
+            "[smp: running the mixed workload at {:?} CPUs...]",
+            smp::points_for(cpus)
+        );
+        let points = smp::scaling(cpus);
+        let cache = smp::cache_smp();
+        if let Some(path) = get("--json") {
+            emit_smp_json(&path, &points, &cache);
+        } else {
+            println!("Synthesis kernel reproduction — SMP scaling");
+            println!("machine: 16 MHz + 1 wait state (SUN 3/160 emulation mode)");
+            print!("{}", smp::render(&points));
+            println!(
+                "cache: cold {:.1} µs, warm local {:.1} µs, warm cross-CPU {:.1} µs \
+                 ({} local / {} cross hits, {} B shared tier)",
+                cache.cold_open_us,
+                cache.warm_local_us,
+                cache.warm_cross_us,
+                cache.hits_local,
+                cache.hits_cross,
+                cache.shared_tier_bytes
+            );
         }
         return;
     }

@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 pub mod profile;
+pub mod smp;
 pub mod static_cost;
 pub mod table1;
 pub mod table2;

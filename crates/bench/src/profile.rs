@@ -113,10 +113,21 @@ fn pipe_pair(k: &mut Kernel) -> (Tid, Tid) {
 
 /// Run the mixed workload for `windows` scheduling windows of
 /// `window_cycles` each, adapting quanta between windows, and distill
-/// the trace.
+/// the trace. The CPU count comes from [`KernelConfig::default`] (the
+/// `SYNTHESIS_CPUS` environment variable, 1 when unset).
 #[must_use]
 pub fn run(windows: u32, window_cycles: u64) -> ProfileResult {
-    let mut k = Kernel::boot(KernelConfig::default()).expect("kernel boots");
+    run_on(KernelConfig::default().cpus, windows, window_cycles)
+}
+
+/// [`run`], on an explicit number of CPUs.
+#[must_use]
+pub fn run_on(cpus: usize, windows: u32, window_cycles: u64) -> ProfileResult {
+    let mut k = Kernel::boot(KernelConfig {
+        cpus,
+        ..KernelConfig::default()
+    })
+    .expect("kernel boots");
     k.m.mem.poke_bytes(UPATH, b"/dev/null\0");
 
     let io = io_writer(&mut k);

@@ -47,6 +47,7 @@ pub mod signal;
 pub mod sim;
 pub mod spmc;
 pub mod spsc;
+pub mod steal;
 pub mod switch;
 pub mod sync;
 pub mod tap;

@@ -60,6 +60,65 @@ impl BrokenMpsc {
     }
 }
 
+/// A work-stealing pool with a torn (non-CAS) steal claim. Test fixture
+/// only — it is wrong by design.
+///
+/// Where [`crate::steal::WorkPool`] inherits the mpmc queue's CAS tail
+/// claim, this one does `load; store(t + 1)`: two thieves scheduled
+/// between the two both claim slot `t`, so one work item is stolen twice
+/// (and the next one is skipped). On one CPU the window needs a
+/// preemption to open; across CPUs it is reachable with no preemptions
+/// at all — the uniprocessor-to-SMP hazard in miniature.
+pub struct BrokenSteal {
+    /// Next slot to steal.
+    tail: AtomicU64,
+    /// Slots filled by `offer`.
+    head: AtomicU64,
+    /// `0` = empty, else `value + 1`.
+    slots: Vec<AtomicU64>,
+}
+
+impl BrokenSteal {
+    /// Pool with room for `cap` items.
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        Self {
+            tail: AtomicU64::new(0),
+            head: AtomicU64::new(0),
+            slots: (0..cap).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Offer one item (single-producer side; not the broken part).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(v)` when the pool is full.
+    pub fn offer(&self, v: u64) -> Result<(), u64> {
+        let h = self.head.load(Ordering::Acquire);
+        if h as usize >= self.slots.len() {
+            return Err(v);
+        }
+        self.slots[h as usize].store(v + 1, Ordering::Release);
+        self.head.store(h + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// The broken steal: where the real pool claims a slot with a CAS on
+    /// the consumer index, this does `load; store(t + 1)` — a second
+    /// thief scheduled between the two steals the same item.
+    #[must_use]
+    pub fn steal(&self) -> Option<u64> {
+        let t = self.tail.load(Ordering::Acquire);
+        if t >= self.head.load(Ordering::Acquire) {
+            return None;
+        }
+        let v = self.slots[t as usize].load(Ordering::Acquire);
+        self.tail.store(t + 1, Ordering::Release); // BUG: should be a CAS
+        Some(v - 1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,6 +175,104 @@ mod tests {
             ..Explorer::default()
         };
         seq.explore(scenario).assert_ok();
+    }
+
+    /// Two thieves pinned to different CPUs racing the torn steal claim:
+    /// an item is stolen twice. Pinned cross-CPU, the duplicate is
+    /// reachable at preemption budget 0 — no preemption needed, just two
+    /// CPUs — while the same pair sharing one CPU at budget 0 never
+    /// trips it. The failing schedule replays byte-for-byte.
+    #[test]
+    fn racy_steal_duplicates_across_cpus_at_budget_zero() {
+        use std::sync::Mutex;
+        let make = |cpu_b: usize| {
+            move || {
+                let pool = Arc::new(BrokenSteal::new(4));
+                pool.offer(10).unwrap();
+                pool.offer(20).unwrap();
+                let got: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+                let (p1, p2) = (Arc::clone(&pool), Arc::clone(&pool));
+                let (g1, g2, gk) = (Arc::clone(&got), Arc::clone(&got), got);
+                Scenario::new()
+                    .thread_on(0, move || {
+                        if let Some(v) = p1.steal() {
+                            g1.lock().unwrap().push(v);
+                        }
+                    })
+                    .thread_on(cpu_b, move || {
+                        if let Some(v) = p2.steal() {
+                            g2.lock().unwrap().push(v);
+                        }
+                    })
+                    .check(move || {
+                        let mut v = gk.lock().unwrap().clone();
+                        v.sort_unstable();
+                        v.dedup();
+                        if v.len() == gk.lock().unwrap().len() {
+                            Ok(())
+                        } else {
+                            Err(format!(
+                                "duplicated steal: {:?}",
+                                gk.lock().unwrap().clone()
+                            ))
+                        }
+                    })
+            }
+        };
+        let explorer = Explorer {
+            preemption_budget: 0,
+            ..Explorer::default()
+        };
+        // Sharing one CPU, budget 0 serializes the thieves: no failure.
+        explorer.explore(make(0)).assert_ok();
+        // On two CPUs the duplicate shows up with no preemptions at all.
+        let report = explorer.explore(make(1));
+        let failure = report.failure.expect("cross-CPU duplicate steal");
+        assert!(failure.message.contains("duplicated steal"), "{failure}");
+        let replayed = explorer
+            .replay(&failure.choices, failure.preemption_budget, make(1))
+            .expect_err("the recorded schedule must reproduce the failure");
+        assert_eq!(replayed.message, failure.message);
+    }
+
+    /// The seeded random walk finds the duplicated steal too.
+    #[test]
+    fn random_walk_finds_the_racy_steal() {
+        let make = || {
+            let pool = Arc::new(BrokenSteal::new(4));
+            pool.offer(1).unwrap();
+            pool.offer(2).unwrap();
+            let seen = Arc::new(crate::sync::AtomicU64::new(0));
+            let (p1, p2) = (Arc::clone(&pool), Arc::clone(&pool));
+            let (s1, s2) = (Arc::clone(&seen), Arc::clone(&seen));
+            let mark = |s: &crate::sync::AtomicU64, v: u64| {
+                // One bit per distinct value; a second steal of the same
+                // value trips the assert inside the model.
+                let bit = 1u64 << v;
+                let prev = s.fetch_or(bit, Ordering::SeqCst);
+                assert_eq!(prev & bit, 0, "value {v} stolen twice");
+            };
+            Scenario::new()
+                .thread_on(0, move || {
+                    if let Some(v) = p1.steal() {
+                        mark(&s1, v);
+                    }
+                })
+                .thread_on(1, move || {
+                    if let Some(v) = p2.steal() {
+                        mark(&s2, v);
+                    }
+                })
+        };
+        let explorer = Explorer {
+            preemption_budget: 0,
+            ..Explorer::default()
+        };
+        let report = explorer.random_walk(0x57EA1, 200, make);
+        assert!(
+            report.failure.is_some(),
+            "200 seeded cross-CPU schedules should hit the torn steal"
+        );
     }
 
     /// The random-walk mode finds the same bug from a fixed seed.

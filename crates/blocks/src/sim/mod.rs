@@ -182,15 +182,24 @@ impl ModeState<'_> {
 
 /// Drives one run to completion. Returns the decisions taken and whether
 /// the run aborted on the step cap.
+///
+/// `cpus[i]` is model thread `i`'s CPU pin ([`Scenario::thread_on`]) or
+/// `None` for an unpinned thread. Switching between threads pinned to
+/// *different* CPUs models true parallelism — on real hardware both run
+/// concurrently, so such an interleaving point is not a preemption and
+/// never charges the budget. Same-CPU (and unpinned) switches cost one
+/// preemption, exactly as before.
 fn schedule_loop(
     ctl: &Controller,
     mode: &mut ModeState<'_>,
     mut budget: u32,
     max_steps: u64,
+    cpus: &[Option<usize>],
 ) -> (Vec<Decision>, bool) {
     let mut decisions: Vec<Decision> = Vec::new();
     let mut prev: Option<usize> = None;
     let mut steps = 0u64;
+    let free = |a: usize, b: usize| matches!((cpus[a], cpus[b]), (Some(x), Some(y)) if x != y);
     let mut st = ctl.state.lock().unwrap();
     loop {
         // Wait for every thread to park at a point or finish.
@@ -218,31 +227,35 @@ fn schedule_loop(
             return (decisions, true);
         }
         let prev_runnable = prev.is_some_and(|p| runnable.contains(&p));
-        let tid = if runnable.len() == 1 {
-            runnable[0]
-        } else if prev_runnable && budget == 0 {
-            // Out of preemptions: forced continuation, not a decision.
-            prev.unwrap()
+        // Candidate order: continuation first (choice 0), then the rest
+        // ascending — so the all-zeros path is the least-switchy schedule
+        // and traces read naturally. With the budget spent, only the
+        // continuation and free (cross-CPU) switches remain candidates.
+        let cands: Vec<usize> = if let Some(p) = prev.filter(|_| prev_runnable) {
+            let mut c = vec![p];
+            c.extend(
+                runnable
+                    .iter()
+                    .copied()
+                    .filter(|&t| t != p && (budget > 0 || free(p, t))),
+            );
+            c
         } else {
-            // Candidate order: continuation first (choice 0), then the
-            // rest ascending — so the all-zeros path is the least-switchy
-            // schedule and traces read naturally.
-            let mut cands: Vec<usize> = Vec::with_capacity(runnable.len());
-            if let Some(p) = prev.filter(|_| prev_runnable) {
-                cands.push(p);
-                cands.extend(runnable.iter().copied().filter(|&t| t != p));
-            } else {
-                cands.clone_from(&runnable);
-            }
+            runnable
+        };
+        let tid = if cands.len() == 1 {
+            // Forced continuation (or a lone runnable thread): not a
+            // decision point.
+            cands[0]
+        } else {
             let n = cands.len() as u32;
             let choice = mode.pick(decisions.len(), n);
             decisions.push(Decision { chosen: choice, n });
-            let tid = cands[choice as usize];
-            if prev_runnable && tid != prev.unwrap() {
-                budget -= 1; // switching away from a runnable thread
-            }
-            tid
+            cands[choice as usize]
         };
+        if prev_runnable && tid != prev.unwrap() && !free(prev.unwrap(), tid) {
+            budget -= 1; // switching away from a runnable same-CPU thread
+        }
         st.grant = Some(tid);
         st.status[tid] = TStat::Running;
         ctl.steps.fetch_add(1, Ordering::Relaxed);
@@ -260,6 +273,9 @@ fn schedule_loop(
 #[derive(Default)]
 pub struct Scenario {
     threads: Vec<Box<dyn FnOnce() + Send>>,
+    /// Per-thread CPU pin, parallel to `threads`. `None` = unpinned
+    /// (classic single-CPU preemption semantics).
+    cpus: Vec<Option<usize>>,
     check_fn: Option<Box<dyn FnOnce() -> Result<(), String>>>,
 }
 
@@ -277,6 +293,20 @@ impl Scenario {
     #[must_use]
     pub fn thread(mut self, f: impl FnOnce() + Send + 'static) -> Self {
         self.threads.push(Box::new(f));
+        self.cpus.push(None);
+        self
+    }
+
+    /// Add a model thread pinned to `cpu`. Interleaving points between
+    /// threads pinned to *different* CPUs are explored without charging
+    /// the preemption budget: two CPUs genuinely run in parallel, so
+    /// their cross-products are reachable schedules even at budget 0.
+    /// Switches between threads sharing a CPU (or involving an unpinned
+    /// thread) still cost one preemption each.
+    #[must_use]
+    pub fn thread_on(mut self, cpu: usize, f: impl FnOnce() + Send + 'static) -> Self {
+        self.threads.push(Box::new(f));
+        self.cpus.push(Some(cpu));
         self
     }
 
@@ -301,6 +331,7 @@ fn run_one(
 ) -> RunOutcome {
     let n = scenario.threads.len();
     assert!(n >= 1, "scenario needs at least one model thread");
+    let cpus = scenario.cpus.clone();
     let ctl = Arc::new(Controller {
         state: Mutex::new(CtlState {
             status: vec![TStat::Running; n],
@@ -316,7 +347,7 @@ fn run_one(
         let c = Arc::clone(&ctl);
         handles.push(std::thread::spawn(move || model_thread(c, id, f)));
     }
-    let (decisions, aborted) = schedule_loop(&ctl, mode, budget, max_steps);
+    let (decisions, aborted) = schedule_loop(&ctl, mode, budget, max_steps, &cpus);
     let mut error: Option<String> = None;
     for h in handles {
         match h.join() {
@@ -676,6 +707,83 @@ mod tests {
             .expect_err("replay must reproduce the failure byte-for-byte");
         assert_eq!(replayed.message, failure.message);
         assert_eq!(replayed.choices, failure.choices);
+    }
+
+    /// Two threads pinned to different CPUs interleave freely even at
+    /// budget 0: cross-CPU switches model parallelism, not preemption.
+    /// The same pair pinned to ONE CPU degenerates to the two sequential
+    /// orders, exactly like unpinned threads.
+    #[test]
+    fn cross_cpu_interleavings_are_free() {
+        let make_on = |cpu_b: usize| {
+            move || {
+                let counter = Arc::new(ShimU64::new(0));
+                let mk = |c: Arc<ShimU64>| {
+                    move || {
+                        for _ in 0..2 {
+                            c.fetch_add(1, Ord2::SeqCst);
+                        }
+                    }
+                };
+                let (a, b) = (Arc::clone(&counter), Arc::clone(&counter));
+                Scenario::new().thread_on(0, mk(a)).thread_on(cpu_b, mk(b))
+            }
+        };
+        let explorer = Explorer {
+            preemption_budget: 0,
+            ..Explorer::default()
+        };
+        let same = explorer.explore(make_on(0));
+        same.assert_ok();
+        assert_eq!(
+            same.schedules, 2,
+            "same-CPU pins at budget 0: only the two sequential orders"
+        );
+        let cross = explorer.explore(make_on(1));
+        cross.assert_ok();
+        assert!(
+            cross.schedules > 2,
+            "cross-CPU pins must explore interleavings at budget 0 \
+             (got {} schedules)",
+            cross.schedules
+        );
+    }
+
+    /// A torn increment split across two CPUs is caught with zero
+    /// preemption budget — the cross-CPU race needs no preemptions at
+    /// all, which is precisely why uniprocessor-tuned code breaks on SMP.
+    #[test]
+    fn cross_cpu_race_is_caught_at_budget_zero() {
+        let make = || {
+            let counter = Arc::new(ShimU64::new(0));
+            let mk = |c: Arc<ShimU64>| {
+                move || {
+                    let v = c.load(Ord2::SeqCst);
+                    c.store(v + 1, Ord2::SeqCst);
+                }
+            };
+            let (a, b) = (Arc::clone(&counter), Arc::clone(&counter));
+            Scenario::new()
+                .thread_on(0, mk(a))
+                .thread_on(1, mk(b))
+                .check(move || {
+                    let v = counter.load(Ord2::SeqCst);
+                    if v == 2 {
+                        Ok(())
+                    } else {
+                        Err(format!("lost update: counter = {v}, want 2"))
+                    }
+                })
+        };
+        let explorer = Explorer {
+            preemption_budget: 0,
+            ..Explorer::default()
+        };
+        let report = explorer.explore(make);
+        let failure = report.failure.expect("cross-CPU lost update");
+        explorer
+            .replay(&failure.choices, failure.preemption_budget, make)
+            .expect_err("recorded cross-CPU schedule must replay");
     }
 
     /// The same prefix always drives the same run: determinism is what

@@ -71,6 +71,12 @@ macro_rules! sim_atomic_int {
                 self.inner.fetch_sub(v, order)
             }
 
+            /// Atomic fetch-or; a simulator preemption point.
+            pub fn fetch_or(&self, v: $raw, order: Ordering) -> $raw {
+                sim_point();
+                self.inner.fetch_or(v, order)
+            }
+
             /// Atomic compare-exchange; a simulator preemption point.
             ///
             /// # Errors

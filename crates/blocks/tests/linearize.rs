@@ -31,6 +31,7 @@ use std::time::{Duration, Instant};
 use synthesis_blocks::blocking::BlockingQueue;
 use synthesis_blocks::signal::SignalQueue;
 use synthesis_blocks::sim::{self, Explorer, Scenario};
+use synthesis_blocks::steal::WorkPool;
 use synthesis_blocks::{mpmc, mpsc, spmc, spsc};
 
 // ---------------------------------------------------------------------
@@ -646,6 +647,84 @@ fn blocking_scenario() -> Scenario {
         })
 }
 
+/// The SMP scheduler's work-stealing pool: a victim CPU offers surplus
+/// threads while two thief CPUs steal, every model thread pinned to its
+/// own CPU so cross-CPU interleavings are explored budget-free (the
+/// production concurrency pattern exactly). Offers are puts, steals are
+/// gets; the pool rides the mpmc claim protocol, so the relaxed spec
+/// applies.
+fn steal_scenario() -> Scenario {
+    let pool = WorkPool::<u64>::new(3);
+    let (pv, p1, p2, pd) = (pool.clone(), pool.clone(), pool.clone(), pool);
+    let hist: Hist = Arc::new(Mutex::new(Vec::new()));
+    let (hv, h1, h2, hk) = (hist.clone(), hist.clone(), hist.clone(), hist);
+    Scenario::new()
+        .thread_on(0, move || {
+            // The victim CPU offloads two surplus threads, then pulls one
+            // back (a victim may reclaim its own offer).
+            for v in [1, 2] {
+                let s = sim::now();
+                let ok = pv.offer(v).is_ok();
+                record(&hv, s, Op::Put(v, ok));
+            }
+            let s = sim::now();
+            let got = pv.steal();
+            record(&hv, s, Op::Get(got));
+        })
+        .thread_on(1, move || {
+            let s = sim::now();
+            let got = p1.steal();
+            record(&h1, s, Op::Get(got));
+        })
+        .thread_on(2, move || {
+            let s = sim::now();
+            let ok = p2.offer(11).is_ok();
+            record(&h2, s, Op::Put(11, ok));
+            let s = sim::now();
+            let got = p2.steal();
+            record(&h2, s, Op::Get(got));
+        })
+        .check(move || {
+            let mut drained = Vec::new();
+            loop {
+                let got = pd.steal();
+                let done = got.is_none();
+                drained.push(got);
+                if done {
+                    break;
+                }
+            }
+            // The counters must agree with the history before the
+            // witness search: every accepted offer counted once, every
+            // successful steal counted once.
+            let h = hk.lock().unwrap().clone();
+            let puts = h
+                .iter()
+                .filter(|r| matches!(r.op, Op::Put(_, true)))
+                .count() as u64;
+            let gets = h
+                .iter()
+                .filter(|r| matches!(r.op, Op::Get(Some(_))))
+                .count() as u64
+                + drained.iter().filter(|g| g.is_some()).count() as u64;
+            if pd.offered() != puts {
+                return Err(format!("offered() = {}, history has {puts}", pd.offered()));
+            }
+            if pd.stolen() != gets {
+                return Err(format!("stolen() = {}, history has {gets}", pd.stolen()));
+            }
+            check_history(
+                &hk,
+                drained,
+                Spec {
+                    cap: 3,
+                    relaxed: true, // mpmc claims underneath
+                    refuse_when_closed: false,
+                },
+            )
+        })
+}
+
 // ---------------------------------------------------------------------
 // The tests
 // ---------------------------------------------------------------------
@@ -683,6 +762,11 @@ fn signal_wrapper_linearizable_with_close() {
 #[test]
 fn blocking_wrapper_linearizable_with_close() {
     explore_flavor("blocking", 4, blocking_scenario);
+}
+
+#[test]
+fn steal_pool_linearizable_across_cpus() {
+    explore_flavor("steal", 2, steal_scenario);
 }
 
 /// Deeper-than-DFS probing with a fixed seed; same witness check.

@@ -157,6 +157,15 @@ pub struct CreatorStats {
     /// Total bytes of synthesis avoided by cache hits (Σ size of every
     /// block handed out from the cache).
     pub bytes_shared: u64,
+    /// Cache hits served to the CPU that synthesized the block
+    /// (same-CPU, local-tier traffic). `cache_hits_local +
+    /// cache_hits_cross == cache_hits`.
+    pub cache_hits_local: u64,
+    /// Cache hits served across CPUs: the requester was not the CPU
+    /// whose request synthesized the block. Always 0 on a uniprocessor.
+    pub cache_hits_cross: u64,
+    /// The subset of `bytes_shared` handed out across CPUs.
+    pub bytes_shared_cross: u64,
 }
 
 impl CreatorStats {
@@ -184,6 +193,8 @@ pub enum CacheEvent {
         base: u32,
         /// Block size in bytes.
         bytes: u32,
+        /// Whether the hit crossed CPUs (requester ≠ synthesizing CPU).
+        cross: bool,
     },
     /// A cacheable request synthesized fresh code.
     Miss {
@@ -393,21 +404,29 @@ impl QuajectCreator {
         opts: SynthesisOptions,
     ) -> Result<Synthesized, SynthError> {
         let key = SpecKey::new(template_name, bindings, opts);
-        if let Some(mut s) = self.cache.acquire(&key) {
+        let cpu = m.active_cpu();
+        if let Some((mut s, cross)) = self.cache.acquire_on(&key, cpu) {
             m.charge(CACHE_HIT_CYCLES);
             s.synth_cycles = CACHE_HIT_CYCLES;
             self.stats.cache_hits += 1;
             self.stats.cycles += CACHE_HIT_CYCLES;
             self.stats.bytes_shared += u64::from(s.size);
+            if cross {
+                self.stats.cache_hits_cross += 1;
+                self.stats.bytes_shared_cross += u64::from(s.size);
+            } else {
+                self.stats.cache_hits_local += 1;
+            }
             self.cache_event(CacheEvent::Hit {
                 base: s.base,
                 bytes: s.size,
+                cross,
             });
             return Ok(s);
         }
         let s = self.synthesize(m, template_name, bindings, opts)?;
         self.stats.cache_misses += 1;
-        self.cache.insert(key, s.clone());
+        self.cache.insert_on(key, s.clone(), cpu);
         self.cache_event(CacheEvent::Miss {
             base: s.base,
             bytes: s.size,

@@ -77,6 +77,13 @@ impl SpecKey {
 struct SpecEntry {
     code: Synthesized,
     refs: u32,
+    /// The CPU whose request synthesized the block (the entry's home
+    /// tier). On a uniprocessor this is always 0.
+    first_cpu: usize,
+    /// Bitmask of CPUs that have acquired the block. An entry referenced
+    /// from one CPU only is local-tier; one referenced from several CPUs
+    /// has been promoted to the shared read-mostly tier.
+    cpus_seen: u32,
 }
 
 /// What a [`SpecCache::release`] did.
@@ -109,17 +116,40 @@ impl SpecCache {
     }
 
     /// Look up `key`; on a hit, take a reference and return the shared
-    /// block.
+    /// block (uniprocessor form of [`acquire_on`](SpecCache::acquire_on)).
     pub fn acquire(&mut self, key: &SpecKey) -> Option<Synthesized> {
-        let e = self.entries.get_mut(key)?;
-        e.refs += 1;
-        Some(e.code.clone())
+        self.acquire_on(key, 0).map(|(s, _)| s)
     }
 
-    /// Insert a freshly synthesized block with one reference.
+    /// Look up `key` from CPU `cpu`; on a hit, take a reference and
+    /// return the shared block plus whether the hit crossed CPUs (the
+    /// requester is not the CPU that synthesized the block).
+    pub fn acquire_on(&mut self, key: &SpecKey, cpu: usize) -> Option<(Synthesized, bool)> {
+        let e = self.entries.get_mut(key)?;
+        e.refs += 1;
+        e.cpus_seen |= 1u32 << (cpu % 32);
+        Some((e.code.clone(), cpu != e.first_cpu))
+    }
+
+    /// Insert a freshly synthesized block with one reference
+    /// (uniprocessor form of [`insert_on`](SpecCache::insert_on)).
     pub fn insert(&mut self, key: SpecKey, code: Synthesized) {
+        self.insert_on(key, code, 0);
+    }
+
+    /// Insert a freshly synthesized block with one reference, homed on
+    /// the CPU whose request synthesized it.
+    pub fn insert_on(&mut self, key: SpecKey, code: Synthesized, cpu: usize) {
         self.by_base.insert(code.base, key.clone());
-        self.entries.insert(key, SpecEntry { code, refs: 1 });
+        self.entries.insert(
+            key,
+            SpecEntry {
+                code,
+                refs: 1,
+                first_cpu: cpu,
+                cpus_seen: 1u32 << (cpu % 32),
+            },
+        );
     }
 
     /// Drop a reference to the block at `base`.
@@ -184,6 +214,29 @@ impl SpecCache {
             .map(|e| u64::from(e.code.size))
             .sum()
     }
+
+    /// Bytes of resident code in the shared read-mostly tier: entries
+    /// that have been acquired from more than one CPU. On a uniprocessor
+    /// this is always 0 — every entry stays in CPU 0's local tier.
+    #[must_use]
+    pub fn shared_tier_bytes(&self) -> u64 {
+        self.entries
+            .values()
+            .filter(|e| e.cpus_seen.count_ones() > 1)
+            .map(|e| u64::from(e.code.size))
+            .sum()
+    }
+
+    /// Bytes of resident code in `cpu`'s local tier: entries synthesized
+    /// by that CPU and never acquired from any other.
+    #[must_use]
+    pub fn local_tier_bytes(&self, cpu: usize) -> u64 {
+        self.entries
+            .values()
+            .filter(|e| e.first_cpu == cpu && e.cpus_seen.count_ones() <= 1)
+            .map(|e| u64::from(e.code.size))
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -227,6 +280,27 @@ mod tests {
         }
         assert!(c.is_empty());
         assert!(matches!(c.release(0x100), Release::NotCached));
+    }
+
+    #[test]
+    fn cross_cpu_hits_promote_to_the_shared_tier() {
+        let mut c = SpecCache::new();
+        c.insert_on(key("t", 1), synth(0x100, 8), 0);
+        c.insert_on(key("t", 2), synth(0x200, 16), 1);
+        // All entries start in their home CPU's local tier.
+        assert_eq!(c.shared_tier_bytes(), 0);
+        assert_eq!(c.local_tier_bytes(0), 8);
+        assert_eq!(c.local_tier_bytes(1), 16);
+        // A same-CPU hit is not cross and changes no tier.
+        let (_, cross) = c.acquire_on(&key("t", 1), 0).expect("hit");
+        assert!(!cross);
+        assert_eq!(c.shared_tier_bytes(), 0);
+        // A hit from another CPU is cross and promotes the entry.
+        let (_, cross) = c.acquire_on(&key("t", 1), 1).expect("hit");
+        assert!(cross);
+        assert_eq!(c.shared_tier_bytes(), 8);
+        assert_eq!(c.local_tier_bytes(0), 0);
+        assert_eq!(c.local_tier_bytes(1), 16);
     }
 
     #[test]

@@ -41,6 +41,9 @@ use crate::thread::{Thread, ThreadState, Tid, WaitObject};
 
 /// Interrupt levels assigned to devices.
 pub mod irq_levels {
+    /// Inter-processor reschedule interrupt (SMP only; every thread's
+    /// IPI vector is its own switch-out, so an IPI *is* a reschedule).
+    pub const IPI: u8 = 1;
     /// Disk completion.
     pub const DISK: u8 = 2;
     /// One-shot alarms.
@@ -66,6 +69,18 @@ pub struct KernelConfig {
     /// Per-thread trace-ring capacity in records (see [`crate::trace`]).
     /// Only consulted when the `trace` feature is on.
     pub trace_records: usize,
+    /// Number of CPUs in the Quamachine (1..=8). The default reads the
+    /// `SYNTHESIS_CPUS` environment variable, falling back to 1; one CPU
+    /// reproduces the uniprocessor kernel byte for byte.
+    pub cpus: usize,
+}
+
+/// CPU count from `SYNTHESIS_CPUS`, clamped to 1..=8; 1 if unset/garbage.
+fn cpus_from_env() -> usize {
+    std::env::var("SYNTHESIS_CPUS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .map_or(1, |n| n.clamp(1, 8))
 }
 
 impl Default for KernelConfig {
@@ -78,6 +93,7 @@ impl Default for KernelConfig {
             synthesis: SynthesisOptions::full(),
             default_quantum_us: 200,
             trace_records: crate::trace::DEFAULT_RING_RECORDS,
+            cpus: cpus_from_env(),
         }
     }
 }
@@ -200,6 +216,29 @@ const WATCHDOG_SLICE: u64 = 100_000;
 /// (a thread that faults once and exits never comes close).
 const WATCHDOG_FAULT_LIMIT: u64 = 64;
 
+/// One kernel CPU: its executable ready queue, its idle thread, and its
+/// scheduling counters.
+///
+/// Each CPU's ready queue stays an *executable data structure* — the
+/// circular chain of `jmp` instructions threaded through the TTEs
+/// (Figure 3) — exactly as on the uniprocessor; only the *balancing*
+/// between CPUs goes through the shared work-stealing pool.
+#[derive(Debug)]
+pub struct KCpu {
+    /// This CPU's executable ready queue (TTE `jmp` chain).
+    pub ready: JumpChain,
+    /// This CPU's idle thread.
+    pub idle_tid: Tid,
+    /// Threads this CPU pulled out of the shared steal pool.
+    pub steals: u64,
+    /// Threads this CPU offered into the shared steal pool.
+    pub offloads: u64,
+    /// Slice cycles spent in the idle thread (run-loop attribution).
+    pub idle_cycles: u64,
+    /// Slice cycles spent running real threads.
+    pub busy_cycles: u64,
+}
+
 /// The Synthesis kernel.
 pub struct Kernel {
     /// The machine.
@@ -212,8 +251,9 @@ pub struct Kernel {
     pub fs: Fs,
     /// Threads by id.
     pub threads: BTreeMap<Tid, Thread>,
-    /// The executable ready queue.
-    pub ready: JumpChain,
+    /// Per-CPU scheduler state: ready chain, idle thread, counters.
+    /// Index = CPU number; a uniprocessor kernel has exactly one entry.
+    pub cpus: Vec<KCpu>,
     /// Device indices.
     pub dev: DeviceIdx,
     /// The tty server state.
@@ -231,7 +271,8 @@ pub struct Kernel {
     pub console: Vec<u8>,
     /// Threads that have exited.
     pub exited: std::collections::HashSet<Tid>,
-    /// The idle thread's id.
+    /// CPU 0's idle thread id (the other CPUs' idles live in
+    /// [`Kernel::cpus`]; use [`Kernel::is_idle`] to test for any of them).
     pub idle_tid: Tid,
     /// The kernel-owned disk scheduler: request queue, retry/backoff, and
     /// sector quarantine (Section 5.1's pipeline stage, made persistent).
@@ -250,7 +291,16 @@ pub struct Kernel {
     shared: SharedCode,
     next_tid: Tid,
     vbr_to_tid: HashMap<u32, Tid>,
-    installed_map_id: u32,
+    /// Per-CPU installed address-map ids (the MMU is per CPU; switching
+    /// the active CPU swaps the installed map with it).
+    installed_map_ids: Vec<u32>,
+    /// The shared work-stealing pool: tids in transit between CPUs,
+    /// carried by the optimistic MP-MC queue from `synthesis_blocks`.
+    steal_pool: synthesis_blocks::steal::WorkPool<Tid>,
+    /// Authoritative membership for `steal_pool`: the queue itself may
+    /// hold stale entries after a stop/destroy, so a steal only counts
+    /// if the tid is still in this set.
+    pooled: std::collections::HashSet<Tid>,
     maps: HashMap<u32, AddressMap>,
     waiters: HashMap<WaitObject, Vec<Tid>>,
     sig_stash: HashMap<Tid, ([u32; 15], u32)>,
@@ -277,7 +327,10 @@ impl Kernel {
     /// Fails only if initial synthesis fails (a bug, not a runtime
     /// condition).
     pub fn boot(cfg: KernelConfig) -> Result<Kernel, KernelError> {
-        let mut m = Machine::new(cfg.machine);
+        let ncpus = cfg.cpus.clamp(1, 8);
+        let mut machine_cfg = cfg.machine;
+        machine_cfg.cpus = ncpus;
+        let mut m = Machine::new(machine_cfg);
         let timer = m.attach_device(Box::new(Timer::new(irq_levels::QUANTUM)));
         let alarm = m.attach_device(Box::new(Timer::new(irq_levels::ALARM)));
         let tty = m.attach_device(Box::new(Tty::new(irq_levels::TTY)));
@@ -373,7 +426,16 @@ impl Kernel {
             heap,
             fs: Fs::new(),
             threads: BTreeMap::new(),
-            ready: JumpChain::new(),
+            cpus: (0..ncpus)
+                .map(|_| KCpu {
+                    ready: JumpChain::new(),
+                    idle_tid: 0,
+                    steals: 0,
+                    offloads: 0,
+                    idle_cycles: 0,
+                    busy_cycles: 0,
+                })
+                .collect(),
             dev,
             tty_srv,
             pipes: Vec::new(),
@@ -399,7 +461,9 @@ impl Kernel {
             },
             next_tid: 0,
             vbr_to_tid: HashMap::new(),
-            installed_map_id: u32::MAX,
+            installed_map_ids: vec![u32::MAX; ncpus],
+            steal_pool: synthesis_blocks::steal::WorkPool::new(64),
+            pooled: std::collections::HashSet::new(),
             maps: HashMap::new(),
             waiters: HashMap::new(),
             sig_stash: HashMap::new(),
@@ -423,10 +487,28 @@ impl Kernel {
         };
         let idle = k.create_thread_inner(idle_code.base, 0, AddressMap::default(), 0x2000)?;
         k.idle_tid = idle;
+        k.cpus[0].idle_tid = idle;
         k.start(idle)?;
         // Park the machine entering the idle thread.
         let sw_in = k.threads[&idle].sw_in;
         k.m.cpu.pc = sw_in;
+
+        // The remaining CPUs each get their own idle thread, parked at
+        // its switch-in exactly like CPU 0's.
+        for cpu in 1..k.m.num_cpus() {
+            let it = k.create_thread_inner(idle_code.base, 0, AddressMap::default(), 0x2000)?;
+            k.threads.get_mut(&it).expect("just created").cpu = cpu;
+            k.cpus[cpu].idle_tid = it;
+            k.start(it)?;
+            let sw_in = k.threads[&it].sw_in;
+            k.m.cpu_mut(cpu).pc = sw_in;
+            // Starting the idle kicked its (empty-looking) CPU; the
+            // parked idle needs no boot-time reschedule.
+            k.m.irq.clear_on(cpu, irq_levels::IPI);
+        }
+        // The CPUs ticked in lockstep through boot even though CPU 0 did
+        // all the work; align the clocks so cross-CPU timestamps compare.
+        k.m.sync_cpu_clocks();
         Ok(k)
     }
 
@@ -546,6 +628,7 @@ impl Kernel {
             fds: (0..crate::thread::tte::FD_MAX)
                 .map(|_| FdObject::Free)
                 .collect(),
+            cpu: self.m.active_cpu(),
             last_gauge: 0,
             last_io: 0,
         };
@@ -639,6 +722,12 @@ impl Kernel {
         // Figure 3's "the interrupt is vectored to thread-0's
         // context-switch-out procedure".
         poke(&mut self.m, 24 + u32::from(irq_levels::QUANTUM), sw_out);
+        // On a multiprocessor the IPI vector also points at THIS
+        // thread's sw_out: an inter-processor interrupt is exactly a
+        // reschedule request, handled like a quantum expiry.
+        if self.m.num_cpus() > 1 {
+            poke(&mut self.m, 24 + u32::from(irq_levels::IPI), sw_out);
+        }
         // Traps.
         for t in 0..16u32 {
             poke(&mut self.m, 32 + t, self.shared.trampoline);
@@ -676,25 +765,37 @@ impl Kernel {
         if self.quarantined_tids.contains(&tid) {
             return Err(KernelError::Invalid("starting a quarantined thread"));
         }
-        if self.ready.position(tid).is_some() {
+        if self.pooled.contains(&tid) {
+            // Already runnable: parked in the steal pool awaiting a
+            // thief.
+            return Ok(());
+        }
+        let (home, sw_in, jmp_at) = (t.cpu, t.sw_in, t.jmp_at);
+        if self.cpus[home].ready.position(tid).is_some() {
             return Ok(());
         }
         let node = ChainNode {
             id: tid,
-            entry: t.sw_in,
-            jmp_at: t.jmp_at,
+            entry: sw_in,
+            jmp_at,
         };
         let at = self
-            .current_tid()
-            .and_then(|cur| self.ready.position(cur))
-            .or_else(|| if self.ready.is_empty() { None } else { Some(0) });
-        self.ready.insert_front(&mut self.m, at, node)?;
+            .current_tid_on(home)
+            .and_then(|cur| self.cpus[home].ready.position(cur))
+            .or_else(|| {
+                if self.cpus[home].ready.is_empty() {
+                    None
+                } else {
+                    Some(0)
+                }
+            });
+        self.cpus[home].ready.insert_front(&mut self.m, at, node)?;
         self.threads.get_mut(&tid).expect("exists").state = ThreadState::Ready;
-        self.balance_idle()?;
-        self.fix_chain_entries()?;
+        self.balance_idle_on(home)?;
+        self.fix_chain_entries_on(home)?;
         let c = 2 * charges::code_patch(&self.m.cost) + charges::kcall_overhead(&self.m.cost);
         self.m.charge(c);
-        self.kick_idle();
+        self.kick(home);
         Ok(())
     }
 
@@ -704,9 +805,24 @@ impl Kernel {
     /// Section 4.4's "minimize response time to events".
     fn kick_idle(&mut self) {
         let cur = self.current_tid();
-        if cur.is_none() || cur == Some(self.idle_tid) {
+        if cur.is_none() || cur.is_some_and(|t| self.is_idle(t)) {
             let qreg = dev_reg_addr(self.dev.timer, timer_regs::REG_QUANTUM_US);
             self.m.host_reg_write(qreg, 1);
+        }
+    }
+
+    /// Kick whichever CPU `cpu` is: the active CPU gets its quantum cut
+    /// short ([`Kernel::kick_idle`]); a remote CPU sitting in its idle
+    /// thread gets an IPI, which vectors to the idle's switch-out and
+    /// rotates it onto the new arrival.
+    fn kick(&mut self, cpu: usize) {
+        if cpu == self.m.active_cpu() {
+            self.kick_idle();
+            return;
+        }
+        let cur = self.current_tid_on(cpu);
+        if cur.is_none() || cur.is_some_and(|t| self.is_idle(t)) {
+            self.m.irq.send_ipi(cpu, irq_levels::IPI);
         }
     }
 
@@ -716,21 +832,24 @@ impl Kernel {
     ///
     /// Fails for unknown threads or the idle thread.
     pub fn stop(&mut self, tid: Tid) -> Result<(), KernelError> {
-        if tid == self.idle_tid {
+        if self.is_idle(tid) {
             return Err(KernelError::Invalid("stopping the idle thread"));
         }
         self.ensure_safe_point();
         if !self.threads.contains_key(&tid) {
             return Err(KernelError::NoThread(tid));
         }
+        self.activate_owner(tid);
         let was_current = self.current_tid() == Some(tid);
         if was_current {
             self.suspend_current_state();
         }
-        self.ready.remove(&mut self.m, tid)?;
+        self.pooled.remove(&tid);
+        let home = self.home_cpu(tid);
+        self.cpus[home].ready.remove(&mut self.m, tid)?;
         self.threads.get_mut(&tid).expect("exists").state = ThreadState::Stopped;
-        self.balance_idle()?;
-        self.fix_chain_entries()?;
+        self.balance_idle_on(home)?;
+        self.fix_chain_entries_on(home)?;
         let c = charges::code_patch(&self.m.cost) + charges::kcall_overhead(&self.m.cost);
         self.m.charge(c);
         if was_current {
@@ -743,17 +862,17 @@ impl Kernel {
     /// are runnable: the idle thread otherwise consumes a full quantum
     /// per rotation (it sleeps in `stop` until its own quantum expires),
     /// which would tax every runnable thread by a whole idle quantum.
-    fn balance_idle(&mut self) -> Result<(), KernelError> {
-        let idle = self.idle_tid;
-        let others = self.ready.nodes().iter().any(|n| n.id != idle);
-        let idle_in = self.ready.position(idle).is_some();
+    fn balance_idle_on(&mut self, cpu: usize) -> Result<(), KernelError> {
+        let idle = self.cpus[cpu].idle_tid;
+        let others = self.cpus[cpu].ready.nodes().iter().any(|n| n.id != idle);
+        let idle_in = self.cpus[cpu].ready.position(idle).is_some();
         if others && idle_in {
             // If the machine is currently executing idle (or its switch
             // code), leave it for now; the next quantum moves on anyway.
-            self.ready.remove(&mut self.m, idle)?;
+            self.cpus[cpu].ready.remove(&mut self.m, idle)?;
             // Idle's own jmp must keep pointing somewhere valid in case
             // the machine is mid-idle right now: route it into the chain.
-            let first = self.ready.nodes()[0];
+            let first = self.cpus[cpu].ready.nodes()[0];
             let t = &self.threads[&first.id];
             let idle_t = &self.threads[&idle];
             let entry = if idle_t.map.id == t.map.id {
@@ -770,7 +889,7 @@ impl Kernel {
                 entry: t.sw_in,
                 jmp_at: t.jmp_at,
             };
-            self.ready.insert_front(&mut self.m, None, node)?;
+            self.cpus[cpu].ready.insert_front(&mut self.m, None, node)?;
             self.threads.get_mut(&idle).expect("idle exists").state = ThreadState::Ready;
         }
         Ok(())
@@ -779,8 +898,8 @@ impl Kernel {
     /// Re-point each chain node's jump at the successor's `sw_in` or
     /// `sw_in_mmu` depending on whether the address space changes
     /// (Figure 3's two entry points).
-    fn fix_chain_entries(&mut self) -> Result<(), KernelError> {
-        let nodes: Vec<ChainNode> = self.ready.nodes().to_vec();
+    fn fix_chain_entries_on(&mut self, cpu: usize) -> Result<(), KernelError> {
+        let nodes: Vec<ChainNode> = self.cpus[cpu].ready.nodes().to_vec();
         for (i, node) in nodes.iter().enumerate() {
             let next = &nodes[(i + 1) % nodes.len()];
             let a = &self.threads[&node.id];
@@ -792,6 +911,24 @@ impl Kernel {
             };
             self.m.code.patch_jmp_target(node.jmp_at, entry)?;
         }
+        // A thread this CPU is executing right now but that is no longer
+        // a chain node (a parked-off idle, or a victim whose ready entry
+        // was just stolen) still exits through its own jmp. Keep that jmp
+        // routed at the chain's head, or the CPU would follow a stale
+        // pointer into a thread that now belongs to another CPU's chain.
+        if let Some(cur) = self.current_tid_on(cpu) {
+            if self.cpus[cpu].ready.position(cur).is_none() {
+                if let (Some(head), Some(a)) = (nodes.first(), self.threads.get(&cur)) {
+                    let b = &self.threads[&head.id];
+                    let entry = if a.map.id == b.map.id {
+                        b.sw_in
+                    } else {
+                        b.sw_in_mmu
+                    };
+                    self.m.code.patch_jmp_target(a.jmp_at, entry)?;
+                }
+            }
+        }
         Ok(())
     }
 
@@ -801,10 +938,45 @@ impl Kernel {
         self.vbr_to_tid.get(&self.m.cpu.vbr).copied()
     }
 
-    /// The thread to charge an event to: the current thread, or the idle
-    /// thread when the machine is between identities.
+    /// The thread currently executing on CPU `cpu` (active or parked),
+    /// identified by that CPU's installed VBR.
+    #[must_use]
+    pub fn current_tid_on(&self, cpu: usize) -> Option<Tid> {
+        self.vbr_to_tid.get(&self.m.cpu_ref(cpu).vbr).copied()
+    }
+
+    /// Whether `tid` is one of the per-CPU idle threads.
+    #[must_use]
+    pub fn is_idle(&self, tid: Tid) -> bool {
+        self.cpus.iter().any(|c| c.idle_tid == tid)
+    }
+
+    /// The CPU `tid` calls home — whose ready chain holds it when
+    /// runnable. Unknown tids report CPU 0.
+    fn home_cpu(&self, tid: Tid) -> usize {
+        self.threads.get(&tid).map_or(0, |t| t.cpu)
+    }
+
+    /// Switch the machine to the CPU where `tid` is currently executing,
+    /// if any, and step that CPU to a safe point. Host-side surgery on a
+    /// thread that is current *somewhere* must happen with that CPU's
+    /// context loaded: the parked registers hold state its TTE lacks.
+    fn activate_owner(&mut self, tid: Tid) {
+        if self.current_tid() == Some(tid) {
+            return;
+        }
+        let owner = (0..self.cpus.len()).find(|&c| self.current_tid_on(c) == Some(tid));
+        if let Some(c) = owner {
+            self.m.switch_cpu(c);
+            self.ensure_safe_point();
+        }
+    }
+
+    /// The thread to charge an event to: the current thread, or the
+    /// active CPU's idle thread when the machine is between identities.
     pub(crate) fn trace_tid(&self) -> Tid {
-        self.current_tid().unwrap_or(self.idle_tid)
+        self.current_tid()
+            .unwrap_or(self.cpus[self.m.active_cpu()].idle_tid)
     }
 
     /// Drain the machine's hook log into the per-thread trace rings.
@@ -835,32 +1007,61 @@ impl Kernel {
             match ev {
                 // Guest-side dispatch: sw_in installing the incoming
                 // thread's vector table IS the context switch.
-                MachEvent::VbrWrite { vbr, cycle } => {
+                MachEvent::VbrWrite { vbr, cycle, cpu } => {
                     if let Some(&tid) = self.vbr_to_tid.get(&vbr) {
+                        self.trace.cpu = cpu as u16;
                         self.trace.push(tid, cycle, Kind::CtxSwitch, 0, 0);
                     }
                 }
-                MachEvent::Trap { vector, vbr, cycle } => {
-                    let tid = self.vbr_to_tid.get(&vbr).copied().unwrap_or(self.idle_tid);
+                MachEvent::Trap {
+                    vector,
+                    vbr,
+                    cycle,
+                    cpu,
+                } => {
+                    let tid = self
+                        .vbr_to_tid
+                        .get(&vbr)
+                        .copied()
+                        .unwrap_or(self.cpus[cpu].idle_tid);
+                    self.trace.cpu = cpu as u16;
                     self.trace
                         .push(tid, cycle, Kind::SyscallEnter, u32::from(vector), 0);
                     self.trace.push_frame(tid, Some((vector, cycle)));
                 }
-                MachEvent::IrqAccept { level, vbr, cycle } => {
-                    let tid = self.vbr_to_tid.get(&vbr).copied().unwrap_or(self.idle_tid);
+                MachEvent::IrqAccept {
+                    level,
+                    vbr,
+                    cycle,
+                    cpu,
+                } => {
+                    let tid = self
+                        .vbr_to_tid
+                        .get(&vbr)
+                        .copied()
+                        .unwrap_or(self.cpus[cpu].idle_tid);
+                    self.trace.cpu = cpu as u16;
                     self.trace.push(tid, cycle, Kind::Irq, u32::from(level), 0);
                     self.trace.push_frame(tid, None);
                 }
-                MachEvent::Rte { vbr, cycle } => {
-                    let tid = self.vbr_to_tid.get(&vbr).copied().unwrap_or(self.idle_tid);
+                MachEvent::Rte { vbr, cycle, cpu } => {
+                    let tid = self
+                        .vbr_to_tid
+                        .get(&vbr)
+                        .copied()
+                        .unwrap_or(self.cpus[cpu].idle_tid);
                     if let Some(Some((vector, t0))) = self.trace.pop_frame(tid) {
                         let dt = u32::try_from(cycle.saturating_sub(t0)).unwrap_or(u32::MAX);
+                        self.trace.cpu = cpu as u16;
                         self.trace
                             .push(tid, cycle, Kind::SyscallExit, u32::from(vector), dt);
                     }
                 }
             }
         }
+        // Leave the attribution on the active CPU for subsequent manual
+        // pushes (kernel-side events belong to whoever is running now).
+        self.trace.cpu = self.m.active_cpu() as u16;
     }
 
     /// Move the creator's pending specialization-cache events into
@@ -874,10 +1075,14 @@ impl Kernel {
             return;
         }
         let cycle = self.m.meter.cycles;
+        self.trace.cpu = self.m.active_cpu() as u16;
         for ev in std::mem::take(&mut self.creator.cache_events) {
             match ev {
-                CacheEvent::Hit { base, .. } => {
-                    self.trace.push(tid, cycle, Kind::CacheHit, base, 0);
+                CacheEvent::Hit { base, cross, .. } => {
+                    // `b` carries the cross-CPU flag: always 0 on a
+                    // uniprocessor, so single-CPU traces are unchanged.
+                    self.trace
+                        .push(tid, cycle, Kind::CacheHit, base, u32::from(cross));
                 }
                 CacheEvent::Miss { base, .. } => {
                     self.trace.push(tid, cycle, Kind::CacheMiss, base, 0);
@@ -962,9 +1167,11 @@ impl Kernel {
         self.m.charge(c);
     }
 
-    /// Point the machine at the next ready thread's switch-in.
+    /// Point the machine at the active CPU's next ready thread's
+    /// switch-in.
     fn enter_next(&mut self) {
-        let node = self.ready.nodes().first().copied();
+        let cpu = self.m.active_cpu();
+        let node = self.cpus[cpu].ready.nodes().first().copied();
         if let Some(node) = node {
             self.enter(node.id);
         }
@@ -975,7 +1182,7 @@ impl Kernel {
     fn enter(&mut self, tid: Tid) {
         crate::trace!(self, tid, crate::trace::Kind::CtxSwitch, 1, 0);
         let t = &self.threads[&tid];
-        let need_map = t.map.id != self.installed_map_id;
+        let need_map = t.map.id != self.installed_map_ids[self.m.active_cpu()];
         self.m.cpu.pc = if need_map { t.sw_in_mmu } else { t.sw_in };
         // Supervisor mode (sw_in uses privileged instructions) with
         // interrupts masked: a pending interrupt accepted before sw_in's
@@ -992,19 +1199,22 @@ impl Kernel {
     ///
     /// Fails for unknown threads or the idle thread.
     pub fn destroy(&mut self, tid: Tid) -> Result<(), KernelError> {
-        if tid == self.idle_tid {
+        if self.is_idle(tid) {
             return Err(KernelError::Invalid("destroying the idle thread"));
         }
         self.ensure_safe_point();
+        self.activate_owner(tid);
         // Attribute pending machine events while the VBR mapping still
         // exists; the thread's ring itself outlives it (post-mortems
         // drain it after the reap).
         self.pump_trace();
         let was_current = self.current_tid() == Some(tid);
-        if self.ready.position(tid).is_some() {
-            self.ready.remove(&mut self.m, tid)?;
-            self.balance_idle()?;
-            self.fix_chain_entries()?;
+        self.pooled.remove(&tid);
+        let home = self.home_cpu(tid);
+        if self.cpus[home].ready.position(tid).is_some() {
+            self.cpus[home].ready.remove(&mut self.m, tid)?;
+            self.balance_idle_on(home)?;
+            self.fix_chain_entries_on(home)?;
         }
         let mut t = self
             .threads
@@ -1166,6 +1376,7 @@ impl Kernel {
     /// The target must exist and have a handler installed.
     pub fn signal(&mut self, target: Tid, sig: u32) -> Result<(), KernelError> {
         self.ensure_safe_point();
+        self.activate_owner(target);
         if self.current_tid() == Some(target) {
             // The target's live state is on the CPU (the machine is
             // parked between instructions): park it properly first, then
@@ -1248,7 +1459,7 @@ impl Kernel {
         let Some(tid) = self.current_tid() else {
             return;
         };
-        if tid == self.idle_tid {
+        if self.is_idle(tid) {
             return; // the idle thread never blocks
         }
         // Raise the waiter flag the synthesized producers test.
@@ -1256,9 +1467,10 @@ impl Kernel {
             self.m.mem.poke(slot, Size::L, 1);
         }
         self.suspend_current_state();
-        let _ = self.ready.remove(&mut self.m, tid);
-        let _ = self.balance_idle();
-        let _ = self.fix_chain_entries();
+        let home = self.home_cpu(tid);
+        let _ = self.cpus[home].ready.remove(&mut self.m, tid);
+        let _ = self.balance_idle_on(home);
+        let _ = self.fix_chain_entries_on(home);
         self.threads.get_mut(&tid).expect("current exists").state = ThreadState::Blocked(wait);
         self.waiters.entry(wait).or_default().push(tid);
         self.enter_next();
@@ -1273,23 +1485,34 @@ impl Kernel {
         if let Some(slot) = self.wait_flag_slot(wait) {
             self.m.mem.poke(slot, Size::L, 0);
         }
+        let mut homes: Vec<usize> = Vec::new();
         for tid in tids {
             let t = self.threads.get_mut(&tid).expect("waiter exists");
             t.state = ThreadState::Ready;
+            let home = t.cpu;
             let node = ChainNode {
                 id: tid,
                 entry: t.sw_in,
                 jmp_at: t.jmp_at,
             };
             let at = self
-                .current_tid()
-                .and_then(|cur| self.ready.position(cur))
-                .or(if self.ready.is_empty() { None } else { Some(0) });
-            let _ = self.ready.insert_front(&mut self.m, at, node);
+                .current_tid_on(home)
+                .and_then(|cur| self.cpus[home].ready.position(cur))
+                .or(if self.cpus[home].ready.is_empty() {
+                    None
+                } else {
+                    Some(0)
+                });
+            let _ = self.cpus[home].ready.insert_front(&mut self.m, at, node);
+            homes.push(home);
         }
-        let _ = self.balance_idle();
-        let _ = self.fix_chain_entries();
-        self.kick_idle();
+        homes.sort_unstable();
+        homes.dedup();
+        for home in homes {
+            let _ = self.balance_idle_on(home);
+            let _ = self.fix_chain_entries_on(home);
+            self.kick(home);
+        }
     }
 
     fn wait_flag_slot(&self, wait: WaitObject) -> Option<u32> {
@@ -1310,6 +1533,14 @@ impl Kernel {
     /// emulator can extend the kernel and then call [`Kernel::run`]
     /// again).
     pub fn run(&mut self, max_cycles: u64) -> RunExit {
+        if self.cpus.len() == 1 {
+            return self.run_uni(max_cycles);
+        }
+        self.run_smp(max_cycles)
+    }
+
+    /// The uniprocessor run loop — byte-for-byte the pre-SMP kernel's.
+    fn run_uni(&mut self, max_cycles: u64) -> RunExit {
         let deadline = self.m.meter.cycles.saturating_add(max_cycles);
         loop {
             let now = self.m.meter.cycles;
@@ -1346,6 +1577,259 @@ impl Kernel {
         }
     }
 
+    /// The multiprocessor run loop: each CPU gets `max_cycles` on its own
+    /// virtual clock, executed in watchdog-sized slices. One CPU is
+    /// simulated at a time; the scheduler always resumes the CPU whose
+    /// clock is furthest behind, so cross-CPU skew stays bounded by one
+    /// slice and the interleaving is deterministic. Between slices the
+    /// work-stealing rebalancer runs at a safe point.
+    fn run_smp(&mut self, max_cycles: u64) -> RunExit {
+        let n = self.cpus.len();
+        let deadlines: Vec<u64> = (0..n)
+            .map(|i| self.m.cpu_cycles(i).saturating_add(max_cycles))
+            .collect();
+        // A CPU that halts (idle with nothing ever due) stays parked
+        // until an IPI or device interrupt shows up for it.
+        let mut halted = vec![false; n];
+        // The embedder may have parked the active CPU inside switch code
+        // (host-side enter); step it out so the VBR names the incoming
+        // thread before the rebalancer looks for stealable work.
+        self.ensure_safe_point();
+        // Host-side work between runs (thread creation, synthesis,
+        // emulator services) is charged to the active CPU only; the
+        // parked CPUs conceptually ticked along, so raise them to the
+        // active clock before resuming the rotation. Never the other
+        // way around: a parked CPU ahead from slice-granularity
+        // overshoot must not drag the active — measuring — clock
+        // forward, or every host service call would cost the caller up
+        // to a full watchdog slice of virtual time.
+        self.m.catch_up_cpu_clocks();
+        loop {
+            // The watched thread may have exited host-side between runs
+            // (an embedder servicing its exit call). Surface that before
+            // resuming anyone, or the rotation would run a most-behind
+            // idle slice first and hand the embedder a clock a full
+            // slice past the exit, on the wrong CPU.
+            if let Some(w) = self.watch_exit {
+                if self.exited.contains(&w) {
+                    return RunExit::Breakpoint(w);
+                }
+            }
+            // Balance before picking a CPU, so a starved CPU steals work
+            // instead of idling away its first slice.
+            self.rebalance();
+            for (i, h) in halted.iter_mut().enumerate() {
+                if *h && self.m.irq.any_pending_on(i) {
+                    *h = false;
+                }
+            }
+            let Some(i) = (0..n)
+                .filter(|&i| !halted[i] && self.m.cpu_cycles(i) < deadlines[i])
+                .min_by_key(|&i| (self.m.cpu_cycles(i), i))
+            else {
+                return if halted.iter().all(|&h| h) {
+                    RunExit::Halted
+                } else {
+                    RunExit::CycleLimit
+                };
+            };
+            self.m.switch_cpu(i);
+            let slice_end = self
+                .m
+                .meter
+                .cycles
+                .saturating_add(WATCHDOG_SLICE)
+                .min(deadlines[i]);
+            let before = self.m.meter.cycles;
+            let was_idle = self.current_tid_on(i).is_none_or(|t| self.is_idle(t));
+            while self.m.meter.cycles < slice_end {
+                match self.m.run(slice_end - self.m.meter.cycles) {
+                    RunExit::KCall(sel) => {
+                        if !self.handle_kcall(sel) {
+                            return RunExit::KCall(sel);
+                        }
+                        // A watched exit ends the slice immediately so
+                        // the embedder sees it without a slice-sized
+                        // detection latency.
+                        if self.watch_exit.is_some_and(|w| self.exited.contains(&w)) {
+                            break;
+                        }
+                    }
+                    RunExit::CycleLimit => break,
+                    RunExit::Halted => {
+                        // Nothing to run and nothing due on this CPU's
+                        // timeline; park it at the slice boundary so the
+                        // rotation moves on.
+                        halted[i] = true;
+                        self.m.meter.cycles = slice_end;
+                        break;
+                    }
+                    RunExit::Error(e) => {
+                        if let Err(exit) = self.recover_machine_error(e) {
+                            return exit;
+                        }
+                    }
+                    other => return other,
+                }
+            }
+            // Park this CPU only at a safe point: host-side surgery
+            // from another CPU's slice must not observe it mid-switch.
+            self.ensure_safe_point();
+            let delta = self.m.meter.cycles.saturating_sub(before);
+            if was_idle {
+                self.cpus[i].idle_cycles += delta;
+            } else {
+                self.cpus[i].busy_cycles += delta;
+            }
+            self.watchdog_sweep();
+            self.pump_trace();
+            if let Some(w) = self.watch_exit {
+                if self.exited.contains(&w) {
+                    return RunExit::Breakpoint(w);
+                }
+            }
+        }
+    }
+
+    // --- Work stealing ------------------------------------------------------
+
+    /// Move ready threads from overloaded CPUs to starved ones through
+    /// the shared steal pool. Runs between slices, with every CPU parked
+    /// at a safe point, so the chain surgery is host-side; the transfer
+    /// medium is the optimistic MP-MC queue (Section 3's claim that the
+    /// single-CPU lock-free queues carry to multiprocessors unchanged).
+    fn rebalance(&mut self) {
+        if self.cpus.len() == 1 {
+            return;
+        }
+        for thief in 0..self.cpus.len() {
+            if !self.cpu_starved(thief) {
+                continue;
+            }
+            if self.steal_pool.len_hint() == 0 && !self.offload_from_victim(thief) {
+                continue;
+            }
+            self.steal_for(thief);
+        }
+    }
+
+    /// Whether CPU `cpu` has nothing real to run: no non-idle thread in
+    /// its chain and no real thread current on it.
+    fn cpu_starved(&self, cpu: usize) -> bool {
+        let idle = self.cpus[cpu].idle_tid;
+        let chain_empty = self.cpus[cpu].ready.nodes().iter().all(|n| n.id == idle);
+        let cur_idle = self.current_tid_on(cpu).is_none_or(|t| self.is_idle(t));
+        chain_empty && cur_idle
+    }
+
+    /// Ready, non-current, non-idle, non-quarantined threads in `cpu`'s
+    /// chain — the ones another CPU could run right now.
+    fn surplus_tids(&self, cpu: usize) -> Vec<Tid> {
+        let cur = self.current_tid_on(cpu);
+        self.cpus[cpu]
+            .ready
+            .nodes()
+            .iter()
+            .map(|n| n.id)
+            .filter(|&id| {
+                Some(id) != cur
+                    && !self.is_idle(id)
+                    && !self.quarantined_tids.contains(&id)
+                    && self
+                        .threads
+                        .get(&id)
+                        .is_some_and(|t| matches!(t.state, ThreadState::Ready))
+            })
+            .collect()
+    }
+
+    /// Detach one surplus ready thread from the most loaded CPU and
+    /// offer it into the steal pool. Returns whether anything was
+    /// offered.
+    fn offload_from_victim(&mut self, thief: usize) -> bool {
+        let mut best: Option<(usize, usize)> = None; // (surplus, cpu)
+        for v in 0..self.cpus.len() {
+            if v == thief {
+                continue;
+            }
+            let surplus = self.surplus_tids(v).len();
+            if surplus > 0 && best.is_none_or(|(s, _)| surplus > s) {
+                best = Some((surplus, v));
+            }
+        }
+        let Some((_, victim)) = best else {
+            return false;
+        };
+        let tid = self.surplus_tids(victim)[0];
+        if self.cpus[victim].ready.remove(&mut self.m, tid).is_err() {
+            return false;
+        }
+        let _ = self.balance_idle_on(victim);
+        let _ = self.fix_chain_entries_on(victim);
+        if self.steal_pool.offer(tid).is_err() {
+            // Pool full: put the thread back where it was.
+            let t = &self.threads[&tid];
+            let node = ChainNode {
+                id: tid,
+                entry: t.sw_in,
+                jmp_at: t.jmp_at,
+            };
+            let at = if self.cpus[victim].ready.is_empty() {
+                None
+            } else {
+                Some(0)
+            };
+            let _ = self.cpus[victim].ready.insert_front(&mut self.m, at, node);
+            let _ = self.balance_idle_on(victim);
+            let _ = self.fix_chain_entries_on(victim);
+            return false;
+        }
+        self.pooled.insert(tid);
+        self.cpus[victim].offloads += 1;
+        true
+    }
+
+    /// Pull one pooled thread onto `thief`'s ready chain.
+    fn steal_for(&mut self, thief: usize) {
+        while let Some(tid) = self.steal_pool.steal() {
+            // The pool may hold stale hints (stopped or destroyed after
+            // being offered); membership in `pooled` is authoritative.
+            if !self.pooled.remove(&tid) {
+                continue;
+            }
+            let Some(t) = self.threads.get_mut(&tid) else {
+                continue;
+            };
+            if !matches!(t.state, ThreadState::Ready) {
+                continue;
+            }
+            t.cpu = thief;
+            let node = ChainNode {
+                id: tid,
+                entry: t.sw_in,
+                jmp_at: t.jmp_at,
+            };
+            let at = if self.cpus[thief].ready.is_empty() {
+                None
+            } else {
+                Some(0)
+            };
+            let _ = self.cpus[thief].ready.insert_front(&mut self.m, at, node);
+            let _ = self.balance_idle_on(thief);
+            let _ = self.fix_chain_entries_on(thief);
+            self.cpus[thief].steals += 1;
+            crate::trace!(
+                self,
+                tid,
+                crate::trace::Kind::Steal,
+                u32::try_from(thief).unwrap_or(0),
+                0
+            );
+            self.kick(thief);
+            return;
+        }
+    }
+
     /// Try to recover from a fatal machine error by reaping the thread
     /// that caused it: a double fault (the thread corrupted its own
     /// vector table or stack) or a wild jump out of code space is the
@@ -1365,7 +1849,7 @@ impl Kernel {
         let Some(tid) = self.current_tid() else {
             return Err(RunExit::Error(e));
         };
-        if tid == self.idle_tid {
+        if self.is_idle(tid) {
             return Err(RunExit::Error(e));
         }
         self.recovery_log.push((tid, format!("reaped: {e}")));
@@ -1401,7 +1885,7 @@ impl Kernel {
             let base = self.watchdog_marks.insert(tid, n).unwrap_or(0);
             let delta = n.saturating_sub(base);
             if delta > WATCHDOG_FAULT_LIMIT
-                && tid != self.idle_tid
+                && !self.is_idle(tid)
                 && !self.quarantined_tids.contains(&tid)
             {
                 self.quarantine_thread(tid, delta);
@@ -1479,7 +1963,8 @@ impl Kernel {
                 let tid = self.m.cpu.d[0];
                 if let Some(t) = self.threads.get(&tid) {
                     let map = t.map.clone();
-                    self.installed_map_id = map.id;
+                    let cpu = self.m.active_cpu();
+                    self.installed_map_ids[cpu] = map.id;
                     self.m.mem.map = map;
                 }
                 let c = charges::kcall_overhead(&self.m.cost);
@@ -1714,9 +2199,10 @@ impl Kernel {
             return;
         };
         self.suspend_current_state();
-        // Enter the next thread in the chain after us.
-        if let Some(pos) = self.ready.position(tid) {
-            let next = self.ready.next_of(pos).id;
+        // Enter the next thread in this CPU's chain after us.
+        let cpu = self.home_cpu(tid);
+        if let Some(pos) = self.cpus[cpu].ready.position(tid) {
+            let next = self.cpus[cpu].ready.next_of(pos).id;
             if next != tid {
                 self.enter(next);
             }
@@ -2010,9 +2496,10 @@ impl Kernel {
             return;
         }
         let (tte, vt, quantum, old_sw) = (t.tte, t.vt, t.quantum_us, t.sw.clone());
-        let in_chain = self.ready.position(tid).is_some();
+        let cpu = self.home_cpu(tid);
+        let in_chain = self.cpus[cpu].ready.position(tid).is_some();
         if in_chain {
-            let _ = self.ready.remove(&mut self.m, tid);
+            let _ = self.cpus[cpu].ready.remove(&mut self.m, tid);
         }
         self.creator.destroy(&mut self.m, &old_sw);
         let sw = match self.synth_switch(tid, tte, vt, quantum, true) {
@@ -2045,6 +2532,11 @@ impl Kernel {
             Size::L,
             sw_out,
         );
+        if self.m.num_cpus() > 1 {
+            self.m
+                .mem
+                .poke(vt + 4 * (24 + u32::from(irq_levels::IPI)), Size::L, sw_out);
+        }
         if in_chain {
             let t = &self.threads[&tid];
             let node = ChainNode {
@@ -2052,9 +2544,13 @@ impl Kernel {
                 entry: t.sw_in,
                 jmp_at: t.jmp_at,
             };
-            let at = if self.ready.is_empty() { None } else { Some(0) };
-            let _ = self.ready.insert_front(&mut self.m, at, node);
-            let _ = self.fix_chain_entries();
+            let at = if self.cpus[cpu].ready.is_empty() {
+                None
+            } else {
+                Some(0)
+            };
+            let _ = self.cpus[cpu].ready.insert_front(&mut self.m, at, node);
+            let _ = self.fix_chain_entries_on(cpu);
         }
         self.m.cpu.fpu_enabled = true;
     }

@@ -173,11 +173,37 @@ pub struct ThreadTrace {
     pub latency: [u64; LATENCY_BUCKETS.len()],
 }
 
+/// One CPU's scheduler activity over the report window. Only built on
+/// multiprocessor kernels — on one CPU the report's `cpus` vector is
+/// empty and every rendering omits the section, keeping uniprocessor
+/// output byte-identical to the pre-SMP kernel.
+#[derive(Debug, Clone)]
+pub struct CpuTrace {
+    /// The CPU.
+    pub cpu: usize,
+    /// Threads this CPU pulled out of the shared steal pool.
+    pub steals: u64,
+    /// Threads this CPU offered into the pool.
+    pub offloads: u64,
+    /// Slice cycles spent running real threads.
+    pub busy_cycles: u64,
+    /// Slice cycles spent in the idle thread.
+    pub idle_cycles: u64,
+    /// [`crate::trace::Kind::Steal`] records naming this CPU as the
+    /// thief — the trace-side view of `steals`. They agree on traced
+    /// builds; without the `trace` feature this is 0.
+    pub steal_records: u64,
+    /// `busy / (busy + idle)`, 0 when the CPU never ran a slice.
+    pub utilization: f64,
+}
+
 /// The kernel-wide trace report: the bench profiler's data model.
 #[derive(Debug, Clone)]
 pub struct TraceReport {
     /// Per-thread rows, by thread id.
     pub threads: Vec<ThreadTrace>,
+    /// Per-CPU scheduler rows (empty on uniprocessor kernels).
+    pub cpus: Vec<CpuTrace>,
     /// First record's cycle stamp (0 when the trace is empty).
     pub window_start: u64,
     /// Last record's cycle stamp.
@@ -237,6 +263,9 @@ pub fn trace_report(k: &mut Kernel) -> TraceReport {
                 Kind::CacheMiss => row.cache_misses += 1,
                 Kind::Destroy => row.destroys += 1,
                 Kind::Recovery => row.recoveries += 1,
+                // Steal records are per-CPU scheduler traffic, reported
+                // in the SMP section (never emitted on one CPU).
+                Kind::Steal => {}
             }
         }
         if window_ms > 0.0 {
@@ -244,8 +273,32 @@ pub fn trace_report(k: &mut Kernel) -> TraceReport {
         }
         threads.push(row);
     }
+    let cpus = if k.m.num_cpus() > 1 {
+        (0..k.m.num_cpus())
+            .map(|i| {
+                let c = &k.cpus[i];
+                let total = c.busy_cycles + c.idle_cycles;
+                CpuTrace {
+                    cpu: i,
+                    steals: c.steals,
+                    offloads: c.offloads,
+                    busy_cycles: c.busy_cycles,
+                    idle_cycles: c.idle_cycles,
+                    steal_records: k.trace.steal_events(i),
+                    utilization: if total > 0 {
+                        c.busy_cycles as f64 / total as f64
+                    } else {
+                        0.0
+                    },
+                }
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
     TraceReport {
         threads,
+        cpus,
         window_start,
         window_end,
         dropped: k.trace.dropped,
@@ -297,6 +350,23 @@ impl TraceReport {
                 t.io_events,
                 t.io_per_ms
             );
+        }
+        if !self.cpus.is_empty() {
+            let _ = writeln!(out, "per-CPU scheduler activity:");
+            for c in &self.cpus {
+                let _ = writeln!(
+                    out,
+                    "  cpu {:>2}: {:>5.1}% busy  steals {:>4} ({} traced)  offloads {:>4}  \
+                     busy {:>10} idle {:>10} cycles",
+                    c.cpu,
+                    c.utilization * 100.0,
+                    c.steals,
+                    c.steal_records,
+                    c.offloads,
+                    c.busy_cycles,
+                    c.idle_cycles
+                );
+            }
         }
         let _ = writeln!(out, "syscall latency (cycles):");
         for t in &self.threads {

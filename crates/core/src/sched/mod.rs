@@ -68,7 +68,7 @@ impl FineGrain {
             // threads will never run again — retuning their switch code
             // would be a wasted patch (and a confusing one for whoever
             // inspects the quarantined TTE later).
-            if tid == k.idle_tid || k.is_quarantined(tid) {
+            if k.is_idle(tid) || k.is_quarantined(tid) {
                 continue;
             }
             let g = u64::from(k.m.mem.peek(t.tte + off::GAUGE, Size::L));

@@ -132,6 +132,10 @@ pub struct Thread {
     pub map: AddressMap,
     /// Open files.
     pub fds: Vec<FdObject>,
+    /// Home CPU: the CPU whose ready chain holds this thread when
+    /// runnable. Work stealing rewrites it; a uniprocessor kernel leaves
+    /// it 0.
+    pub cpu: usize,
     /// Gauge value at the scheduler's last adaptation pass.
     pub last_gauge: u64,
     /// Traced I/O-event count at the scheduler's last adaptation pass
@@ -204,6 +208,7 @@ mod tests {
             state: ThreadState::Stopped,
             map: AddressMap::default(),
             fds: Vec::new(),
+            cpu: 0,
             last_gauge: 0,
             last_io: 0,
         };

@@ -55,6 +55,7 @@ pub struct TraceSet {
     rings: BTreeMap<Tid, Ring>,
     frames: BTreeMap<Tid, Vec<Frame>>,
     io_counts: BTreeMap<Tid, u64>,
+    steal_counts: BTreeMap<u32, u64>,
     cap: usize,
     /// Runtime switch (orthogonal to the compile-time feature): when
     /// false, [`TraceSet::push`] drops everything. Lets one binary
@@ -63,6 +64,11 @@ pub struct TraceSet {
     /// Machine hook events dropped before the kernel drained them
     /// (mirrors the hook log's counter at the last pump).
     pub dropped: u64,
+    /// CPU attribution stamped into each pushed record's `flags` field.
+    /// The kernel sets it before pushing (drain sites set it per event);
+    /// a uniprocessor kernel leaves it 0, which keeps the record bytes
+    /// identical to the pre-SMP format.
+    pub cpu: u16,
 }
 
 impl TraceSet {
@@ -73,9 +79,11 @@ impl TraceSet {
             rings: BTreeMap::new(),
             frames: BTreeMap::new(),
             io_counts: BTreeMap::new(),
+            steal_counts: BTreeMap::new(),
             cap,
             enabled: true,
             dropped: 0,
+            cpu: 0,
         }
     }
 
@@ -102,6 +110,9 @@ impl TraceSet {
         if Self::is_io_event(kind, a) {
             *self.io_counts.entry(tid).or_insert(0) += 1;
         }
+        if kind == Kind::Steal {
+            *self.steal_counts.entry(a).or_insert(0) += 1;
+        }
         let cap = self.cap;
         self.rings
             .entry(tid)
@@ -110,7 +121,7 @@ impl TraceSet {
                 cycle,
                 tid,
                 kind,
-                flags: 0,
+                flags: self.cpu,
                 a,
                 b,
             });
@@ -136,6 +147,15 @@ impl TraceSet {
     #[must_use]
     pub fn io_events(&self, tid: Tid) -> u64 {
         self.io_counts.get(&tid).copied().unwrap_or(0)
+    }
+
+    /// Cumulative [`Kind::Steal`] records naming `cpu` as the thief
+    /// (monotonic; not subject to ring wraparound). Mirrors the
+    /// kernel's per-CPU `steals` counter on traced builds.
+    #[must_use]
+    pub fn steal_events(&self, cpu: usize) -> u64 {
+        let key = u32::try_from(cpu).unwrap_or(u32::MAX);
+        self.steal_counts.get(&key).copied().unwrap_or(0)
     }
 
     /// Threads that have a ring (including reaped threads).
@@ -218,6 +238,7 @@ impl TraceSet {
 macro_rules! trace {
     ($k:expr, $tid:expr, $kind:expr, $a:expr, $b:expr) => {{
         let cycle = $k.m.meter.cycles;
+        $k.trace.cpu = $k.m.active_cpu() as u16;
         $k.trace.push($tid, cycle, $kind, $a, $b);
     }};
 }

@@ -39,6 +39,9 @@ pub enum Kind {
     Destroy = 9,
     /// Fault-recovery action (`a` = `REC_*` sub-code).
     Recovery = 10,
+    /// Work stealing moved the thread to another CPU's ready chain
+    /// (`a` = the stealing CPU). Only emitted on multiprocessor runs.
+    Steal = 11,
 }
 
 impl Kind {
@@ -56,6 +59,7 @@ impl Kind {
             8 => Some(Kind::CacheMiss),
             9 => Some(Kind::Destroy),
             10 => Some(Kind::Recovery),
+            11 => Some(Kind::Steal),
             _ => None,
         }
     }
@@ -90,7 +94,9 @@ pub struct TraceRecord {
     pub tid: Tid,
     /// Event kind.
     pub kind: Kind,
-    /// Reserved; zero.
+    /// The CPU the event was recorded on. Uniprocessor kernels always
+    /// write 0 here — the field was formerly reserved-zero, so the
+    /// single-CPU record bytes are unchanged.
     pub flags: u16,
     /// First kind-specific operand (see [`Kind`]).
     pub a: u32,

@@ -51,7 +51,14 @@ fn alarm_wakes_a_waiting_thread() {
 
 #[test]
 fn yield_rotates_between_threads() {
-    let mut k = boot();
+    // Pinned to one CPU: the alternation this test asserts is a
+    // uniprocessor scheduling property — on an SMP kernel the second
+    // thread gets stolen to another CPU and the threads run unmixed.
+    let mut k = Kernel::boot(KernelConfig {
+        cpus: 1,
+        ..KernelConfig::default()
+    })
+    .unwrap();
     // Two politely yielding threads appending to a shared log (ownership
     // alternates if yield really rotates).
     let mk = |name: &str, tag: u32, log: u32| {

@@ -80,6 +80,51 @@ fn second_open_of_same_file_hits_the_cache() {
 }
 
 #[test]
+fn cross_cpu_open_hits_the_shared_tier() {
+    // An open on CPU 1 of a channel whose code was synthesized by CPU 0
+    // reuses the block — and the accounting tells the cross-CPU hit
+    // apart from a same-CPU one.
+    let mut k = Kernel::boot(KernelConfig {
+        cpus: 2,
+        ..KernelConfig::default()
+    })
+    .unwrap();
+    let mut a = Asm::new("parked");
+    a.move_i(L, general::EXIT, Dr(0));
+    a.trap(traps::GENERAL);
+    let entry = k.load_user_program(a.assemble().unwrap()).unwrap();
+    let tid = k.create_thread(entry, USTACK, user_map()).unwrap();
+    k.fs.create(&mut k.m, &mut k.heap, "/tmp/f", 4096).unwrap();
+
+    k.open_for(tid, "/tmp/f").unwrap();
+    assert_eq!(k.creator.stats.cache_hits, 0);
+    assert_eq!(k.creator.cache.shared_tier_bytes(), 0, "all local so far");
+    let local_before = k.creator.cache.local_tier_bytes(0);
+    assert!(local_before > 0, "cold open populated CPU 0's tier");
+
+    // Same-CPU warm open: local hits only.
+    k.open_for(tid, "/tmp/f").unwrap();
+    assert_eq!(k.creator.stats.cache_hits, 2);
+    assert_eq!(k.creator.stats.cache_hits_local, 2);
+    assert_eq!(k.creator.stats.cache_hits_cross, 0);
+
+    // Warm open issued from CPU 1: cross hits, and the blocks promote
+    // to the shared read-mostly tier.
+    k.m.switch_cpu(1);
+    k.open_for(tid, "/tmp/f").unwrap();
+    assert_eq!(k.creator.stats.cache_hits, 4);
+    assert_eq!(k.creator.stats.cache_hits_local, 2);
+    assert_eq!(k.creator.stats.cache_hits_cross, 2);
+    assert!(k.creator.stats.bytes_shared_cross > 0);
+    assert!(
+        k.creator.cache.shared_tier_bytes() > 0,
+        "cross-CPU reuse promoted the entries"
+    );
+    assert!(k.creator.cache.local_tier_bytes(0) < local_before);
+    k.m.switch_cpu(0);
+}
+
+#[test]
 fn second_open_charges_link_cost_not_synthesis_cost() {
     let (mut k, tid) = boot_with_thread();
     k.fs.create(&mut k.m, &mut k.heap, "/tmp/f", 4096).unwrap();

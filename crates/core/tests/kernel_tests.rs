@@ -84,9 +84,16 @@ fn gettid_returns_thread_id() {
     a.trap(traps::GENERAL);
     a.move_(L, Dr(0), Abs(UBUF));
     emit_exit(&mut a);
-    let k = run_user(a, 50_000_000);
-    // Thread 0 is the idle thread; ours is 1.
-    assert_eq!(k.m.mem.peek(UBUF, L), 1);
+    // Run by hand so we can compare against the tid create_thread
+    // actually handed out (the idle threads — one per CPU — come first).
+    let mut k = boot();
+    let entry = k
+        .load_user_program(a.assemble().expect("assembles"))
+        .expect("loads");
+    let tid = k.create_thread(entry, USTACK, user_map()).expect("creates");
+    k.start(tid).expect("starts");
+    assert!(k.run_until_exit(tid, 50_000_000));
+    assert_eq!(k.m.mem.peek(UBUF, L), tid);
 }
 
 #[test]

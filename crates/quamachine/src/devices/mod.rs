@@ -51,12 +51,17 @@ pub struct DevCtx<'a> {
     pub dev_index: usize,
     /// CPU clock, for converting real-time rates to cycles.
     pub clock_hz: u64,
+    /// The CPU whose access (or event) this context serves — `now` is
+    /// that CPU's clock, and events scheduled here fire on its timeline.
+    pub cpu: usize,
 }
 
 impl DevCtx<'_> {
-    /// Schedule an event for this device `delta` cycles from now.
+    /// Schedule an event for this device `delta` cycles from now, on the
+    /// accessing CPU's timeline.
     pub fn schedule_in(&mut self, delta: u64, what: u32) {
-        self.events.schedule(self.now + delta, self.dev_index, what);
+        self.events
+            .schedule_on(self.now + delta, self.dev_index, what, self.cpu);
     }
 
     /// Cycles per event at a given real-time rate (events per second).
@@ -75,7 +80,7 @@ impl DevCtx<'_> {
         if self.fault.lose_irq(self.now, level) {
             return;
         }
-        self.irq.raise(level);
+        self.irq.raise_on(self.cpu, level);
     }
 }
 

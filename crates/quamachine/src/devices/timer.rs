@@ -33,14 +33,23 @@ const EV_ALARM: u32 = 1;
 const EV_QUANTUM: u32 = 2;
 
 /// The timer device.
+///
+/// The quantum channel is *per CPU*: the registers sit at fixed
+/// addresses, but each CPU that touches them talks to its own countdown
+/// (like a local APIC timer), so the synthesized context-switch code —
+/// which has the register addresses burned in — works unchanged on
+/// whichever CPU a thread happens to run on. The quantum interrupt fires
+/// on the CPU that armed it; the ACK clears the acking CPU's line.
 pub struct Timer {
     irq_level: u8,
-    quantum_us: u32,
+    /// Per-CPU quantum periods (index = CPU; grown on first touch).
+    quantum_us: Vec<u32>,
     /// Generation counters so stale scheduled events are ignored after a
-    /// cancel/re-arm.
+    /// cancel/re-arm. The quantum generations are per CPU, like the
+    /// channel itself.
     alarm_gen: u32,
-    quantum_gen: u32,
-    /// Quantum interrupts delivered.
+    quantum_gen: Vec<u32>,
+    /// Quantum interrupts delivered (all CPUs).
     pub quantum_fires: u64,
     /// Alarm interrupts delivered.
     pub alarm_fires: u64,
@@ -52,9 +61,9 @@ impl Timer {
     pub fn new(irq_level: u8) -> Timer {
         Timer {
             irq_level,
-            quantum_us: 0,
+            quantum_us: vec![0],
             alarm_gen: 0,
-            quantum_gen: 0,
+            quantum_gen: vec![0],
             quantum_fires: 0,
             alarm_fires: 0,
         }
@@ -69,6 +78,15 @@ impl Timer {
     fn us_to_cycles(us: u32, ctx: &DevCtx) -> u64 {
         (u64::from(us) * ctx.clock_hz / 1_000_000).max(1)
     }
+
+    /// The accessing CPU's quantum lane, grown on demand.
+    fn lane(&mut self, cpu: usize) -> usize {
+        if self.quantum_us.len() <= cpu {
+            self.quantum_us.resize(cpu + 1, 0);
+            self.quantum_gen.resize(cpu + 1, 0);
+        }
+        cpu
+    }
 }
 
 impl Device for Timer {
@@ -79,7 +97,10 @@ impl Device for Timer {
     fn read_reg(&mut self, off: u32, ctx: &mut DevCtx) -> u32 {
         match off {
             REG_NOW_US => (ctx.now * 1_000_000 / ctx.clock_hz) as u32,
-            REG_QUANTUM_US => self.quantum_us,
+            REG_QUANTUM_US => {
+                let lane = self.lane(ctx.cpu);
+                self.quantum_us[lane]
+            }
             _ => 0,
         }
     }
@@ -97,15 +118,16 @@ impl Device for Timer {
                 }
             }
             REG_QUANTUM_US => {
-                self.quantum_gen = self.quantum_gen.wrapping_add(1);
-                self.quantum_us = val;
+                let lane = self.lane(ctx.cpu);
+                self.quantum_gen[lane] = self.quantum_gen[lane].wrapping_add(1);
+                self.quantum_us[lane] = val;
                 if val > 0 {
                     let delta = Timer::us_to_cycles(val, ctx);
                     let delta = ctx.fault.timer_period(ctx.now, delta);
-                    ctx.schedule_in(delta, EV_QUANTUM | (self.quantum_gen << 8));
+                    ctx.schedule_in(delta, EV_QUANTUM | (self.quantum_gen[lane] << 8));
                 }
             }
-            REG_ACK => ctx.irq.clear(self.irq_level),
+            REG_ACK => ctx.irq.clear_on(ctx.cpu, self.irq_level),
             _ => {}
         }
     }
@@ -116,18 +138,25 @@ impl Device for Timer {
         match kind {
             EV_ALARM if gen == self.alarm_gen => {
                 self.alarm_fires += 1;
-                ctx.irq.raise(self.irq_level);
+                ctx.irq.raise_on(ctx.cpu, self.irq_level);
             }
-            EV_QUANTUM if gen == self.quantum_gen => {
+            // Quantum events are scheduled on the arming CPU's timeline
+            // and therefore tick with `ctx.cpu` = that CPU, so the lane
+            // needs no encoding in `what`.
+            EV_QUANTUM => {
+                let lane = self.lane(ctx.cpu);
+                if gen != self.quantum_gen[lane] {
+                    return;
+                }
                 self.quantum_fires += 1;
                 // Periodic and therefore self-healing: a lost raise is
                 // made up for by the next period's, so this raise is
                 // fault-eligible.
                 ctx.raise_irq(self.irq_level);
-                if self.quantum_us > 0 {
-                    let delta = Timer::us_to_cycles(self.quantum_us, ctx);
+                if self.quantum_us[lane] > 0 {
+                    let delta = Timer::us_to_cycles(self.quantum_us[lane], ctx);
                     let delta = ctx.fault.timer_period(ctx.now, delta);
-                    ctx.schedule_in(delta, EV_QUANTUM | (self.quantum_gen << 8));
+                    ctx.schedule_in(delta, EV_QUANTUM | (self.quantum_gen[lane] << 8));
                 }
             }
             _ => {}

@@ -3,11 +3,18 @@
 //! Devices schedule callbacks at absolute cycle counts ("raise my IRQ when
 //! the disk seek finishes", "next A/D sample in `clock/44100` cycles"). The
 //! machine pops due events between instructions.
+//!
+//! On a multiprocessor Quamachine each CPU has its own virtual clock, so
+//! every event is tagged with the CPU whose timeline its `when` belongs
+//! to: the CPU that was active when the event was scheduled. Each CPU
+//! pops only its own events. A single-CPU machine tags everything CPU 0,
+//! which degenerates to the old behavior exactly.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-/// A scheduled event: fire `what` on device `dev` at cycle `when`.
+/// A scheduled event: fire `what` on device `dev` at cycle `when` of CPU
+/// `cpu`'s clock.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Event {
     /// Absolute cycle count at which the event fires.
@@ -16,6 +23,9 @@ pub struct Event {
     pub dev: usize,
     /// Device-private event tag.
     pub what: u32,
+    /// The CPU whose clock `when` is measured against (and which will
+    /// deliver the event).
+    pub cpu: usize,
     /// Monotonic sequence number to make ordering deterministic for
     /// simultaneous events (FIFO among equals).
     seq: u64,
@@ -33,10 +43,10 @@ impl PartialOrd for Event {
     }
 }
 
-/// A min-heap of events keyed by cycle count.
+/// Per-CPU min-heaps of events keyed by cycle count.
 #[derive(Debug, Default)]
 pub struct EventQueue {
-    heap: BinaryHeap<Reverse<Event>>,
+    heaps: Vec<BinaryHeap<Reverse<Event>>>,
     next_seq: u64,
 }
 
@@ -47,53 +57,86 @@ impl EventQueue {
         EventQueue::default()
     }
 
-    /// Schedule `what` for device `dev` at absolute cycle `when`.
+    fn heap_mut(&mut self, cpu: usize) -> &mut BinaryHeap<Reverse<Event>> {
+        if self.heaps.len() <= cpu {
+            self.heaps.resize_with(cpu + 1, BinaryHeap::new);
+        }
+        &mut self.heaps[cpu]
+    }
+
+    /// Schedule `what` for device `dev` at absolute cycle `when` on CPU
+    /// 0's timeline.
     pub fn schedule(&mut self, when: u64, dev: usize, what: u32) {
+        self.schedule_on(when, dev, what, 0);
+    }
+
+    /// Schedule `what` for device `dev` at absolute cycle `when` of CPU
+    /// `cpu`'s clock.
+    pub fn schedule_on(&mut self, when: u64, dev: usize, what: u32, cpu: usize) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(Event {
+        self.heap_mut(cpu).push(Reverse(Event {
             when,
             dev,
             what,
+            cpu,
             seq,
         }));
     }
 
-    /// Pop the next event if it is due at or before `now`.
+    /// Pop the next CPU-0 event if it is due at or before `now`.
     pub fn pop_due(&mut self, now: u64) -> Option<Event> {
-        if self.heap.peek().is_some_and(|Reverse(e)| e.when <= now) {
-            self.heap.pop().map(|Reverse(e)| e)
+        self.pop_due_on(now, 0)
+    }
+
+    /// Pop the next event for CPU `cpu` if it is due at or before `now`
+    /// on that CPU's clock.
+    pub fn pop_due_on(&mut self, now: u64, cpu: usize) -> Option<Event> {
+        let heap = self.heaps.get_mut(cpu)?;
+        if heap.peek().is_some_and(|Reverse(e)| e.when <= now) {
+            heap.pop().map(|Reverse(e)| e)
         } else {
             None
         }
     }
 
-    /// The cycle of the earliest scheduled event, if any.
+    /// The cycle of the earliest scheduled event on any CPU, if any.
+    /// With per-CPU clocks this is only meaningful as "is anything ever
+    /// going to happen"; per-CPU sleep uses [`next_due_for`].
+    ///
+    /// [`next_due_for`]: EventQueue::next_due_for
     #[must_use]
     pub fn next_due(&self) -> Option<u64> {
-        self.heap.peek().map(|Reverse(e)| e.when)
+        self.heaps
+            .iter()
+            .filter_map(|h| h.peek().map(|Reverse(e)| e.when))
+            .min()
     }
 
-    /// Number of scheduled events.
+    /// The cycle of the earliest event scheduled for CPU `cpu`, if any.
+    #[must_use]
+    pub fn next_due_for(&self, cpu: usize) -> Option<u64> {
+        self.heaps.get(cpu)?.peek().map(|Reverse(e)| e.when)
+    }
+
+    /// Number of scheduled events across all CPUs.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heaps.iter().map(BinaryHeap::len).sum()
     }
 
     /// Whether no events are scheduled.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.heaps.iter().all(BinaryHeap::is_empty)
     }
 
     /// Remove all events for a device (used when resetting a device).
     pub fn cancel_device(&mut self, dev: usize) {
-        let keep: Vec<_> = self
-            .heap
-            .drain()
-            .filter(|Reverse(e)| e.dev != dev)
-            .collect();
-        self.heap = keep.into_iter().collect();
+        for heap in &mut self.heaps {
+            let keep: Vec<_> = heap.drain().filter(|Reverse(e)| e.dev != dev).collect();
+            *heap = keep.into_iter().collect();
+        }
     }
 }
 
@@ -142,5 +185,30 @@ mod tests {
         q.cancel_device(0);
         assert_eq!(q.len(), 1);
         assert_eq!(q.pop_due(100).unwrap().what, 2);
+    }
+
+    #[test]
+    fn events_stay_on_their_cpu() {
+        let mut q = EventQueue::new();
+        q.schedule_on(10, 0, 1, 0);
+        q.schedule_on(10, 0, 2, 1);
+        // CPU 1 sees only its own event, even when due.
+        assert_eq!(q.pop_due_on(100, 1).unwrap().what, 2);
+        assert!(q.pop_due_on(100, 1).is_none());
+        assert_eq!(q.next_due_for(0), Some(10));
+        assert_eq!(q.next_due_for(1), None);
+        assert_eq!(q.pop_due_on(100, 0).unwrap().what, 1);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_device_spans_cpus() {
+        let mut q = EventQueue::new();
+        q.schedule_on(10, 0, 1, 0);
+        q.schedule_on(10, 0, 2, 1);
+        q.schedule_on(10, 1, 3, 1);
+        q.cancel_device(0);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_due_on(100, 1).unwrap().what, 3);
     }
 }

@@ -81,18 +81,21 @@ impl Machine {
     pub fn step(&mut self) -> Result<Option<RunExit>, MachineError> {
         self.process_events();
 
-        // Interrupt acceptance between instructions.
-        if let Some(level) = self.irq.acceptable(self.cpu.int_mask()) {
-            self.irq.accept(level);
+        // Interrupt acceptance between instructions (the active CPU's
+        // own pending lines).
+        let active = self.active_cpu();
+        if let Some(level) = self.irq.acceptable_on(active, self.cpu.int_mask()) {
+            self.irq.accept_on(active, level);
             self.cpu.stopped = false;
             self.meter.cycles += IACK_BASE;
             self.take_exception(Exception::Interrupt(level), self.cpu.pc)?;
             return Ok(None);
         }
 
-        // STOP state: sleep until the next device event can raise an IRQ.
+        // STOP state: sleep until the next device event on this CPU's
+        // timeline can raise an IRQ.
         if self.cpu.stopped {
-            return match self.events.next_due() {
+            return match self.events.next_due_for(active) {
                 Some(next) => {
                     self.meter.cycles = self.meter.cycles.max(next);
                     Ok(None)
@@ -180,16 +183,22 @@ impl Machine {
         // guest cycles.
         #[cfg(feature = "trace")]
         match e {
-            Exception::Trap(n) => self.hooks.push(crate::trace::MachEvent::Trap {
-                vector: n,
-                vbr: self.cpu.vbr,
-                cycle: self.meter.cycles,
-            }),
+            Exception::Trap(n) => {
+                let cpu = self.active_cpu();
+                self.hooks.push(crate::trace::MachEvent::Trap {
+                    vector: n,
+                    vbr: self.cpu.vbr,
+                    cycle: self.meter.cycles,
+                    cpu,
+                });
+            }
             Exception::Interrupt(level) => {
+                let cpu = self.active_cpu();
                 self.hooks.push(crate::trace::MachEvent::IrqAccept {
                     level,
                     vbr: self.cpu.vbr,
                     cycle: self.meter.cycles,
+                    cpu,
                 });
             }
             _ => {}
@@ -605,10 +614,14 @@ impl Machine {
                 self.cpu.write_sr(sr as u16);
                 self.cpu.pc = pc;
                 #[cfg(feature = "trace")]
-                self.hooks.push(crate::trace::MachEvent::Rte {
-                    vbr: self.cpu.vbr,
-                    cycle: self.meter.cycles,
-                });
+                {
+                    let cpu = self.active_cpu();
+                    self.hooks.push(crate::trace::MachEvent::Rte {
+                        vbr: self.cpu.vbr,
+                        cycle: self.meter.cycles,
+                        cpu,
+                    });
+                }
             }
             Trap(n) => {
                 return Err(Exception::Trap(n).into());
@@ -674,10 +687,14 @@ impl Machine {
                     let v = self.read_src(ea, Size::L)?;
                     self.cpu.vbr = v;
                     #[cfg(feature = "trace")]
-                    self.hooks.push(crate::trace::MachEvent::VbrWrite {
-                        vbr: v,
-                        cycle: self.meter.cycles,
-                    });
+                    {
+                        let cpu = self.active_cpu();
+                        self.hooks.push(crate::trace::MachEvent::VbrWrite {
+                            vbr: v,
+                            cycle: self.meter.cycles,
+                            cpu,
+                        });
+                    }
                 } else {
                     let vbr = self.cpu.vbr;
                     let p = self.resolve(ea, Size::L);

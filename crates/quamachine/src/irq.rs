@@ -1,4 +1,9 @@
-//! The interrupt controller: seven autovectored levels.
+//! The interrupt controller: seven autovectored levels, per CPU.
+//!
+//! Each CPU of the multiprocessor Quamachine has its own set of pending
+//! lines; device interrupts route to CPU 0 (the boot CPU) by default,
+//! while per-CPU sources (the quantum timer's per-CPU channels) and
+//! inter-processor interrupts target an explicit CPU.
 
 /// Pending-interrupt state for the seven 68000 interrupt levels.
 ///
@@ -7,53 +12,121 @@
 /// level-triggered here: a device keeps its level asserted until serviced,
 /// and the acceptance clears the pending bit (modelling the interrupt
 /// acknowledge cycle).
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 pub struct IrqController {
-    pending: u8, // bit i-1 = level i pending
-    /// Total interrupts accepted, per level (index 0 unused).
+    /// Per-CPU pending masks: bit i-1 of `pending[c]` = level i pending
+    /// on CPU c.
+    pending: Vec<u8>,
+    /// Total interrupts accepted, per level (index 0 unused), summed
+    /// across CPUs.
     pub accepted: [u64; 8],
+    /// Inter-processor interrupts sent (any level, any target).
+    pub ipis_sent: u64,
+}
+
+impl Default for IrqController {
+    fn default() -> Self {
+        IrqController::new()
+    }
 }
 
 impl IrqController {
-    /// Create a controller with nothing pending.
+    /// Create a single-CPU controller with nothing pending.
     #[must_use]
     pub fn new() -> IrqController {
-        IrqController::default()
-    }
-
-    /// Assert an interrupt at `level` (1–7).
-    pub fn raise(&mut self, level: u8) {
-        debug_assert!((1..=7).contains(&level));
-        self.pending |= 1 << (level - 1);
-    }
-
-    /// Deassert an interrupt at `level` without servicing it.
-    pub fn clear(&mut self, level: u8) {
-        debug_assert!((1..=7).contains(&level));
-        self.pending &= !(1 << (level - 1));
-    }
-
-    /// Whether any level is pending.
-    #[must_use]
-    pub fn any_pending(&self) -> bool {
-        self.pending != 0
-    }
-
-    /// The highest pending level, if any.
-    #[must_use]
-    pub fn highest_pending(&self) -> Option<u8> {
-        if self.pending == 0 {
-            None
-        } else {
-            Some(8 - self.pending.leading_zeros() as u8)
+        IrqController {
+            pending: vec![0],
+            accepted: [0; 8],
+            ipis_sent: 0,
         }
     }
 
-    /// The level the CPU should accept given its current mask, if any.
-    /// Level 7 is non-maskable (accepted even at mask 7).
+    /// Grow the controller to `n` CPUs' worth of pending lines.
+    pub fn set_cpus(&mut self, n: usize) {
+        self.pending.resize(n.max(1), 0);
+    }
+
+    /// Number of CPUs this controller serves.
+    #[must_use]
+    pub fn num_cpus(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Assert an interrupt at `level` (1–7) on the boot CPU. Device
+    /// completion interrupts route here, like a machine whose interrupt
+    /// fabric points all external sources at CPU 0.
+    pub fn raise(&mut self, level: u8) {
+        self.raise_on(0, level);
+    }
+
+    /// Assert an interrupt at `level` (1–7) on a specific CPU.
+    pub fn raise_on(&mut self, cpu: usize, level: u8) {
+        debug_assert!((1..=7).contains(&level));
+        debug_assert!(cpu < self.pending.len());
+        self.pending[cpu] |= 1 << (level - 1);
+    }
+
+    /// Send an inter-processor interrupt: assert `level` on `cpu` and
+    /// count the send. Semantically identical to [`raise_on`]; the
+    /// separate entry point exists so embedders can meter IPI traffic.
+    ///
+    /// [`raise_on`]: IrqController::raise_on
+    pub fn send_ipi(&mut self, cpu: usize, level: u8) {
+        self.ipis_sent += 1;
+        self.raise_on(cpu, level);
+    }
+
+    /// Deassert an interrupt at `level` on the boot CPU without
+    /// servicing it.
+    pub fn clear(&mut self, level: u8) {
+        self.clear_on(0, level);
+    }
+
+    /// Deassert an interrupt at `level` on a specific CPU.
+    pub fn clear_on(&mut self, cpu: usize, level: u8) {
+        debug_assert!((1..=7).contains(&level));
+        self.pending[cpu] &= !(1 << (level - 1));
+    }
+
+    /// Whether any level is pending on the boot CPU.
+    #[must_use]
+    pub fn any_pending(&self) -> bool {
+        self.any_pending_on(0)
+    }
+
+    /// Whether any level is pending on a specific CPU.
+    #[must_use]
+    pub fn any_pending_on(&self, cpu: usize) -> bool {
+        self.pending[cpu] != 0
+    }
+
+    /// The highest level pending on the boot CPU, if any.
+    #[must_use]
+    pub fn highest_pending(&self) -> Option<u8> {
+        self.highest_pending_on(0)
+    }
+
+    /// The highest level pending on a specific CPU, if any.
+    #[must_use]
+    pub fn highest_pending_on(&self, cpu: usize) -> Option<u8> {
+        if self.pending[cpu] == 0 {
+            None
+        } else {
+            Some(8 - self.pending[cpu].leading_zeros() as u8)
+        }
+    }
+
+    /// The level the boot CPU should accept given its current mask.
     #[must_use]
     pub fn acceptable(&self, mask: u8) -> Option<u8> {
-        let h = self.highest_pending()?;
+        self.acceptable_on(0, mask)
+    }
+
+    /// The level CPU `cpu` should accept given its current mask, if any.
+    /// Level 7 is non-maskable (accepted even at mask 7).
+    #[must_use]
+    pub fn acceptable_on(&self, cpu: usize, mask: u8) -> Option<u8> {
+        let h = self.highest_pending_on(cpu)?;
         if h > mask || h == 7 {
             Some(h)
         } else {
@@ -61,10 +134,15 @@ impl IrqController {
         }
     }
 
-    /// Record acceptance of `level` and clear it.
+    /// Record acceptance of `level` on the boot CPU and clear it.
     pub fn accept(&mut self, level: u8) {
+        self.accept_on(0, level);
+    }
+
+    /// Record acceptance of `level` on CPU `cpu` and clear it.
+    pub fn accept_on(&mut self, cpu: usize, level: u8) {
         self.accepted[level as usize] += 1;
-        self.clear(level);
+        self.clear_on(cpu, level);
     }
 }
 
@@ -101,5 +179,31 @@ mod tests {
         c.accept(4);
         assert!(!c.any_pending());
         assert_eq!(c.accepted[4], 1);
+    }
+
+    #[test]
+    fn per_cpu_lines_are_independent() {
+        let mut c = IrqController::new();
+        c.set_cpus(3);
+        c.raise_on(1, 4);
+        assert!(!c.any_pending_on(0));
+        assert!(c.any_pending_on(1));
+        assert_eq!(c.acceptable_on(1, 0), Some(4));
+        assert_eq!(c.acceptable_on(2, 0), None);
+        c.accept_on(1, 4);
+        assert!(!c.any_pending_on(1));
+        assert_eq!(c.accepted[4], 1);
+    }
+
+    #[test]
+    fn ipi_counts_and_raises() {
+        let mut c = IrqController::new();
+        c.set_cpus(2);
+        c.send_ipi(1, 1);
+        assert_eq!(c.ipis_sent, 1);
+        assert_eq!(c.highest_pending_on(1), Some(1));
+        // ACK-style clear on the target CPU only.
+        c.clear_on(1, 1);
+        assert!(!c.any_pending_on(1));
     }
 }

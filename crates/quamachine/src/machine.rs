@@ -11,7 +11,7 @@ use crate::error::{Exception, MachineError};
 use crate::event::EventQueue;
 use crate::fault::FaultPlan;
 use crate::irq::IrqController;
-use crate::mem::Memory;
+use crate::mem::{AddressMap, Memory};
 use crate::trace::Meter;
 
 /// Machine construction parameters.
@@ -23,6 +23,10 @@ pub struct MachineConfig {
     pub cost: CostModel,
     /// Capacity of the execution-trace ring buffer.
     pub trace_capacity: usize,
+    /// Number of CPUs. All CPUs share the flat physical address space
+    /// and the device complement; each has its own registers, virtual
+    /// clock, installed address map, and interrupt lines.
+    pub cpus: usize,
 }
 
 impl MachineConfig {
@@ -33,6 +37,7 @@ impl MachineConfig {
             mem_size: 2_621_440,
             cost: CostModel::sun3_emulation(),
             trace_capacity: 4096,
+            cpus: 1,
         }
     }
 
@@ -43,6 +48,7 @@ impl MachineConfig {
             mem_size: 2_621_440,
             cost: CostModel::quamachine_full_speed(),
             trace_capacity: 4096,
+            cpus: 1,
         }
     }
 }
@@ -67,6 +73,25 @@ pub enum RunExit {
     Breakpoint(u32),
     /// A fatal simulation error.
     Error(MachineError),
+}
+
+/// A parked CPU context: the registers, virtual clock, and installed
+/// address map of a CPU that is not currently the machine's active one.
+///
+/// The multiprocessor Quamachine is simulated one CPU at a time: the
+/// `Machine` fields `cpu`, `meter.cycles`, and `mem.map` always belong to
+/// the *active* CPU, and [`Machine::switch_cpu`] swaps them against a
+/// slot. Embedders interleave CPUs at whatever granularity they choose
+/// (the kernel rotates in watchdog-slice quanta, always resuming the CPU
+/// whose clock is furthest behind).
+#[derive(Debug, Clone)]
+pub struct CpuSlot {
+    /// The parked register file.
+    pub cpu: Cpu,
+    /// The parked virtual clock (this CPU's elapsed cycles).
+    pub cycles: u64,
+    /// The parked user address map (each CPU has its own MMU state).
+    pub map: AddressMap,
 }
 
 /// The simulated machine.
@@ -95,17 +120,26 @@ pub struct Machine {
     pub breakpoints: HashSet<u32>,
     /// The fault-injection plan ([`FaultPlan::none`] unless seeded).
     pub fault: FaultPlan,
+    /// Parked contexts of the other CPUs (`slots[active]` is stale while
+    /// that CPU is active).
+    slots: Vec<CpuSlot>,
+    /// Index of the CPU whose context currently occupies `cpu`,
+    /// `meter.cycles`, and `mem.map`.
+    active: usize,
 }
 
 impl Machine {
     /// Build a machine from a configuration.
     #[must_use]
     pub fn new(config: MachineConfig) -> Machine {
+        let ncpus = config.cpus.max(1);
+        let mut irq = IrqController::new();
+        irq.set_cpus(ncpus);
         Machine {
             cpu: Cpu::new(),
             mem: Memory::new(config.mem_size),
             code: CodeMem::new(),
-            irq: IrqController::new(),
+            irq,
             events: EventQueue::new(),
             devices: Vec::new(),
             meter: Meter::new(config.trace_capacity),
@@ -113,7 +147,110 @@ impl Machine {
             cost: config.cost,
             breakpoints: HashSet::new(),
             fault: FaultPlan::none(),
+            slots: (0..ncpus)
+                .map(|_| CpuSlot {
+                    cpu: Cpu::new(),
+                    cycles: 0,
+                    map: AddressMap::default(),
+                })
+                .collect(),
+            active: 0,
         }
+    }
+
+    /// Number of CPUs.
+    #[must_use]
+    pub fn num_cpus(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Index of the active CPU (the one `cpu`/`meter.cycles`/`mem.map`
+    /// belong to).
+    #[must_use]
+    pub fn active_cpu(&self) -> usize {
+        self.active
+    }
+
+    /// CPU `i`'s virtual clock, whether it is active or parked.
+    #[must_use]
+    pub fn cpu_cycles(&self, i: usize) -> u64 {
+        if i == self.active {
+            self.meter.cycles
+        } else {
+            self.slots[i].cycles
+        }
+    }
+
+    /// CPU `i`'s register file, whether active or parked.
+    #[must_use]
+    pub fn cpu_ref(&self, i: usize) -> &Cpu {
+        if i == self.active {
+            &self.cpu
+        } else {
+            &self.slots[i].cpu
+        }
+    }
+
+    /// CPU `i`'s register file, mutably. Host-side surgery on parked
+    /// CPUs (boot parking, debugger pokes) goes through here.
+    pub fn cpu_mut(&mut self, i: usize) -> &mut Cpu {
+        if i == self.active {
+            &mut self.cpu
+        } else {
+            &mut self.slots[i].cpu
+        }
+    }
+
+    /// Align every CPU's virtual clock to the most advanced one. The
+    /// embedder calls this when the CPUs conceptually ticked in lockstep
+    /// while only one was simulated — e.g. at the end of boot, where CPU
+    /// 0 does all the work but the others' clocks ran too.
+    pub fn sync_cpu_clocks(&mut self) {
+        let max = (0..self.num_cpus())
+            .map(|i| self.cpu_cycles(i))
+            .max()
+            .unwrap_or(0);
+        for slot in &mut self.slots {
+            slot.cycles = max;
+        }
+        self.meter.cycles = max;
+    }
+
+    /// Raise every *parked* CPU's clock to at least the active CPU's.
+    /// This is the catch-up for host-side work charged to the active CPU
+    /// between runs (thread creation, synthesis, emulator services): the
+    /// parked CPUs conceptually ticked along. Unlike
+    /// [`Machine::sync_cpu_clocks`] it never moves the active clock
+    /// forward, so a parked CPU that merely overshot its last run slice
+    /// (slice granularity, not conceptual time) cannot inflate the
+    /// active CPU's — the embedder's measuring — clock.
+    pub fn catch_up_cpu_clocks(&mut self) {
+        let now = self.meter.cycles;
+        let a = self.active;
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if i != a && slot.cycles < now {
+                slot.cycles = now;
+            }
+        }
+    }
+
+    /// Make CPU `i` the active one: park the current context (registers,
+    /// clock, address map) into its slot and load CPU `i`'s. A no-op when
+    /// `i` is already active.
+    pub fn switch_cpu(&mut self, i: usize) {
+        assert!(i < self.slots.len(), "no such CPU: {i}");
+        if i == self.active {
+            return;
+        }
+        let a = self.active;
+        self.slots[a].cpu = std::mem::take(&mut self.cpu);
+        self.slots[a].cycles = self.meter.cycles;
+        self.slots[a].map = std::mem::take(&mut self.mem.map);
+        let slot = self.slots[i].clone();
+        self.cpu = slot.cpu;
+        self.meter.cycles = slot.cycles;
+        self.mem.map = slot.map;
+        self.active = i;
     }
 
     /// Attach a device; returns its index (which determines its register
@@ -129,6 +266,7 @@ impl Machine {
                 now: self.meter.cycles,
                 dev_index: index,
                 clock_hz: self.cost.clock_hz,
+                cpu: self.active,
             };
             dev.attach(&mut ctx);
         }
@@ -157,6 +295,7 @@ impl Machine {
             meter,
             cost,
             fault,
+            active,
             ..
         } = self;
         let dev = devices.get_mut(index)?.as_any().downcast_mut::<T>()?;
@@ -168,6 +307,7 @@ impl Machine {
             now: meter.cycles,
             dev_index: index,
             clock_hz: cost.clock_hz,
+            cpu: *active,
         };
         Some(f(dev, &mut ctx))
     }
@@ -213,6 +353,7 @@ impl Machine {
                 meter,
                 cost,
                 fault,
+                active,
                 ..
             } = self;
             let mut ctx = DevCtx {
@@ -223,6 +364,7 @@ impl Machine {
                 now: meter.cycles,
                 dev_index: dev,
                 clock_hz: cost.clock_hz,
+                cpu: *active,
             };
             Ok(devices[dev].read_reg(off, &mut ctx))
         } else {
@@ -255,6 +397,7 @@ impl Machine {
                 meter,
                 cost,
                 fault,
+                active,
                 ..
             } = self;
             let mut ctx = DevCtx {
@@ -265,6 +408,7 @@ impl Machine {
                 now: meter.cycles,
                 dev_index: dev,
                 clock_hz: cost.clock_hz,
+                cpu: *active,
             };
             devices[dev].write_reg(off, val, &mut ctx);
             Ok(())
@@ -293,14 +437,15 @@ impl Machine {
         r.unwrap_or(0)
     }
 
-    /// Deliver all device events due at the current cycle.
+    /// Deliver all device events due on the active CPU at its current
+    /// cycle.
     pub fn process_events(&mut self) {
         if self.fault.is_active() {
             if let Some(level) = self.fault.spurious_irq(self.meter.cycles) {
-                self.irq.raise(level);
+                self.irq.raise_on(self.active, level);
             }
         }
-        while let Some(ev) = self.events.pop_due(self.meter.cycles) {
+        while let Some(ev) = self.events.pop_due_on(self.meter.cycles, self.active) {
             let Machine {
                 devices,
                 mem,
@@ -309,6 +454,7 @@ impl Machine {
                 meter,
                 cost,
                 fault,
+                active,
                 ..
             } = self;
             let mut ctx = DevCtx {
@@ -319,6 +465,7 @@ impl Machine {
                 now: meter.cycles,
                 dev_index: ev.dev,
                 clock_hz: cost.clock_hz,
+                cpu: *active,
             };
             devices[ev.dev].tick(ev.what, &mut ctx);
         }

@@ -115,6 +115,8 @@ pub enum MachEvent {
         vbr: u32,
         /// Cycle count at acceptance.
         cycle: u64,
+        /// The CPU that accepted it.
+        cpu: usize,
     },
     /// A `trap #vector` instruction vectored through the table.
     Trap {
@@ -124,6 +126,8 @@ pub enum MachEvent {
         vbr: u32,
         /// Cycle count at the trap.
         cycle: u64,
+        /// The CPU that executed it.
+        cpu: usize,
     },
     /// An `rte` unwound an exception frame.
     Rte {
@@ -131,6 +135,8 @@ pub enum MachEvent {
         vbr: u32,
         /// Cycle count after the frame was popped.
         cycle: u64,
+        /// The CPU that executed it.
+        cpu: usize,
     },
     /// The VBR was written (the context-switch-in marker: `sw_in`
     /// installs the incoming thread's vector table this way).
@@ -139,6 +145,8 @@ pub enum MachEvent {
         vbr: u32,
         /// Cycle count at the write.
         cycle: u64,
+        /// The CPU that wrote it.
+        cpu: usize,
     },
 }
 
