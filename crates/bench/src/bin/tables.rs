@@ -10,6 +10,8 @@
 //! tables --trace-report --json BENCH_5.json
 //! tables --cpus 4             # SMP scaling table at 1, 2, and 4 CPUs
 //! tables --cpus 4 --json BENCH_6.json
+//! tables --recovery-report --cpus 4 --seed 7   # chaos-soak scoreboard
+//! tables --recovery-report --cpus 4 --json RECOVERY.json
 //! ```
 //!
 //! `--cpus 1` (the default) reproduces the uniprocessor kernel byte for
@@ -345,6 +347,29 @@ fn main() {
         None => 1,
     };
     let size_only = args.iter().any(|a| a == "--kernel-size");
+
+    if args.iter().any(|a| a == "--recovery-report") {
+        let seed: u64 = match get("--seed") {
+            Some(s) => s.parse().unwrap_or_else(|_| {
+                eprintln!("error: --seed takes a number, got {s:?}");
+                std::process::exit(2);
+            }),
+            None => 42,
+        };
+        eprintln!("[recovery report: chaos workload on {cpus} CPU(s), seed {seed}...]");
+        let k = smp::chaos_run(cpus, seed);
+        let report = synthesis_core::monitor::recovery_report(&k);
+        if let Some(path) = get("--json") {
+            if let Err(e) = std::fs::write(&path, report.to_json()) {
+                eprintln!("error: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("wrote {path}");
+        } else {
+            print!("{}", report.render());
+        }
+        return;
+    }
 
     if args.iter().any(|a| a == "--trace-report") {
         eprintln!("[trace report: profiling the mixed workload...]");

@@ -181,6 +181,41 @@ pub fn scaling(n: usize) -> Vec<ScalingPoint> {
     points_for(n).into_iter().map(run_point).collect()
 }
 
+/// Run the mixed workload under the seeded chaos fault plan and return
+/// the kernel so the caller can snapshot
+/// [`monitor::recovery_report`](synthesis_core::monitor::recovery_report).
+/// A uniprocessor kernel gets the classic soak plan; a multiprocessor
+/// one adds the SMP fault domain (lost/delayed/spurious IPIs, dispatch
+/// stalls).
+#[must_use]
+pub fn chaos_run(cpus: usize, seed: u64) -> Kernel {
+    use quamachine::fault::{FaultConfig, FaultPlan};
+    let mut k = Kernel::boot(KernelConfig {
+        cpus,
+        ..KernelConfig::default()
+    })
+    .expect("kernel boots");
+    let cfg = if cpus > 1 {
+        FaultConfig::soak_smp(cpus)
+    } else {
+        FaultConfig::soak()
+    };
+    k.m.fault = FaultPlan::seeded(seed, cfg);
+    k.m.mem.poke_bytes(UPATH, b"/dev/null\0");
+    let mut tids = Vec::new();
+    for i in 0..SPINNERS {
+        tids.push(counter_spinner(&mut k, i));
+    }
+    for i in 0..WRITERS {
+        tids.push(null_writer(&mut k, SPINNERS + i));
+    }
+    for &tid in &tids {
+        k.start(tid).unwrap();
+    }
+    k.run(RUN_CYCLES);
+    k
+}
+
 /// Cross-CPU specialization-cache figures.
 #[derive(Debug, Clone)]
 pub struct CacheSmp {

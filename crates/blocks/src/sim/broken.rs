@@ -119,6 +119,92 @@ impl BrokenSteal {
     }
 }
 
+/// A CPU-quarantine chain evacuation with a torn destination append.
+/// Test fixture only — it is wrong by design.
+///
+/// When a sick CPU is quarantined, its ready chain is re-routed onto a
+/// healthy CPU's chain. The kernel does this under the dispatch lock, so
+/// the healthy CPU cannot insert a woken thread into the same chain
+/// mid-evacuation. This model drops that exclusion: the evacuator and
+/// the healthy CPU's own enqueue both do `load len; store slot; store
+/// len + 1` on the destination. Scheduled into the window, both claim
+/// the same slot and one TTE silently vanishes from every ready chain —
+/// a thread that never runs again, with no crash to show for it.
+pub struct BrokenEvacuate {
+    /// Quarantined CPU's chain: `0` = empty, else `tid + 1`.
+    src: Vec<AtomicU64>,
+    /// Next source slot to evacuate.
+    src_next: AtomicU64,
+    /// Healthy CPU's chain: `0` = empty, else `tid + 1`.
+    dst: Vec<AtomicU64>,
+    /// Destination length — the torn claim target.
+    dst_len: AtomicU64,
+}
+
+impl BrokenEvacuate {
+    /// A quarantined chain holding `tids`, and an empty healthy chain
+    /// with room for `cap` entries.
+    #[must_use]
+    pub fn new(tids: &[u64], cap: usize) -> Self {
+        let src = tids
+            .iter()
+            .map(|&t| AtomicU64::new(t + 1))
+            .collect::<Vec<_>>();
+        Self {
+            src,
+            src_next: AtomicU64::new(0),
+            dst: (0..cap).map(|_| AtomicU64::new(0)).collect(),
+            dst_len: AtomicU64::new(0),
+        }
+    }
+
+    /// The broken append shared by evacuation and enqueue: where the
+    /// kernel holds the dispatch lock (or would CAS the length), this
+    /// does `load; store(len + 1)` — two appenders scheduled between the
+    /// two write the same slot and one TTE is dropped.
+    fn torn_append(&self, tid: u64) {
+        let len = self.dst_len.load(Ordering::Acquire);
+        if len as usize >= self.dst.len() {
+            return;
+        }
+        self.dst[len as usize].store(tid + 1, Ordering::Release);
+        self.dst_len.store(len + 1, Ordering::Release); // BUG: should be locked/CAS
+    }
+
+    /// Evacuate one TTE from the quarantined chain onto the healthy one.
+    /// Returns `false` when the source chain is drained.
+    pub fn evacuate_one(&self) -> bool {
+        let i = self.src_next.fetch_add(1, Ordering::AcqRel) as usize;
+        if i >= self.src.len() {
+            return false;
+        }
+        let v = self.src[i].swap(0, Ordering::AcqRel);
+        if v == 0 {
+            return false;
+        }
+        self.torn_append(v - 1);
+        true
+    }
+
+    /// The healthy CPU inserting a freshly woken thread into its own
+    /// chain — legal at any time, and exactly what collides with an
+    /// unlocked evacuation.
+    pub fn enqueue(&self, tid: u64) {
+        self.torn_append(tid);
+    }
+
+    /// Every tid present on the healthy chain, in slot order.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.dst
+            .iter()
+            .map(|s| s.load(Ordering::Acquire))
+            .filter(|&v| v != 0)
+            .map(|v| v - 1)
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -273,6 +359,66 @@ mod tests {
             report.failure.is_some(),
             "200 seeded cross-CPU schedules should hit the torn steal"
         );
+    }
+
+    fn evacuate_scenario() -> Scenario {
+        // CPU 1 is quarantined holding tids 7 and 8; CPU 0 is healthy.
+        // One thread evacuates the chain, while CPU 0 concurrently
+        // enqueues a freshly woken tid 9 into its own chain.
+        let ev = Arc::new(BrokenEvacuate::new(&[7, 8], 8));
+        let (e1, e2) = (Arc::clone(&ev), Arc::clone(&ev));
+        Scenario::new()
+            .thread(move || while e1.evacuate_one() {})
+            .thread(move || {
+                e2.enqueue(9);
+            })
+            .check(move || {
+                let mut got = ev.snapshot();
+                got.sort_unstable();
+                if got == [7, 8, 9] {
+                    Ok(())
+                } else {
+                    Err(format!("dropped TTE: chain holds {got:?}, want [7, 8, 9]"))
+                }
+            })
+    }
+
+    /// The unlocked quarantine evacuation must be caught dropping a TTE,
+    /// with a minimal single-preemption trace that replays byte-for-byte
+    /// — the sim-level witness for the kernel's rule that chain re-routes
+    /// happen only under the dispatch lock.
+    #[test]
+    fn unlocked_evacuation_drops_a_tte_with_replayable_trace() {
+        let explorer = Explorer {
+            preemption_budget: 3,
+            ..Explorer::default()
+        };
+        let report = explorer.explore_minimal(evacuate_scenario);
+        let failure = report
+            .failure
+            .expect("DFS must find the dropped-TTE interleaving");
+        assert_eq!(
+            failure.preemption_budget, 1,
+            "minimal witness preempts once, inside the torn append"
+        );
+        assert!(failure.message.contains("dropped TTE"), "{failure}");
+
+        let replayed = explorer
+            .replay(
+                &failure.choices,
+                failure.preemption_budget,
+                evacuate_scenario,
+            )
+            .expect_err("the recorded schedule must reproduce the failure");
+        assert_eq!(replayed.message, failure.message);
+
+        // Sequential schedules (budget 0, one CPU) never trip it: the
+        // window only opens when the appends interleave.
+        let seq = Explorer {
+            preemption_budget: 0,
+            ..Explorer::default()
+        };
+        seq.explore(evacuate_scenario).assert_ok();
     }
 
     /// The random-walk mode finds the same bug from a fixed seed.

@@ -206,6 +206,16 @@ pub struct RecoveryGauges {
     /// Disk I/O errors surfaced to requesters (retries exhausted or
     /// quarantined sectors).
     pub io_errors: Gauge,
+    /// CPUs quarantined by the cross-CPU watchdog.
+    pub cpus_quarantined: Gauge,
+    /// Quarantined CPUs re-admitted after probation.
+    pub cpus_resumed: Gauge,
+    /// Threads migrated off a quarantined CPU's ready chain.
+    pub threads_evacuated: Gauge,
+    /// Parked CPUs revived by the timer-fallback path after a reschedule
+    /// IPI went missing (work waiting in the chain with no interrupt
+    /// pending).
+    pub ipi_fallbacks: Gauge,
 }
 
 /// Cycles between watchdog sweeps of the per-thread fault counters (the
@@ -215,6 +225,21 @@ const WATCHDOG_SLICE: u64 = 100_000;
 /// Guest error-faults within one sweep that mark a thread as storming
 /// (a thread that faults once and exits never comes close).
 const WATCHDOG_FAULT_LIMIT: u64 = 64;
+/// CPU-domain guest faults (faults landing in a CPU's idle context,
+/// which only the kernel and the hardware write) a CPU may absorb before
+/// the cross-CPU watchdog quarantines it. One stray fault is survivable;
+/// a CPU that keeps corrupting contexts on dispatch is sick.
+const CPU_FAULT_LIMIT: u64 = 3;
+/// Consecutive slices a CPU may lose wholesale (its clock jumping a full
+/// watchdog slice with no instruction executed) before it counts as
+/// having stopped heartbeating.
+const CPU_SILENT_LIMIT: u32 = 3;
+/// Watchdog sweeps a quarantined CPU sits out before its first
+/// probation re-admission; each further strike doubles the wait.
+const CPU_PROBATION_SWEEPS: u64 = 32;
+/// Quarantine strikes after which a CPU is out for good: probation
+/// re-admission stops being offered.
+const CPU_MAX_STRIKES: u32 = 3;
 
 /// One kernel CPU: its executable ready queue, its idle thread, and its
 /// scheduling counters.
@@ -237,6 +262,22 @@ pub struct KCpu {
     pub idle_cycles: u64,
     /// Slice cycles spent running real threads.
     pub busy_cycles: u64,
+    /// Whether the cross-CPU watchdog has quarantined this CPU: it is
+    /// never dispatched, never steals, and its chain has been evacuated.
+    pub quarantined: bool,
+    /// Guest faults charged to the CPU domain itself (idle-context
+    /// corruption on dispatch) rather than to a thread.
+    pub fault_events: u64,
+    /// Cycles this CPU's clock jumped on dispatch without executing
+    /// anything — injected stalls, as seen by the scheduler.
+    pub stall_cycles: u64,
+    /// Consecutive slices lost wholesale to such jumps.
+    pub silent_slices: u32,
+    /// Times this CPU has been quarantined.
+    pub strikes: u32,
+    /// Sweep count at which probation re-admits this CPU; `None` when it
+    /// is not quarantined or is out for good.
+    pub probation_at: Option<u64>,
 }
 
 /// The Synthesis kernel.
@@ -312,6 +353,12 @@ pub struct Kernel {
     quarantined_tids: std::collections::HashSet<Tid>,
     /// Per-thread fault-count baselines for the watchdog sweep.
     watchdog_marks: HashMap<Tid, u64>,
+    /// Watchdog sweeps since boot — the probation clock for quarantined
+    /// CPUs.
+    sweep_count: u64,
+    /// How many of the fault plan's records have already been translated
+    /// into kernel trace events.
+    fault_cursor: usize,
     /// When set, [`Kernel::run`] returns `Breakpoint(tid)` as soon as
     /// this thread exits (instead of idling out the cycle budget).
     pub watch_exit: Option<Tid>,
@@ -434,6 +481,12 @@ impl Kernel {
                     offloads: 0,
                     idle_cycles: 0,
                     busy_cycles: 0,
+                    quarantined: false,
+                    fault_events: 0,
+                    stall_cycles: 0,
+                    silent_slices: 0,
+                    strikes: 0,
+                    probation_at: None,
                 })
                 .collect(),
             dev,
@@ -471,6 +524,8 @@ impl Kernel {
             disk_results: HashMap::new(),
             quarantined_tids: std::collections::HashSet::new(),
             watchdog_marks: HashMap::new(),
+            sweep_count: 0,
+            fault_cursor: 0,
             watch_exit: None,
         };
 
@@ -557,7 +612,7 @@ impl Kernel {
         // Factorization + optimization: the per-thread switch code.
         let quantum = self.default_quantum_us;
         let sw = self.synth_switch(tid, tte, vt, quantum, false)?;
-        let (sw_out, sw_in, sw_in_mmu, jmp_at) = Kernel::switch_entries(&self.m, &sw);
+        let (sw_out, ipi_in, sw_in, sw_in_mmu, jmp_at) = Kernel::switch_entries(&self.m, &sw);
 
         // Per-thread trap dispatchers and error handler.
         let d1 = self.creator.synthesize(
@@ -582,7 +637,7 @@ impl Kernel {
         )?;
 
         // Vector table: errors, FP, interrupts, traps.
-        self.fill_vector_table(vt, sw_out, d1.base, d2.base, errh.base);
+        self.fill_vector_table(vt, sw_out, ipi_in, d1.base, d2.base, errh.base);
         let c = charges::mem_init(&self.m.cost, layout::VECTOR_TABLE_LEN);
         self.m.charge(c);
 
@@ -669,8 +724,9 @@ impl Kernel {
     }
 
     /// Locate the switch code's entries and its patchable jump.
-    fn switch_entries(m: &Machine, sw: &Synthesized) -> (u32, u32, u32, u32) {
+    fn switch_entries(m: &Machine, sw: &Synthesized) -> (u32, u32, u32, u32, u32) {
         let sw_out = sw.entries.get("sw_out").copied().unwrap_or(sw.base);
+        let ipi_in = sw.entries.get("ipi_in").copied().unwrap_or(sw_out);
         let sw_in = sw.entries["sw_in"];
         let sw_in_mmu = sw.entries["sw_in_mmu"];
         let block = m.code.block(sw.base).expect("installed");
@@ -680,10 +736,18 @@ impl Kernel {
             .position(|i| matches!(i, Instr::Jmp(Operand::Abs(_))))
             .expect("switch code contains the chain jmp");
         let jmp_at = m.code.addr_of(sw.base, jmp_idx).expect("in range");
-        (sw_out, sw_in, sw_in_mmu, jmp_at)
+        (sw_out, ipi_in, sw_in, sw_in_mmu, jmp_at)
     }
 
-    fn fill_vector_table(&mut self, vt: u32, sw_out: u32, d1: u32, d2: u32, errh: u32) {
+    fn fill_vector_table(
+        &mut self,
+        vt: u32,
+        sw_out: u32,
+        ipi_in: u32,
+        d1: u32,
+        d2: u32,
+        errh: u32,
+    ) {
         let poke = |m: &mut Machine, vec: u32, addr: u32| {
             m.mem.poke(vt + 4 * vec, Size::L, addr);
         };
@@ -722,11 +786,13 @@ impl Kernel {
         // Figure 3's "the interrupt is vectored to thread-0's
         // context-switch-out procedure".
         poke(&mut self.m, 24 + u32::from(irq_levels::QUANTUM), sw_out);
-        // On a multiprocessor the IPI vector also points at THIS
-        // thread's sw_out: an inter-processor interrupt is exactly a
-        // reschedule request, handled like a quantum expiry.
+        // On a multiprocessor the IPI vector points at THIS thread's
+        // ipi_in: an inter-processor interrupt is exactly a reschedule
+        // request, handled like a quantum expiry — but the IPI arrives at
+        // level 1, so the entry first raises the mask to keep device
+        // interrupts from nesting mid-switch.
         if self.m.num_cpus() > 1 {
-            poke(&mut self.m, 24 + u32::from(irq_levels::IPI), sw_out);
+            poke(&mut self.m, 24 + u32::from(irq_levels::IPI), ipi_in);
         }
         // Traps.
         for t in 0..16u32 {
@@ -770,7 +836,15 @@ impl Kernel {
             // thief.
             return Ok(());
         }
-        let (home, sw_in, jmp_at) = (t.cpu, t.sw_in, t.jmp_at);
+        let (mut home, sw_in, jmp_at) = (t.cpu, t.sw_in, t.jmp_at);
+        // A thread homed on a quarantined CPU starts on a healthy one
+        // instead — nothing dispatches a quarantined CPU's chain.
+        if self.cpus[home].quarantined && !self.is_idle(tid) {
+            if let Some(h) = self.first_healthy_cpu() {
+                home = h;
+                self.threads.get_mut(&tid).expect("exists").cpu = h;
+            }
+        }
         if self.cpus[home].ready.position(tid).is_some() {
             return Ok(());
         }
@@ -816,13 +890,19 @@ impl Kernel {
     /// thread gets an IPI, which vectors to the idle's switch-out and
     /// rotates it onto the new arrival.
     fn kick(&mut self, cpu: usize) {
+        if self.cpus[cpu].quarantined {
+            return;
+        }
         if cpu == self.m.active_cpu() {
             self.kick_idle();
             return;
         }
         let cur = self.current_tid_on(cpu);
         if cur.is_none() || cur.is_some_and(|t| self.is_idle(t)) {
-            self.m.irq.send_ipi(cpu, irq_levels::IPI);
+            // Through the machine's IPI seam, where the fault plan may
+            // lose or delay the interrupt; the run loop's timer-fallback
+            // rescheduling turns either into latency, never a hang.
+            self.m.send_ipi(cpu, irq_levels::IPI);
         }
     }
 
@@ -999,6 +1079,7 @@ impl Kernel {
     pub fn pump_trace(&mut self) {
         use crate::trace::Kind;
         use quamachine::trace::MachEvent;
+        self.pump_fault_trace();
         self.trace.dropped = self.m.hooks.dropped;
         if self.m.hooks.is_empty() {
             return;
@@ -1062,6 +1143,52 @@ impl Kernel {
         // Leave the attribution on the active CPU for subsequent manual
         // pushes (kernel-side events belong to whoever is running now).
         self.trace.cpu = self.m.active_cpu() as u16;
+    }
+
+    /// Translate the fault plan's new SMP-class records into kernel
+    /// trace events, attributed to the target CPU's idle thread — the
+    /// fault hit the CPU domain, not whichever thread happened to run.
+    /// `IpiDelayed` shares [`Kind::IpiLost`](crate::trace::Kind::IpiLost)
+    /// with `b` = the delay (0 means lost outright). Device-class fault
+    /// records stay out of the kernel trace, as before.
+    fn pump_fault_trace(&mut self) {
+        let recs = self.m.fault.trace();
+        let start = self.fault_cursor.min(recs.len());
+        self.fault_cursor = recs.len();
+        #[cfg(feature = "trace")]
+        {
+            use crate::trace::Kind;
+            use quamachine::fault::FaultRecord as FR;
+            let new: Vec<FR> = self.m.fault.trace()[start..].to_vec();
+            let prev_cpu = self.trace.cpu;
+            for r in new {
+                let (cpu, at, kind, a, b) = match r {
+                    FR::IpiLost { at, cpu } => (cpu, at, Kind::IpiLost, cpu as u32, 0),
+                    FR::IpiDelayed { at, cpu, delay } => (
+                        cpu,
+                        at,
+                        Kind::IpiLost,
+                        cpu as u32,
+                        u32::try_from(delay).unwrap_or(u32::MAX),
+                    ),
+                    FR::CpuStall { at, cpu, cycles } => (
+                        cpu,
+                        at,
+                        Kind::CpuStall,
+                        cpu as u32,
+                        u32::try_from(cycles).unwrap_or(u32::MAX),
+                    ),
+                    _ => continue,
+                };
+                if cpu < self.cpus.len() {
+                    self.trace.cpu = u16::try_from(cpu).unwrap_or(0);
+                    self.trace.push(self.cpus[cpu].idle_tid, at, kind, a, b);
+                }
+            }
+            self.trace.cpu = prev_cpu;
+        }
+        #[cfg(not(feature = "trace"))]
+        let _ = start;
     }
 
     /// Move the creator's pending specialization-cache events into
@@ -1129,32 +1256,39 @@ impl Kernel {
     /// resume exactly where the `kcall` left off (mid-routine, in
     /// supervisor mode), so the synthesized routine finishes normally.
     fn suspend_current_state(&mut self) {
-        let Some(tid) = self.current_tid() else {
+        self.suspend_state_of(self.m.active_cpu());
+    }
+
+    /// [`Kernel::suspend_current_state`] generalized to any CPU's
+    /// context, active or parked — the CPU-quarantine path checkpoints a
+    /// thread resident on a parked CPU without dispatching that CPU.
+    fn suspend_state_of(&mut self, cpu: usize) {
+        let Some(tid) = self.current_tid_on(cpu) else {
             return;
         };
         let t = &self.threads[&tid];
         let tte = t.tte;
         let uses_fp = t.uses_fp;
+        let c = self.m.cpu_ref(cpu).clone();
         for i in 0..8 {
-            let v = self.m.cpu.d[i];
-            self.m.mem.poke(tte + off::REGS + 4 * i as u32, Size::L, v);
-        }
-        for i in 0..7 {
-            let v = self.m.cpu.a[i];
             self.m
                 .mem
-                .poke(tte + off::REGS + 32 + 4 * i as u32, Size::L, v);
+                .poke(tte + off::REGS + 4 * i as u32, Size::L, c.d[i]);
         }
-        let usp = self.m.cpu.usp();
-        self.m.mem.poke(tte + off::USP, Size::L, usp);
+        for i in 0..7 {
+            self.m
+                .mem
+                .poke(tte + off::REGS + 32 + 4 * i as u32, Size::L, c.a[i]);
+        }
+        self.m.mem.poke(tte + off::USP, Size::L, c.usp());
         // Fabricate the resume frame below the current SSP.
-        let frame = self.m.cpu.ssp().wrapping_sub(6);
-        self.m.mem.poke(frame, Size::W, u32::from(self.m.cpu.sr));
-        self.m.mem.poke(frame + 2, Size::L, self.m.cpu.pc);
+        let frame = c.ssp().wrapping_sub(6);
+        self.m.mem.poke(frame, Size::W, u32::from(c.sr));
+        self.m.mem.poke(frame + 2, Size::L, c.pc);
         self.m.mem.poke(tte + off::SSP, Size::L, frame);
         if uses_fp {
             for i in 0..8u32 {
-                let bits = self.m.cpu.fp[i as usize].to_bits();
+                let bits = c.fp[i as usize].to_bits();
                 self.m
                     .mem
                     .poke(tte + off::FP + 8 * i, Size::L, (bits >> 32) as u32);
@@ -1163,8 +1297,8 @@ impl Kernel {
                     .poke(tte + off::FP + 8 * i + 4, Size::L, bits as u32);
             }
         }
-        let c = charges::mem_copy(&self.m.cost, 74);
-        self.m.charge(c);
+        let ch = charges::mem_copy(&self.m.cost, 74);
+        self.m.charge(ch);
     }
 
     /// Point the machine at the active CPU's next ready thread's
@@ -1619,21 +1753,69 @@ impl Kernel {
             // instead of idling away its first slice.
             self.rebalance();
             for (i, h) in halted.iter_mut().enumerate() {
-                if *h && self.m.irq.any_pending_on(i) {
+                if !*h || self.cpus[i].quarantined {
+                    continue;
+                }
+                if self.m.irq.any_pending_on(i) {
                     *h = false;
+                } else if self.m.delayed_ipi_pending(i) || !self.cpu_starved(i) {
+                    // Timer-fallback rescheduling: the IPI that should
+                    // have woken this CPU was lost or is still in
+                    // flight, but its chain holds runnable work (or the
+                    // delayed interrupt needs the CPU running to land).
+                    // Revive it — a dropped IPI costs one rotation of
+                    // latency, never a hang.
+                    *h = false;
+                    self.recovery.ipi_fallbacks.tick();
                 }
             }
             let Some(i) = (0..n)
-                .filter(|&i| !halted[i] && self.m.cpu_cycles(i) < deadlines[i])
+                .filter(|&i| {
+                    !halted[i] && !self.cpus[i].quarantined && self.m.cpu_cycles(i) < deadlines[i]
+                })
                 .min_by_key(|&i| (self.m.cpu_cycles(i), i))
             else {
-                return if halted.iter().all(|&h| h) {
+                return if (0..n)
+                    .filter(|&i| !self.cpus[i].quarantined)
+                    .all(|i| halted[i])
+                {
                     RunExit::Halted
                 } else {
                     RunExit::CycleLimit
                 };
             };
+            let parked_clock = self.m.cpu_cycles(i);
+            let parked_pc = self.m.cpu_ref(i).pc;
             self.m.switch_cpu(i);
+            // A dispatch-fault stall shows up as the CPU's clock jumping
+            // while it executed nothing; a jump of a full watchdog slice
+            // is a missed heartbeat.
+            let jump = self.m.meter.cycles.saturating_sub(parked_clock);
+            if jump > 0 {
+                self.cpus[i].stall_cycles += jump;
+            }
+            // Dispatch-time context check: a sick CPU corrupts the
+            // context it loads. Every CPU parks at a safe point, so the
+            // parked PC was good — a loaded PC outside any code block is
+            // the CPU's corruption, not the thread's. Repair the loaded
+            // copy from the parked value, charge the CPU's own fault
+            // budget, and quarantine it once the budget runs out. The
+            // resident thread keeps its state and never sees the fault.
+            if self.m.cpu.pc != parked_pc && self.m.code.locate(self.m.cpu.pc).is_none() {
+                let wild = self.m.cpu.pc;
+                self.m.cpu.pc = parked_pc;
+                self.cpus[i].fault_events += 1;
+                let idle = self.cpus[i].idle_tid;
+                self.recovery_log.push((
+                    idle,
+                    format!("cpu {i} dispatch corruption: wild pc {wild:#x}"),
+                ));
+                if self.cpus[i].fault_events > CPU_FAULT_LIMIT
+                    && self.quarantine_cpu(i, "fault budget exceeded")
+                {
+                    continue;
+                }
+            }
             let slice_end = self
                 .m
                 .meter
@@ -1641,6 +1823,8 @@ impl Kernel {
                 .saturating_add(WATCHDOG_SLICE)
                 .min(deadlines[i]);
             let before = self.m.meter.cycles;
+            let instr_before = self.m.meter.instr_count;
+            let mut hit_halt = false;
             let was_idle = self.current_tid_on(i).is_none_or(|t| self.is_idle(t));
             while self.m.meter.cycles < slice_end {
                 match self.m.run(slice_end - self.m.meter.cycles) {
@@ -1661,6 +1845,7 @@ impl Kernel {
                         // timeline; park it at the slice boundary so the
                         // rotation moves on.
                         halted[i] = true;
+                        hit_halt = true;
                         self.m.meter.cycles = slice_end;
                         break;
                     }
@@ -1681,7 +1866,25 @@ impl Kernel {
             } else {
                 self.cpus[i].busy_cycles += delta;
             }
+            // Cross-CPU heartbeat: a clock that advances a whole slice
+            // without one instruction executing (and without an honest
+            // halt) is a CPU losing time, not spending it.
+            let silent = jump >= WATCHDOG_SLICE
+                || (delta > 0 && self.m.meter.instr_count == instr_before && !hit_halt);
+            if !self.cpus[i].quarantined {
+                if silent {
+                    self.cpus[i].silent_slices += 1;
+                    if self.cpus[i].silent_slices >= CPU_SILENT_LIMIT {
+                        self.quarantine_cpu(i, "stopped heartbeating");
+                    }
+                } else {
+                    self.cpus[i].silent_slices = 0;
+                }
+            }
             self.watchdog_sweep();
+            for c in self.cpu_probation_tick() {
+                halted[c] = false;
+            }
             self.pump_trace();
             if let Some(w) = self.watch_exit {
                 if self.exited.contains(&w) {
@@ -1703,7 +1906,7 @@ impl Kernel {
             return;
         }
         for thief in 0..self.cpus.len() {
-            if !self.cpu_starved(thief) {
+            if self.cpus[thief].quarantined || !self.cpu_starved(thief) {
                 continue;
             }
             if self.steal_pool.len_hint() == 0 && !self.offload_from_victim(thief) {
@@ -1749,7 +1952,7 @@ impl Kernel {
     fn offload_from_victim(&mut self, thief: usize) -> bool {
         let mut best: Option<(usize, usize)> = None; // (surplus, cpu)
         for v in 0..self.cpus.len() {
-            if v == thief {
+            if v == thief || self.cpus[v].quarantined {
                 continue;
             }
             let surplus = self.surplus_tids(v).len();
@@ -1795,6 +1998,11 @@ impl Kernel {
             // The pool may hold stale hints (stopped or destroyed after
             // being offered); membership in `pooled` is authoritative.
             if !self.pooled.remove(&tid) {
+                continue;
+            }
+            // A quarantined thread must never land on another CPU's
+            // chain, even if it was pooled before the watchdog acted.
+            if self.quarantined_tids.contains(&tid) {
                 continue;
             }
             let Some(t) = self.threads.get_mut(&tid) else {
@@ -1845,6 +2053,33 @@ impl Kernel {
         );
         if !guest_attributable {
             return Err(RunExit::Error(e));
+        }
+        let idle_context = self.current_tid().is_none_or(|t| self.is_idle(t));
+        if idle_context && self.cpus.len() > 1 {
+            // An idle-context fault on a multiprocessor is the CPU
+            // domain's doing: only the kernel and the dispatch hardware
+            // write the idle thread's state, so a corrupted idle means a
+            // corrupted dispatch (the fault plan's sick-CPU class, or
+            // real hardware rot). Charge the CPU's fault budget, re-arm
+            // its idle context, and keep the other CPUs running; past
+            // the budget, quarantine the CPU. On the last healthy CPU
+            // the quarantine is refused and the error stays fatal, as on
+            // a uniprocessor.
+            let cpu = self.m.active_cpu();
+            self.cpus[cpu].fault_events += 1;
+            self.recovery_log.push((
+                self.cpus[cpu].idle_tid,
+                format!("cpu {cpu} dispatch fault: {e}"),
+            ));
+            if self.cpus[cpu].fault_events > CPU_FAULT_LIMIT {
+                if self.quarantine_cpu(cpu, "fault budget exceeded") {
+                    return Ok(());
+                }
+                return Err(RunExit::Error(e));
+            }
+            let idle = self.cpus[cpu].idle_tid;
+            self.enter(idle);
+            return Ok(());
         }
         let Some(tid) = self.current_tid() else {
             return Err(RunExit::Error(e));
@@ -1926,6 +2161,208 @@ impl Kernel {
     #[must_use]
     pub fn is_quarantined(&self, tid: Tid) -> bool {
         self.quarantined_tids.contains(&tid)
+    }
+
+    // --- CPU quarantine -----------------------------------------------------
+
+    /// Whether the cross-CPU watchdog has quarantined CPU `cpu`.
+    #[must_use]
+    pub fn is_cpu_quarantined(&self, cpu: usize) -> bool {
+        self.cpus.get(cpu).is_some_and(|c| c.quarantined)
+    }
+
+    /// The lowest-numbered CPU still in service, if any.
+    fn first_healthy_cpu(&self) -> Option<usize> {
+        (0..self.cpus.len()).find(|&i| !self.cpus[i].quarantined)
+    }
+
+    /// Checkpoint whatever is current on `cpu` and park the CPU's
+    /// context so nothing identifies a thread as current there any more.
+    /// A context the dispatch fault already corrupted (its PC sitting at
+    /// the wild-jump sentinel) is *not* saved — the thread's TTE keeps
+    /// its last good switch-out state, which is what a healthy CPU will
+    /// resume from.
+    fn park_cpu_context(&mut self, cpu: usize) {
+        let cur = self.current_tid_on(cpu);
+        if cur.is_some_and(|t| !self.is_idle(t))
+            && self.m.cpu_ref(cpu).pc != quamachine::machine::SICK_WILD_PC
+        {
+            if self.m.active_cpu() == cpu {
+                self.ensure_safe_point();
+            }
+            self.suspend_state_of(cpu);
+        }
+        let slot = self.m.cpu_mut(cpu);
+        slot.vbr = 0; // no thread is current here any more
+        slot.pc = 0; // never fetched while the CPU is out of service
+    }
+
+    /// Quarantine CPU `cpu`: evacuate its ready chain onto the healthy
+    /// CPUs, re-home every thread that called it home, re-route device
+    /// interrupts and pending event timelines off it, and stop
+    /// dispatching it. Probation re-admits it after a widening number of
+    /// watchdog sweeps until [`CPU_MAX_STRIKES`] strikes put it out for
+    /// good. Returns `false` — and does nothing — for an unknown or
+    /// already-quarantined CPU, or when `cpu` is the last healthy CPU
+    /// (the kernel never quarantines itself out of existence).
+    pub fn quarantine_cpu(&mut self, cpu: usize, reason: &str) -> bool {
+        if cpu >= self.cpus.len() || self.cpus[cpu].quarantined {
+            return false;
+        }
+        let healthy: Vec<usize> = (0..self.cpus.len())
+            .filter(|&i| i != cpu && !self.cpus[i].quarantined)
+            .collect();
+        let Some(&target) = healthy.first() else {
+            return false;
+        };
+        self.park_cpu_context(cpu);
+        self.cpus[cpu].quarantined = true;
+
+        // Evacuate the ready chain: each runnable thread moves onto a
+        // healthy CPU's chain through the same host-side surgery the
+        // work stealer uses. Quarantined *threads* stay put — their
+        // chain entry is removed but never re-inserted anywhere.
+        let idle = self.cpus[cpu].idle_tid;
+        let evacuees: Vec<Tid> = self.cpus[cpu]
+            .ready
+            .nodes()
+            .iter()
+            .map(|n| n.id)
+            .filter(|&t| t != idle)
+            .collect();
+        let mut moved = 0u32;
+        for (n, tid) in evacuees.into_iter().enumerate() {
+            if self.cpus[cpu].ready.remove(&mut self.m, tid).is_err() {
+                continue;
+            }
+            if self.quarantined_tids.contains(&tid) {
+                if let Some(t) = self.threads.get_mut(&tid) {
+                    t.state = ThreadState::Stopped;
+                }
+                continue;
+            }
+            let to = healthy[n % healthy.len()];
+            self.threads.get_mut(&tid).expect("in chain").cpu = to;
+            let t = &self.threads[&tid];
+            let node = ChainNode {
+                id: tid,
+                entry: t.sw_in,
+                jmp_at: t.jmp_at,
+            };
+            let at = self
+                .current_tid_on(to)
+                .and_then(|cur| self.cpus[to].ready.position(cur))
+                .or_else(|| {
+                    if self.cpus[to].ready.is_empty() {
+                        None
+                    } else {
+                        Some(0)
+                    }
+                });
+            let _ = self.cpus[to].ready.insert_front(&mut self.m, at, node);
+            moved += 1;
+            self.recovery.threads_evacuated.tick();
+        }
+        let _ = self.fix_chain_entries_on(cpu);
+        for &h in &healthy {
+            let _ = self.balance_idle_on(h);
+            let _ = self.fix_chain_entries_on(h);
+        }
+        // Blocked, stopped, and pooled threads that called this CPU home
+        // wake onto healthy chains instead.
+        let rehome: Vec<Tid> = self
+            .threads
+            .iter()
+            .filter(|(&t, th)| {
+                th.cpu == cpu && !self.is_idle(t) && !self.quarantined_tids.contains(&t)
+            })
+            .map(|(&t, _)| t)
+            .collect();
+        for (n, tid) in rehome.into_iter().enumerate() {
+            self.threads.get_mut(&tid).expect("exists").cpu = healthy[n % healthy.len()];
+        }
+        // Device interrupts and pending event timelines must not target
+        // a CPU that will never run again.
+        if self.m.irq.route() == cpu {
+            self.m.irq.reroute_devices(target);
+        }
+        let from_now = self.m.cpu_cycles(cpu);
+        let to_now = self.m.cpu_cycles(target);
+        self.m.events.migrate_cpu(cpu, target, from_now, to_now);
+
+        self.cpus[cpu].strikes += 1;
+        self.cpus[cpu].probation_at = if self.cpus[cpu].strikes > CPU_MAX_STRIKES {
+            None
+        } else {
+            Some(self.sweep_count + (CPU_PROBATION_SWEEPS << (self.cpus[cpu].strikes - 1).min(16)))
+        };
+        self.recovery.cpus_quarantined.tick();
+        self.recovery_log
+            .push((idle, format!("cpu {cpu} quarantined: {reason}")));
+        crate::trace!(
+            self,
+            idle,
+            crate::trace::Kind::CpuQuarantine,
+            u32::try_from(cpu).unwrap_or(0),
+            moved
+        );
+        self.kick(target);
+        true
+    }
+
+    /// Re-admit a quarantined CPU: clear its fault accounting, raise its
+    /// frozen clock to the healthy CPUs' so it does not monopolize the
+    /// most-behind rotation, and point its context back at its idle
+    /// thread. A CPU that is still sick will fail its fault budget again
+    /// and be re-quarantined with a longer probation.
+    fn resume_cpu(&mut self, cpu: usize) {
+        if cpu >= self.cpus.len() || !self.cpus[cpu].quarantined {
+            return;
+        }
+        self.cpus[cpu].quarantined = false;
+        self.cpus[cpu].fault_events = 0;
+        self.cpus[cpu].silent_slices = 0;
+        self.cpus[cpu].probation_at = None;
+        let clock = (0..self.cpus.len())
+            .filter(|&i| i != cpu && !self.cpus[i].quarantined)
+            .map(|i| self.m.cpu_cycles(i))
+            .max();
+        if self.m.active_cpu() != cpu {
+            self.m.switch_cpu(cpu);
+        }
+        if let Some(cl) = clock {
+            self.m.meter.cycles = self.m.meter.cycles.max(cl);
+        }
+        let idle = self.cpus[cpu].idle_tid;
+        self.enter(idle);
+        self.recovery.cpus_resumed.tick();
+        self.recovery_log
+            .push((idle, format!("cpu {cpu} resumed from probation")));
+        crate::trace!(
+            self,
+            idle,
+            crate::trace::Kind::CpuResume,
+            u32::try_from(cpu).unwrap_or(0),
+            self.cpus[cpu].strikes
+        );
+    }
+
+    /// Advance the probation clock one sweep and re-admit any quarantined
+    /// CPU whose wait is up. Returns the CPUs resumed this sweep.
+    fn cpu_probation_tick(&mut self) -> Vec<usize> {
+        self.sweep_count += 1;
+        let due: Vec<usize> = (0..self.cpus.len())
+            .filter(|&c| {
+                self.cpus[c].quarantined
+                    && self.cpus[c]
+                        .probation_at
+                        .is_some_and(|d| self.sweep_count >= d)
+            })
+            .collect();
+        for &c in &due {
+            self.resume_cpu(c);
+        }
+        due
     }
 
     /// Run until thread `tid` exits (or the cycle budget is spent).
@@ -2516,7 +2953,7 @@ impl Kernel {
                 return;
             }
         };
-        let (sw_out, sw_in, sw_in_mmu, jmp_at) = Kernel::switch_entries(&self.m, &sw);
+        let (sw_out, ipi_in, sw_in, sw_in_mmu, jmp_at) = Kernel::switch_entries(&self.m, &sw);
         {
             let t = self.threads.get_mut(&tid).expect("exists");
             t.sw = sw;
@@ -2535,7 +2972,7 @@ impl Kernel {
         if self.m.num_cpus() > 1 {
             self.m
                 .mem
-                .poke(vt + 4 * (24 + u32::from(irq_levels::IPI)), Size::L, sw_out);
+                .poke(vt + 4 * (24 + u32::from(irq_levels::IPI)), Size::L, ipi_in);
         }
         if in_chain {
             let t = &self.threads[&tid];

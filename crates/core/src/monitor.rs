@@ -98,7 +98,7 @@ pub fn size_report(k: &Kernel) -> SizeReport {
 /// [`FaultStats`](quamachine::fault::FaultStats); the recovery side
 /// aggregates the disk scheduler's retry machinery and the kernel's
 /// reap/quarantine gauges.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RecoveryReport {
     /// Faults injected by the machine's fault plan, by class.
     pub injected: quamachine::fault::FaultStats,
@@ -118,11 +118,52 @@ pub struct RecoveryReport {
     pub threads_quarantined: u64,
     /// I/O errors surfaced to requesters.
     pub io_errors: u64,
+    /// CPUs quarantined by the cross-CPU watchdog.
+    pub cpus_quarantined: u64,
+    /// Quarantined CPUs re-admitted after probation.
+    pub cpus_resumed: u64,
+    /// Threads migrated off quarantined CPUs' ready chains.
+    pub threads_evacuated: u64,
+    /// Parked CPUs revived by the timer-fallback path after a missing
+    /// reschedule IPI.
+    pub ipi_fallbacks: u64,
+    /// Per-CPU fault-domain rows. Empty on uniprocessor kernels, so
+    /// every rendering omits the section and the single-CPU output is
+    /// byte-identical to the pre-SMP report.
+    pub cpus: Vec<CpuRecovery>,
+}
+
+/// One CPU's fault-domain state in the [`RecoveryReport`].
+#[derive(Debug, Clone, Copy)]
+pub struct CpuRecovery {
+    /// The CPU.
+    pub cpu: usize,
+    /// Whether it is currently quarantined.
+    pub quarantined: bool,
+    /// Guest faults charged to the CPU domain itself.
+    pub fault_events: u64,
+    /// Cycles lost to dispatch stalls, as seen by the scheduler.
+    pub stall_cycles: u64,
+    /// Times this CPU has been quarantined.
+    pub strikes: u32,
 }
 
 /// Snapshot the kernel's fault-injection and recovery counters.
 #[must_use]
 pub fn recovery_report(k: &Kernel) -> RecoveryReport {
+    let cpus = if k.m.num_cpus() > 1 {
+        (0..k.cpus.len())
+            .map(|i| CpuRecovery {
+                cpu: i,
+                quarantined: k.cpus[i].quarantined,
+                fault_events: k.cpus[i].fault_events,
+                stall_cycles: k.cpus[i].stall_cycles,
+                strikes: k.cpus[i].strikes,
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
     RecoveryReport {
         injected: k.m.fault.stats,
         disk_retries: k.disk_sched.retries,
@@ -133,6 +174,147 @@ pub fn recovery_report(k: &Kernel) -> RecoveryReport {
         threads_reaped: k.recovery.reaped.read(),
         threads_quarantined: k.recovery.quarantined.read(),
         io_errors: k.recovery.io_errors.read(),
+        cpus_quarantined: k.recovery.cpus_quarantined.read(),
+        cpus_resumed: k.recovery.cpus_resumed.read(),
+        threads_evacuated: k.recovery.threads_evacuated.read(),
+        ipi_fallbacks: k.recovery.ipi_fallbacks.read(),
+        cpus,
+    }
+}
+
+impl RecoveryReport {
+    /// Render the report as the monitor's text scoreboard: injected
+    /// faults vs. recovery work, with a per-CPU fault-domain section on
+    /// multiprocessor kernels.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let i = &self.injected;
+        let mut out = String::new();
+        let _ = writeln!(out, "recovery report: {} faults injected", i.total());
+        let _ = writeln!(
+            out,
+            "  injected: disk {}+{} tty {}+{} irq {}+{} timer {} ipi {}+{}+{} cpu {}+{}",
+            i.disk_transient,
+            i.disk_sticky,
+            i.tty_dropped,
+            i.tty_duplicated,
+            i.irq_lost,
+            i.irq_spurious,
+            i.timer_jitter,
+            i.ipi_lost,
+            i.ipi_delayed,
+            i.ipi_spurious,
+            i.cpu_stall,
+            i.cpu_sick
+        );
+        let _ = writeln!(
+            out,
+            "  disk: {} retries, {} µs backoff, {} failed, {} rejected, {} sectors quarantined",
+            self.disk_retries,
+            self.disk_backoff_us,
+            self.disk_failed,
+            self.disk_rejected_quarantined,
+            self.sectors_quarantined
+        );
+        let _ = writeln!(
+            out,
+            "  threads: {} reaped, {} quarantined, {} io errors",
+            self.threads_reaped, self.threads_quarantined, self.io_errors
+        );
+        if !self.cpus.is_empty() {
+            let _ = writeln!(
+                out,
+                "  cpus: {} quarantined, {} resumed, {} threads evacuated, {} ipi fallbacks",
+                self.cpus_quarantined,
+                self.cpus_resumed,
+                self.threads_evacuated,
+                self.ipi_fallbacks
+            );
+            for c in &self.cpus {
+                let _ = writeln!(
+                    out,
+                    "  cpu {:>2}: {}  faults {:>3}  stalled {:>10} cycles  strikes {}",
+                    c.cpu,
+                    if c.quarantined {
+                        "quarantined"
+                    } else {
+                        "in service "
+                    },
+                    c.fault_events,
+                    c.stall_cycles,
+                    c.strikes
+                );
+            }
+        }
+        out
+    }
+
+    /// Serialize the report as JSON — the same shape as the text
+    /// rendering, structurally assertable by the chaos soak and CI. The
+    /// `cpus` key is omitted entirely on uniprocessor kernels so the
+    /// single-CPU JSON is byte-identical whether or not the SMP fault
+    /// plan is compiled in.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let i = &self.injected;
+        let cpus_section = if self.cpus.is_empty() {
+            String::new()
+        } else {
+            let rows: Vec<String> = self
+                .cpus
+                .iter()
+                .map(|c| {
+                    format!(
+                        "    {{\"cpu\": {}, \"quarantined\": {}, \"fault_events\": {}, \
+                         \"stall_cycles\": {}, \"strikes\": {}}}",
+                        c.cpu, c.quarantined, c.fault_events, c.stall_cycles, c.strikes
+                    )
+                })
+                .collect();
+            format!(
+                ",\n  \"cpus_quarantined\": {},\n  \"cpus_resumed\": {},\n  \
+                 \"threads_evacuated\": {},\n  \"ipi_fallbacks\": {},\n  \
+                 \"cpus\": [\n{}\n  ]",
+                self.cpus_quarantined,
+                self.cpus_resumed,
+                self.threads_evacuated,
+                self.ipi_fallbacks,
+                rows.join(",\n")
+            )
+        };
+        format!(
+            "{{\n  \"injected\": {{\"total\": {}, \"disk_transient\": {}, \"disk_sticky\": {}, \
+             \"tty_dropped\": {}, \"tty_duplicated\": {}, \"irq_lost\": {}, \
+             \"irq_spurious\": {}, \"timer_jitter\": {}, \"ipi_lost\": {}, \
+             \"ipi_delayed\": {}, \"ipi_spurious\": {}, \"cpu_stall\": {}, \"cpu_sick\": {}}},\n  \
+             \"disk_retries\": {},\n  \"disk_backoff_us\": {},\n  \"disk_failed\": {},\n  \
+             \"disk_rejected_quarantined\": {},\n  \"sectors_quarantined\": {},\n  \
+             \"threads_reaped\": {},\n  \"threads_quarantined\": {},\n  \"io_errors\": {}{}\n\
+             }}\n",
+            i.total(),
+            i.disk_transient,
+            i.disk_sticky,
+            i.tty_dropped,
+            i.tty_duplicated,
+            i.irq_lost,
+            i.irq_spurious,
+            i.timer_jitter,
+            i.ipi_lost,
+            i.ipi_delayed,
+            i.ipi_spurious,
+            i.cpu_stall,
+            i.cpu_sick,
+            self.disk_retries,
+            self.disk_backoff_us,
+            self.disk_failed,
+            self.disk_rejected_quarantined,
+            self.sectors_quarantined,
+            self.threads_reaped,
+            self.threads_quarantined,
+            self.io_errors,
+            cpus_section
+        )
     }
 }
 
@@ -263,9 +445,14 @@ pub fn trace_report(k: &mut Kernel) -> TraceReport {
                 Kind::CacheMiss => row.cache_misses += 1,
                 Kind::Destroy => row.destroys += 1,
                 Kind::Recovery => row.recoveries += 1,
-                // Steal records are per-CPU scheduler traffic, reported
-                // in the SMP section (never emitted on one CPU).
-                Kind::Steal => {}
+                // Steal and CPU-fault-domain records are per-CPU
+                // scheduler traffic, reported in the SMP section and the
+                // recovery report (never emitted on one CPU).
+                Kind::Steal
+                | Kind::IpiLost
+                | Kind::CpuStall
+                | Kind::CpuQuarantine
+                | Kind::CpuResume => {}
             }
         }
         if window_ms > 0.0 {

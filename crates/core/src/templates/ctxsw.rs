@@ -51,6 +51,18 @@ pub fn switch_template(fp: bool) -> Template {
         None
     };
 
+    // --- ipi_in ---------------------------------------------------------
+    // The reschedule IPI arrives at level 1, the lowest priority: unlike
+    // the quantum (level 6), the hardware entry mask does not shield the
+    // switch from nesting device interrupts, which would re-vector
+    // through a half-saved thread table. Raise the mask for the duration
+    // of the switch; the terminating rte restores the resumed thread's
+    // own SR. The quantum vector still enters at sw_out, so the Table 4
+    // path is unchanged.
+    a.mark("ipi_in");
+    a.move_to_sr(Imm(0x2700));
+    // Falls into sw_out.
+
     // --- sw_out ---------------------------------------------------------
     a.mark("sw_out");
     // Acknowledge the quantum interrupt so it does not immediately recur.
@@ -128,7 +140,9 @@ mod tests {
             assert!(t.marks.contains_key("sw_out"));
             assert!(t.marks.contains_key("sw_in"));
             assert!(t.marks.contains_key("sw_in_mmu"));
-            assert_eq!(t.marks["sw_out"], 0);
+            // The masked IPI entry leads the block and falls into sw_out.
+            assert_eq!(t.marks["ipi_in"], 0);
+            assert_eq!(t.marks["sw_out"], 1);
             assert!(t.marks["sw_in_mmu"] < t.marks["sw_in"]);
         }
     }
@@ -146,12 +160,15 @@ mod tests {
             let t = switch_template(fp);
             let spec = factor::factor(&t, &bindings(fp)).unwrap();
             // Sum static costs over the executed path: every instruction
-            // except the sw_in_mmu prologue (the non-MMU switch skips it).
+            // except the ipi_in mask raise (the quantum vector enters at
+            // sw_out) and the sw_in_mmu prologue (the non-MMU switch
+            // skips it).
+            let entry = spec.marks["sw_out"];
             let skip_lo = spec.marks["sw_in_mmu"];
             let skip_hi = spec.marks["sw_in"];
             let mut cycles = 0u64;
             for (i, ins) in spec.instrs.iter().enumerate() {
-                if (skip_lo..skip_hi).contains(&i) {
+                if i < entry || (skip_lo..skip_hi).contains(&i) {
                     continue;
                 }
                 let (b, r) = quamachine::cost::instr_cost(ins);

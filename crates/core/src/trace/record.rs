@@ -42,6 +42,20 @@ pub enum Kind {
     /// Work stealing moved the thread to another CPU's ready chain
     /// (`a` = the stealing CPU). Only emitted on multiprocessor runs.
     Steal = 11,
+    /// A reschedule IPI went missing (`a` = target CPU, `b` = 0) or was
+    /// delayed in flight (`b` = delay in target-CPU cycles). Attributed
+    /// to the target CPU's idle thread. Only emitted on multiprocessor
+    /// runs with an active fault plan.
+    IpiLost = 12,
+    /// A CPU's clock jumped on dispatch without executing anything
+    /// (`a` = the CPU, `b` = cycles lost, saturated to 32 bits).
+    CpuStall = 13,
+    /// The cross-CPU watchdog quarantined a CPU (`a` = the CPU, `b` =
+    /// threads evacuated off its ready chain).
+    CpuQuarantine = 14,
+    /// A quarantined CPU was re-admitted after probation (`a` = the CPU,
+    /// `b` = its strike count).
+    CpuResume = 15,
 }
 
 impl Kind {
@@ -60,6 +74,10 @@ impl Kind {
             9 => Some(Kind::Destroy),
             10 => Some(Kind::Recovery),
             11 => Some(Kind::Steal),
+            12 => Some(Kind::IpiLost),
+            13 => Some(Kind::CpuStall),
+            14 => Some(Kind::CpuQuarantine),
+            15 => Some(Kind::CpuResume),
             _ => None,
         }
     }

@@ -131,6 +131,40 @@ impl EventQueue {
         self.heaps.iter().all(BinaryHeap::is_empty)
     }
 
+    /// Move every event scheduled on CPU `from`'s timeline onto CPU
+    /// `to`'s, preserving each event's *remaining* delay: an event due at
+    /// `when` on a clock reading `from_now` becomes due at `to_now +
+    /// (when - from_now)` (already-due events fire immediately). Used
+    /// when a CPU is quarantined and another must service its devices.
+    /// Returns how many events moved.
+    pub fn migrate_cpu(&mut self, from: usize, to: usize, from_now: u64, to_now: u64) -> usize {
+        if from == to || self.heaps.len() <= from {
+            return 0;
+        }
+        let moved: Vec<Event> = std::mem::take(&mut self.heaps[from])
+            .into_iter()
+            .map(|Reverse(e)| e)
+            .collect();
+        let n = moved.len();
+        for e in moved {
+            let when = to_now + e.when.saturating_sub(from_now);
+            self.heap_mut(to).push(Reverse(Event {
+                when,
+                dev: e.dev,
+                what: e.what,
+                cpu: to,
+                seq: e.seq,
+            }));
+        }
+        n
+    }
+
+    /// Whether CPU `cpu` has any events scheduled.
+    #[must_use]
+    pub fn has_events_for(&self, cpu: usize) -> bool {
+        self.heaps.get(cpu).is_some_and(|h| !h.is_empty())
+    }
+
     /// Remove all events for a device (used when resetting a device).
     pub fn cancel_device(&mut self, dev: usize) {
         for heap in &mut self.heaps {
@@ -199,6 +233,24 @@ mod tests {
         assert_eq!(q.next_due_for(1), None);
         assert_eq!(q.pop_due_on(100, 0).unwrap().what, 1);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn migrate_preserves_remaining_delay() {
+        let mut q = EventQueue::new();
+        // On CPU 1's clock (reading 100): one event 50 cycles out, one
+        // already overdue.
+        q.schedule_on(150, 3, 7, 1);
+        q.schedule_on(90, 3, 8, 1);
+        let n = q.migrate_cpu(1, 0, 100, 1000);
+        assert_eq!(n, 2);
+        assert!(!q.has_events_for(1));
+        // Overdue fires immediately on the new clock; the other keeps
+        // its 50-cycle remainder.
+        let first = q.pop_due_on(1000, 0).unwrap();
+        assert_eq!((first.what, first.when, first.cpu), (8, 1000, 0));
+        assert!(q.pop_due_on(1049, 0).is_none());
+        assert_eq!(q.pop_due_on(1050, 0).unwrap().what, 7);
     }
 
     #[test]

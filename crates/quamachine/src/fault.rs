@@ -22,10 +22,24 @@
 //!   quantum timer re-raises every period); spurious interrupts are
 //!   injected by the machine's event pump at configured levels.
 //! - **timer** — alarm/quantum periods get bounded jitter.
+//! - **IPIs** — reschedule IPIs routed through
+//!   [`Machine::send_ipi`](crate::machine::Machine::send_ipi) may be
+//!   lost or delayed by a bounded number of cycles; spurious IPIs are
+//!   injected by the event pump on multiprocessor machines.
+//! - **CPUs** — on dispatch (`switch_cpu`), a CPU may stall (its virtual
+//!   clock advances N cycles while it executes nothing) or go sticky
+//!   "sick": every dispatch corrupts the loaded context with a wild PC,
+//!   until the kernel quarantines the CPU.
 //!
 //! Every injected fault appends a [`FaultRecord`] to the plan's trace and
 //! bumps a counter in [`FaultStats`]; kernels report recovery against
 //! those numbers and soak tests compare whole traces across runs.
+//!
+//! The SMP fault classes are consulted only from multiprocessor code
+//! paths (`send_ipi`, the not-self arm of `switch_cpu`, the MP event
+//! pump), and a zero-rate consult never advances the PRNG — so a plan
+//! with the SMP rates at zero draws exactly the same decision sequence
+//! as a pre-SMP plan, keeping old seeds' traces byte-identical.
 
 use std::collections::BTreeSet;
 
@@ -51,6 +65,23 @@ pub struct FaultConfig {
     pub timer_jitter_permille: u16,
     /// Maximum jitter magnitude, as permille of the period (± range).
     pub timer_jitter_magnitude_permille: u16,
+    /// Chance a reschedule IPI is lost in flight (SMP only).
+    pub ipi_lost_permille: u16,
+    /// Chance a reschedule IPI is delayed instead of delivered (SMP).
+    pub ipi_delay_permille: u16,
+    /// Maximum IPI delay in cycles of the target CPU's clock.
+    pub ipi_delay_max_cycles: u64,
+    /// Chance, per MP event-pump pass, of a spurious IPI on the active
+    /// CPU.
+    pub ipi_spurious_permille: u16,
+    /// Chance a dispatch (`switch_cpu` onto a CPU) stalls that CPU:
+    /// its clock advances while it executes nothing.
+    pub cpu_stall_permille: u16,
+    /// Maximum stall length in cycles.
+    pub cpu_stall_max_cycles: u64,
+    /// Chance a dispatch leaves the CPU permanently "sick": every
+    /// subsequent dispatch corrupts the loaded context with a wild PC.
+    pub cpu_sick_permille: u16,
 }
 
 impl FaultConfig {
@@ -61,6 +92,10 @@ impl FaultConfig {
     }
 
     /// A moderate mix of every fault class — the soak-test workhorse.
+    ///
+    /// The SMP rates stay zero here: on a uniprocessor kernel this
+    /// config draws the exact decision sequence it always has, so PR-1
+    /// seed traces replay byte-for-byte.
     #[must_use]
     pub fn soak() -> FaultConfig {
         FaultConfig {
@@ -73,7 +108,27 @@ impl FaultConfig {
             irq_spurious_levels: 0b0011_0100, // disk (2), tty (4), audio (5)
             timer_jitter_permille: 100,
             timer_jitter_magnitude_permille: 250,
+            ..FaultConfig::none()
         }
+    }
+
+    /// [`soak`](FaultConfig::soak) plus the SMP fault classes, enabled
+    /// only when the machine actually has more than one CPU. Sick-CPU
+    /// faults stay off — they can collateral-reap whichever thread is
+    /// current at sickening, so data-integrity soaks force them
+    /// explicitly ([`FaultPlan::sicken_cpu`]) instead of rolling dice.
+    #[must_use]
+    pub fn soak_smp(cpus: usize) -> FaultConfig {
+        let mut cfg = FaultConfig::soak();
+        if cpus > 1 {
+            cfg.ipi_lost_permille = 120;
+            cfg.ipi_delay_permille = 120;
+            cfg.ipi_delay_max_cycles = 20_000;
+            cfg.ipi_spurious_permille = 1;
+            cfg.cpu_stall_permille = 2;
+            cfg.cpu_stall_max_cycles = 150_000;
+        }
+        cfg
     }
 }
 
@@ -84,6 +139,24 @@ pub enum DiskFault {
     Transient,
     /// A sector in the range is permanently bad; every retry fails.
     BadSector(u32),
+}
+
+/// What the plan decided about one reschedule IPI send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IpiFault {
+    /// The IPI vanishes; the target never sees it.
+    Lost,
+    /// The IPI lands this many cycles late on the target's clock.
+    Delayed(u64),
+}
+
+/// What the plan decided about one dispatch onto a CPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpuDispatchFault {
+    /// The CPU's clock jumps this many cycles; it executes nothing.
+    Stall(u64),
+    /// The CPU is sick: the loaded context must be corrupted.
+    Sick,
 }
 
 /// What the plan decided about one received tty byte.
@@ -153,6 +226,46 @@ pub enum FaultRecord {
         /// Actual period used.
         actual: u64,
     },
+    /// A reschedule IPI was lost in flight.
+    IpiLost {
+        /// Cycle of the send (sender's clock).
+        at: u64,
+        /// The target CPU that never saw it.
+        cpu: usize,
+    },
+    /// A reschedule IPI was delayed.
+    IpiDelayed {
+        /// Cycle of the send (sender's clock).
+        at: u64,
+        /// The target CPU.
+        cpu: usize,
+        /// Delay in cycles of the target CPU's clock.
+        delay: u64,
+    },
+    /// A spurious IPI was asserted with no sender.
+    IpiSpurious {
+        /// Cycle of the injection.
+        at: u64,
+        /// The CPU that saw the phantom IPI.
+        cpu: usize,
+    },
+    /// A CPU stalled on dispatch: its clock advanced while it executed
+    /// nothing.
+    CpuStall {
+        /// Cycle of the dispatch (the stalled CPU's clock).
+        at: u64,
+        /// The stalled CPU.
+        cpu: usize,
+        /// How many cycles its clock jumped.
+        cycles: u64,
+    },
+    /// A CPU went permanently sick: every dispatch corrupts its context.
+    CpuSick {
+        /// Cycle of the first corrupted dispatch.
+        at: u64,
+        /// The sick CPU.
+        cpu: usize,
+    },
 }
 
 /// Injection counters, one per fault class.
@@ -172,6 +285,16 @@ pub struct FaultStats {
     pub irq_spurious: u64,
     /// Timer periods jittered.
     pub timer_jitter: u64,
+    /// Reschedule IPIs lost.
+    pub ipi_lost: u64,
+    /// Reschedule IPIs delayed.
+    pub ipi_delayed: u64,
+    /// Spurious IPIs asserted.
+    pub ipi_spurious: u64,
+    /// CPU stalls injected.
+    pub cpu_stall: u64,
+    /// CPUs gone sick.
+    pub cpu_sick: u64,
 }
 
 impl FaultStats {
@@ -185,6 +308,11 @@ impl FaultStats {
             + self.irq_lost
             + self.irq_spurious
             + self.timer_jitter
+            + self.ipi_lost
+            + self.ipi_delayed
+            + self.ipi_spurious
+            + self.cpu_stall
+            + self.cpu_sick
     }
 }
 
@@ -196,6 +324,7 @@ pub struct FaultPlan {
     /// The active rates and bounds.
     pub cfg: FaultConfig,
     bad_sectors: BTreeSet<u32>,
+    sick_cpus: BTreeSet<usize>,
     /// Injection counters.
     pub stats: FaultStats,
     trace: Vec<FaultRecord>,
@@ -224,6 +353,7 @@ impl FaultPlan {
             state: 0,
             cfg: FaultConfig::none(),
             bad_sectors: BTreeSet::new(),
+            sick_cpus: BTreeSet::new(),
             stats: FaultStats::default(),
             trace: Vec::new(),
         }
@@ -237,6 +367,7 @@ impl FaultPlan {
             state: seed ^ 0x5851_F42D_4C95_7F2D,
             cfg,
             bad_sectors: BTreeSet::new(),
+            sick_cpus: BTreeSet::new(),
             stats: FaultStats::default(),
             trace: Vec::new(),
         }
@@ -269,6 +400,30 @@ impl FaultPlan {
     pub fn poison_sector(&mut self, sector: u32) {
         self.enabled = true;
         self.bad_sectors.insert(sector);
+    }
+
+    /// Host-side: mark a CPU permanently sick (targeted tests). Every
+    /// subsequent dispatch onto it corrupts the loaded context.
+    pub fn sicken_cpu(&mut self, cpu: usize) {
+        self.enabled = true;
+        self.sick_cpus.insert(cpu);
+    }
+
+    /// Host-side: heal a sick CPU (probation tests model a transient
+    /// hardware fault that clears before re-admission).
+    pub fn heal_cpu(&mut self, cpu: usize) {
+        self.sick_cpus.remove(&cpu);
+    }
+
+    /// Whether `cpu` is currently sick.
+    #[must_use]
+    pub fn is_sick_cpu(&self, cpu: usize) -> bool {
+        self.sick_cpus.contains(&cpu)
+    }
+
+    /// CPUs currently marked sick.
+    pub fn sick_cpus(&self) -> impl Iterator<Item = usize> + '_ {
+        self.sick_cpus.iter().copied()
     }
 
     fn roll(&mut self, permille: u16) -> bool {
@@ -382,6 +537,72 @@ impl FaultPlan {
         });
         actual
     }
+
+    /// Consult for one reschedule IPI aimed at `cpu`; `None` means it is
+    /// delivered normally.
+    pub fn ipi_send(&mut self, now: u64, cpu: usize) -> Option<IpiFault> {
+        if !self.enabled {
+            return None;
+        }
+        if self.roll(self.cfg.ipi_lost_permille) {
+            self.stats.ipi_lost += 1;
+            self.trace.push(FaultRecord::IpiLost { at: now, cpu });
+            return Some(IpiFault::Lost);
+        }
+        if self.roll(self.cfg.ipi_delay_permille) {
+            let max = self.cfg.ipi_delay_max_cycles.max(1);
+            let delay = 1 + splitmix64(&mut self.state) % max;
+            self.stats.ipi_delayed += 1;
+            self.trace.push(FaultRecord::IpiDelayed {
+                at: now,
+                cpu,
+                delay,
+            });
+            return Some(IpiFault::Delayed(delay));
+        }
+        None
+    }
+
+    /// Consult once per MP event-pump pass on CPU `cpu`; `true` asserts
+    /// a spurious IPI there.
+    pub fn spurious_ipi(&mut self, now: u64, cpu: usize) -> bool {
+        if !self.enabled || !self.roll(self.cfg.ipi_spurious_permille) {
+            return false;
+        }
+        self.stats.ipi_spurious += 1;
+        self.trace.push(FaultRecord::IpiSpurious { at: now, cpu });
+        true
+    }
+
+    /// Consult for one dispatch onto CPU `cpu` (`switch_cpu` loading its
+    /// slot); `None` means the dispatch is clean.
+    pub fn cpu_dispatch(&mut self, now: u64, cpu: usize) -> Option<CpuDispatchFault> {
+        if !self.enabled {
+            return None;
+        }
+        // Sick CPUs dominate: once sick, every dispatch is corrupted.
+        if self.sick_cpus.contains(&cpu) {
+            return Some(CpuDispatchFault::Sick);
+        }
+        if self.roll(self.cfg.cpu_sick_permille) {
+            self.sick_cpus.insert(cpu);
+            self.stats.cpu_sick += 1;
+            self.trace.push(FaultRecord::CpuSick { at: now, cpu });
+            return Some(CpuDispatchFault::Sick);
+        }
+        if self.roll(self.cfg.cpu_stall_permille) {
+            let max = self.cfg.cpu_stall_max_cycles.max(1);
+            let cycles = 1 + splitmix64(&mut self.state) % max;
+            self.stats.cpu_stall += 1;
+            self.trace.push(FaultRecord::CpuStall {
+                at: now,
+                cpu,
+                cycles,
+            });
+            return Some(CpuDispatchFault::Stall(cycles));
+        }
+        None
+    }
 }
 
 #[cfg(test)]
@@ -468,6 +689,76 @@ mod tests {
             assert!((750..=1250).contains(&actual), "bounded: {actual}");
         }
         assert_eq!(p.stats.timer_jitter, 1_000);
+    }
+
+    /// The satellite-1 invariant at the PRNG level: interleaving
+    /// zero-rate SMP consults between the classic consults must not
+    /// perturb the decision sequence, because `roll(0)` never advances
+    /// the generator. A `soak()` plan (SMP rates zero) consulted at the
+    /// SMP seams is therefore byte-identical to one that never was.
+    #[test]
+    fn zero_rate_smp_consults_keep_old_seeds_byte_identical() {
+        let (mut old, mut new) = (busy_plan(), busy_plan());
+        for i in 0..5_000u64 {
+            old.disk_command(i, (i % 64) as u32, 2, i % 2 == 0);
+            new.disk_command(i, (i % 64) as u32, 2, i % 2 == 0);
+            // The "new" plan is consulted at every SMP seam too…
+            assert_eq!(new.ipi_send(i, 1), None);
+            assert!(!new.spurious_ipi(i, (i % 4) as usize));
+            assert_eq!(new.cpu_dispatch(i, (i % 4) as usize), None);
+            old.tty_rx(i, i as u8);
+            new.tty_rx(i, i as u8);
+            old.lose_irq(i, 6);
+            new.lose_irq(i, 6);
+            old.spurious_irq(i);
+            new.spurious_irq(i);
+            old.timer_period(i, 10_000);
+            new.timer_period(i, 10_000);
+        }
+        // …and still draws the exact same faults.
+        assert!(old.stats.total() > 0);
+        assert_eq!(old.trace(), new.trace());
+        assert_eq!(old.stats, new.stats);
+    }
+
+    #[test]
+    fn smp_rates_inject_and_replay_deterministically() {
+        let cfg = FaultConfig::soak_smp(4);
+        assert!(cfg.ipi_lost_permille > 0 && cfg.cpu_stall_permille > 0);
+        assert_eq!(cfg.cpu_sick_permille, 0, "sick CPUs are opt-in only");
+        assert_eq!(
+            FaultConfig::soak_smp(1),
+            FaultConfig::soak(),
+            "one CPU keeps the classic soak config exactly"
+        );
+        let run = |seed| {
+            let mut p = FaultPlan::seeded(seed, FaultConfig::soak_smp(4));
+            for i in 0..5_000u64 {
+                p.ipi_send(i, (i % 4) as usize);
+                p.spurious_ipi(i, (i % 4) as usize);
+                if let Some(CpuDispatchFault::Stall(c)) = p.cpu_dispatch(i, (i % 4) as usize) {
+                    assert!((1..=150_000).contains(&c), "stall bounded: {c}");
+                }
+            }
+            p
+        };
+        let (a, b) = (run(7), run(7));
+        assert!(a.stats.ipi_lost > 0 && a.stats.ipi_delayed > 0);
+        assert!(a.stats.cpu_stall > 0);
+        assert_eq!(a.trace(), b.trace());
+        assert_ne!(run(8).trace(), a.trace(), "seeds diverge");
+    }
+
+    #[test]
+    fn sick_cpus_stay_sick() {
+        let mut p = FaultPlan::none();
+        p.sicken_cpu(2);
+        assert!(p.is_sick_cpu(2));
+        assert_eq!(p.sick_cpus().collect::<Vec<_>>(), vec![2]);
+        for i in 0..100u64 {
+            assert_eq!(p.cpu_dispatch(i, 2), Some(CpuDispatchFault::Sick));
+            assert_eq!(p.cpu_dispatch(i, 1), None, "other CPUs are healthy");
+        }
     }
 
     #[test]

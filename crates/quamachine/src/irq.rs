@@ -22,6 +22,9 @@ pub struct IrqController {
     pub accepted: [u64; 8],
     /// Inter-processor interrupts sent (any level, any target).
     pub ipis_sent: u64,
+    /// The CPU external device interrupts route to. The boot CPU unless
+    /// the embedder reroutes — e.g. when quarantining CPU 0.
+    route: usize,
 }
 
 impl Default for IrqController {
@@ -38,6 +41,7 @@ impl IrqController {
             pending: vec![0],
             accepted: [0; 8],
             ipis_sent: 0,
+            route: 0,
         }
     }
 
@@ -52,11 +56,33 @@ impl IrqController {
         self.pending.len()
     }
 
-    /// Assert an interrupt at `level` (1–7) on the boot CPU. Device
-    /// completion interrupts route here, like a machine whose interrupt
-    /// fabric points all external sources at CPU 0.
+    /// Assert an interrupt at `level` (1–7) on the device-route CPU
+    /// (the boot CPU unless rerouted). Device completion interrupts go
+    /// here, like a machine whose interrupt fabric points all external
+    /// sources at one CPU.
     pub fn raise(&mut self, level: u8) {
-        self.raise_on(0, level);
+        self.raise_on(self.route, level);
+    }
+
+    /// The CPU external device interrupts currently route to.
+    #[must_use]
+    pub fn route(&self) -> usize {
+        self.route
+    }
+
+    /// Point external device interrupts at `to`, and move any pending
+    /// device-completion levels (2–5) off the old route CPU so an
+    /// already-asserted line is serviced by the new one.
+    pub fn reroute_devices(&mut self, to: usize) {
+        let to = to.min(self.pending.len().saturating_sub(1));
+        let from = self.route;
+        self.route = to;
+        if from != to && from < self.pending.len() {
+            let device_bits = 0b0001_1110; // levels 2..=5
+            let moved = self.pending[from] & device_bits;
+            self.pending[from] &= !device_bits;
+            self.pending[to] |= moved;
+        }
     }
 
     /// Assert an interrupt at `level` (1–7) on a specific CPU.
@@ -193,6 +219,23 @@ mod tests {
         c.accept_on(1, 4);
         assert!(!c.any_pending_on(1));
         assert_eq!(c.accepted[4], 1);
+    }
+
+    #[test]
+    fn reroute_moves_pending_device_levels() {
+        let mut c = IrqController::new();
+        c.set_cpus(2);
+        c.raise(2); // disk completion, pending on the route CPU (0)
+        c.raise_on(0, 1); // an IPI already pending on CPU 0 stays put
+        c.raise_on(0, 6); // so does CPU 0's own quantum tick
+        c.reroute_devices(1);
+        assert_eq!(c.route(), 1);
+        assert_eq!(c.highest_pending_on(1), Some(2), "disk line moved");
+        assert!(c.any_pending_on(0), "IPI and quantum stay on CPU 0");
+        assert_eq!(c.acceptable_on(0, 0), Some(6));
+        // New raises land on the new route CPU.
+        c.raise(4);
+        assert!(c.pending[1] & 0b1000 != 0);
     }
 
     #[test]

@@ -9,7 +9,7 @@ use crate::cpu::Cpu;
 use crate::devices::{DevCtx, Device, DEV_BASE, DEV_WINDOW};
 use crate::error::{Exception, MachineError};
 use crate::event::EventQueue;
-use crate::fault::FaultPlan;
+use crate::fault::{CpuDispatchFault, FaultPlan, IpiFault};
 use crate::irq::IrqController;
 use crate::mem::{AddressMap, Memory};
 use crate::trace::Meter;
@@ -94,6 +94,23 @@ pub struct CpuSlot {
     pub map: AddressMap,
 }
 
+/// The wild address a sick CPU's dispatch corrupts the PC to: outside
+/// every code block, so the first fetch on the corrupted context raises
+/// `BadCodeAddress` (same region the wild-jump soak tests use).
+pub const SICK_WILD_PC: u32 = 0x00F0_0000;
+
+/// The level a spurious IPI asserts (the reschedule IPI line).
+const SPURIOUS_IPI_LEVEL: u8 = 1;
+
+/// An IPI held in flight by the fault plan: it lands on `cpu` when that
+/// CPU's clock reaches `due`.
+#[derive(Debug, Clone, Copy)]
+struct DelayedIpi {
+    cpu: usize,
+    level: u8,
+    due: u64,
+}
+
 /// The simulated machine.
 pub struct Machine {
     /// CPU registers.
@@ -126,6 +143,9 @@ pub struct Machine {
     /// Index of the CPU whose context currently occupies `cpu`,
     /// `meter.cycles`, and `mem.map`.
     active: usize,
+    /// IPIs the fault plan delayed in flight; delivered by the event
+    /// pump once the target CPU's clock catches up.
+    delayed_ipis: Vec<DelayedIpi>,
 }
 
 impl Machine {
@@ -155,6 +175,7 @@ impl Machine {
                 })
                 .collect(),
             active: 0,
+            delayed_ipis: Vec::new(),
         }
     }
 
@@ -237,6 +258,13 @@ impl Machine {
     /// Make CPU `i` the active one: park the current context (registers,
     /// clock, address map) into its slot and load CPU `i`'s. A no-op when
     /// `i` is already active.
+    ///
+    /// Dispatching onto a CPU is also the fault plan's CPU seam: a
+    /// *stall* advances the loaded clock without executing anything, and
+    /// a *sick* CPU gets its PC corrupted to a wild address, so the next
+    /// run on it faults before its first instruction. A uniprocessor
+    /// machine never dispatches (`i == active` always), so neither class
+    /// can ever be consulted there.
     pub fn switch_cpu(&mut self, i: usize) {
         assert!(i < self.slots.len(), "no such CPU: {i}");
         if i == self.active {
@@ -251,6 +279,38 @@ impl Machine {
         self.meter.cycles = slot.cycles;
         self.mem.map = slot.map;
         self.active = i;
+        if self.fault.is_active() {
+            match self.fault.cpu_dispatch(self.meter.cycles, i) {
+                Some(CpuDispatchFault::Stall(n)) => self.meter.cycles += n,
+                Some(CpuDispatchFault::Sick) => self.cpu.pc = SICK_WILD_PC,
+                None => {}
+            }
+        }
+    }
+
+    /// Send an inter-processor interrupt at `level` to `cpu` through the
+    /// fault plan: delivered, lost, or held in flight and delivered when
+    /// the target's clock reaches the delayed due time.
+    pub fn send_ipi(&mut self, cpu: usize, level: u8) {
+        self.irq.ipis_sent += 1;
+        if self.fault.is_active() {
+            match self.fault.ipi_send(self.meter.cycles, cpu) {
+                Some(IpiFault::Lost) => return,
+                Some(IpiFault::Delayed(d)) => {
+                    let due = self.cpu_cycles(cpu).saturating_add(d);
+                    self.delayed_ipis.push(DelayedIpi { cpu, level, due });
+                    return;
+                }
+                None => {}
+            }
+        }
+        self.irq.raise_on(cpu, level);
+    }
+
+    /// Whether a fault-delayed IPI is still in flight toward `cpu`.
+    #[must_use]
+    pub fn delayed_ipi_pending(&self, cpu: usize) -> bool {
+        self.delayed_ipis.iter().any(|d| d.cpu == cpu)
     }
 
     /// Attach a device; returns its index (which determines its register
@@ -438,11 +498,35 @@ impl Machine {
     }
 
     /// Deliver all device events due on the active CPU at its current
-    /// cycle.
+    /// cycle, plus any fault-delayed IPIs whose due time this CPU's
+    /// clock has reached.
     pub fn process_events(&mut self) {
+        if !self.delayed_ipis.is_empty() {
+            let (active, now) = (self.active, self.meter.cycles);
+            let mut landed = 0u8;
+            self.delayed_ipis.retain(|d| {
+                if d.cpu == active && d.due <= now {
+                    landed |= 1 << (d.level - 1);
+                    false
+                } else {
+                    true
+                }
+            });
+            for level in 1..=7u8 {
+                if landed & (1 << (level - 1)) != 0 {
+                    self.irq.raise_on(active, level);
+                }
+            }
+        }
         if self.fault.is_active() {
             if let Some(level) = self.fault.spurious_irq(self.meter.cycles) {
                 self.irq.raise_on(self.active, level);
+            }
+            // The IPI seams exist only on multiprocessor machines, so a
+            // uniprocessor pump never consults this class (and a zero
+            // rate never advances the PRNG either way).
+            if self.num_cpus() > 1 && self.fault.spurious_ipi(self.meter.cycles, self.active) {
+                self.irq.raise_on(self.active, SPURIOUS_IPI_LEVEL);
             }
         }
         while let Some(ev) = self.events.pop_due_on(self.meter.cycles, self.active) {

@@ -74,19 +74,48 @@ fn soak_case<T>(test: &str, seed: u64, f: impl FnOnce(&mut Option<Kernel>) -> T)
 
 /// The last `n` trace records of every thread ring, rendered for a
 /// failure message. Reaped threads' rings are still here — exactly the
-/// history a soak post-mortem needs.
+/// history a soak post-mortem needs. On a multiprocessor kernel the
+/// records are grouped by the CPU that recorded them (the record's
+/// `flags` field), so a cross-CPU failure reads as per-CPU timelines;
+/// the uniprocessor rendering is unchanged.
 fn trace_tail(k: &mut Kernel, n: usize) -> String {
     use std::fmt::Write;
     k.pump_trace();
     let mut out = String::new();
-    for tid in k.trace.tids() {
-        let recs = k.trace.last(tid, n);
-        if recs.is_empty() {
-            continue;
+    let cpus = u16::try_from(k.m.num_cpus()).unwrap_or(1);
+    if cpus <= 1 {
+        for tid in k.trace.tids() {
+            let recs = k.trace.last(tid, n);
+            if recs.is_empty() {
+                continue;
+            }
+            let _ = writeln!(out, "  last {} trace records of tid {}:", recs.len(), tid);
+            for r in recs {
+                let _ = writeln!(out, "    {r}");
+            }
         }
-        let _ = writeln!(out, "  last {} trace records of tid {}:", recs.len(), tid);
-        for r in recs {
-            let _ = writeln!(out, "    {r}");
+    } else {
+        for cpu in 0..cpus {
+            let mut section = String::new();
+            for tid in k.trace.tids() {
+                let recs: Vec<_> = k
+                    .trace
+                    .last(tid, n)
+                    .into_iter()
+                    .filter(|r| r.flags == cpu)
+                    .collect();
+                if recs.is_empty() {
+                    continue;
+                }
+                let _ = writeln!(section, "    tid {} ({} records):", tid, recs.len());
+                for r in recs {
+                    let _ = writeln!(section, "      {r}");
+                }
+            }
+            if !section.is_empty() {
+                let _ = writeln!(out, "  cpu {cpu}:");
+                out.push_str(&section);
+            }
         }
     }
     if out.is_empty() {
@@ -355,6 +384,13 @@ fn pipe_scenario(slot: &mut Option<Kernel>, seed: u64) {
             ..FaultConfig::none()
         },
     );
+    pipe_run(k, seed);
+}
+
+/// The pipe workload body, shared by the uniprocessor and SMP chaos
+/// soaks: build a reader and a writer, wire a kernel pipe between them,
+/// run to the reader's exit, and check the payload arrived intact.
+fn pipe_run(k: &mut Kernel, seed: u64) {
     let mut reader = Asm::new("reader");
     reader.move_i(L, 0, Dr(0)); // rfd = fd 0 in the reader thread
     reader.lea(Abs(UBUF + 0x100), 0);
@@ -401,6 +437,217 @@ fn pipe_pipeline_soaks_across_seeds() {
             pipe_scenario(slot, seed);
         });
     }
+}
+
+// ----------------------------------------------------------------- smp --
+
+fn boot_smp(cpus: usize) -> Kernel {
+    Kernel::boot(KernelConfig {
+        cpus,
+        ..KernelConfig::default()
+    })
+    .expect("kernel boots")
+}
+
+/// One SMP chaos run: the pipe workload on a multiprocessor kernel under
+/// the full SMP fault domain — lost/delayed/spurious reschedule IPIs and
+/// transient dispatch stalls on top of the classic device soak. Returns
+/// the fault trace.
+fn smp_chaos_scenario(slot: &mut Option<Kernel>, seed: u64, cpus: usize) -> Vec<FaultRecord> {
+    let k = slot.insert(boot_smp(cpus));
+    k.m.fault = FaultPlan::seeded(seed, FaultConfig::soak_smp(cpus));
+    pipe_run(k, seed);
+    k.m.fault.trace().to_vec()
+}
+
+/// The chaos soak: 32 seeds at 2 and at 4 CPUs, each run twice. Zero
+/// hangs (the reader's exit is awaited under a cycle bound), byte-correct
+/// pipe data, and a deterministic fault-trace replay per seed.
+#[test]
+fn smp_chaos_soaks_across_seeds() {
+    for &cpus in &[2usize, 4] {
+        let mut total_faults = 0usize;
+        for seed in soak_seeds(SEEDS) {
+            let trace = soak_case("smp_chaos_soaks_across_seeds", seed, |slot| {
+                let trace = smp_chaos_scenario(slot, seed, cpus);
+                let replay = smp_chaos_scenario(slot, seed, cpus);
+                assert!(
+                    trace == replay,
+                    "seed {seed} at {cpus} CPUs: fault trace must be reproducible \
+                     ({} vs {} fault records)",
+                    trace.len(),
+                    replay.len()
+                );
+                trace
+            });
+            total_faults += trace.len();
+        }
+        assert!(
+            total_faults > 0,
+            "the {cpus}-CPU chaos soak must inject faults"
+        );
+    }
+}
+
+/// The SMP fault classes are structurally unreachable on one CPU: the
+/// dispatch seam never fires (`switch_cpu` to self is a no-op), no IPI
+/// is ever remote, and the MP event-pump consult is gated on the CPU
+/// count. Cranking every SMP rate to 50% therefore leaves a
+/// uniprocessor run's fault trace byte-identical to the classic soak
+/// plan's — which is what keeps pre-SMP seeds reproducible.
+#[test]
+fn uniprocessor_fault_trace_immune_to_smp_rates() {
+    for seed in soak_seeds(8) {
+        let classic = soak_case(
+            "uniprocessor_fault_trace_immune_to_smp_rates",
+            seed,
+            |slot| {
+                let k = slot.insert(boot_smp(1));
+                k.m.fault = FaultPlan::seeded(seed, FaultConfig::soak());
+                pipe_run(k, seed);
+                k.m.fault.trace().to_vec()
+            },
+        );
+        let cranked = soak_case(
+            "uniprocessor_fault_trace_immune_to_smp_rates",
+            seed,
+            |slot| {
+                let k = slot.insert(boot_smp(1));
+                k.m.fault = FaultPlan::seeded(
+                    seed,
+                    FaultConfig {
+                        ipi_lost_permille: 500,
+                        ipi_delay_permille: 500,
+                        ipi_delay_max_cycles: 50_000,
+                        ipi_spurious_permille: 500,
+                        cpu_stall_permille: 500,
+                        cpu_stall_max_cycles: 100_000,
+                        cpu_sick_permille: 500,
+                        ..FaultConfig::soak()
+                    },
+                );
+                pipe_run(k, seed);
+                k.m.fault.trace().to_vec()
+            },
+        );
+        assert_eq!(
+            classic, cranked,
+            "seed {seed}: SMP rates must not perturb a uniprocessor trace"
+        );
+    }
+}
+
+/// A sticky-sick CPU at 4 CPUs: every dispatch onto CPU 2 corrupts the
+/// loaded context. The kernel repairs the context from the parked state,
+/// charges CPU 2's fault budget, quarantines it, evacuates its ready
+/// chain, and the whole workload completes on the remaining three CPUs.
+#[test]
+fn sick_cpu_is_quarantined_and_workload_completes() {
+    let mut k = boot_smp(4);
+    k.m.fault.sicken_cpu(2);
+
+    const WORKERS: usize = 6;
+    let mut tids = Vec::new();
+    for i in 0..WORKERS {
+        // A worker long enough (~7M cycles of nested countdown) to be
+        // resident through several watchdog slices, then a token store
+        // proving it finished with its state intact.
+        let mut w = Asm::new("sickwork");
+        w.move_i(L, 20, Dr(4));
+        let outer = w.here();
+        w.move_i(L, 60_000, Dr(3));
+        let inner = w.here();
+        w.dbf(3, inner);
+        w.dbf(4, outer);
+        let iu = u32::try_from(i).unwrap();
+        w.move_i(L, 0xD00D + iu, Abs(UBUF2 + 4 * iu));
+        emit_exit(&mut w);
+        let entry = k.load_user_program(w.assemble().unwrap()).unwrap();
+        let tid = k
+            .create_thread(entry, USTACK + 0x1000 * (iu + 1), user_map())
+            .unwrap();
+        // Home workers round-robin across all four CPUs, sick one
+        // included.
+        k.threads.get_mut(&tid).unwrap().cpu = i % 4;
+        tids.push(tid);
+    }
+    for &t in &tids {
+        k.start(t).unwrap();
+    }
+    for _ in 0..40 {
+        k.run(5_000_000);
+        if tids.iter().all(|t| k.exited.contains(t)) {
+            break;
+        }
+    }
+    assert!(
+        tids.iter().all(|t| k.exited.contains(t)),
+        "every worker completes on the healthy CPUs"
+    );
+    for i in 0..WORKERS {
+        let iu = u32::try_from(i).unwrap();
+        assert_eq!(
+            k.m.mem.peek(UBUF2 + 4 * iu, Size::L),
+            0xD00D + iu,
+            "worker {i} finished with its state intact"
+        );
+    }
+    assert!(k.is_cpu_quarantined(2), "the sick CPU ends up quarantined");
+    assert!(k.recovery.cpus_quarantined.read() >= 1);
+    assert!(
+        k.recovery.threads_evacuated.read() >= 1,
+        "threads resident on the sick CPU's chain were evacuated"
+    );
+    let rep = synthesis::kernel::monitor::recovery_report(&k);
+    assert!(rep.cpus[2].quarantined);
+    assert!(rep.cpus[2].fault_events > 0, "faults charged to the CPU");
+    assert!(
+        !rep.cpus[0].quarantined && !rep.cpus[1].quarantined && !rep.cpus[3].quarantined,
+        "healthy CPUs stay in service"
+    );
+}
+
+/// Regression: a thread the watchdog quarantined must never be migrated
+/// onto another CPU's chain — not by stealing, and not by the CPU
+/// evacuation path when its home CPU is quarantined out from under it.
+#[test]
+fn quarantined_thread_is_not_evacuated_onto_healthy_cpus() {
+    let mut k = boot_smp(2);
+    let mut a = Asm::new("qspin");
+    let top = a.here();
+    a.bcc(synthesis::machine::isa::Cond::T, top);
+    let block = k.load_user_program(a.assemble().unwrap()).unwrap();
+    let victim = k.create_thread(block, USTACK, user_map()).unwrap();
+    let innocent = k.create_thread(block, USTACK + 0x1000, user_map()).unwrap();
+    k.threads.get_mut(&victim).unwrap().cpu = 1;
+    k.threads.get_mut(&innocent).unwrap().cpu = 1;
+    k.start(victim).unwrap();
+    k.start(innocent).unwrap();
+
+    k.quarantine(victim, "test: supervisor flagged it");
+    assert!(k.is_quarantined(victim));
+    assert!(
+        k.quarantine_cpu(1, "test: evacuation drill"),
+        "CPU 1 can be quarantined while CPU 0 is healthy"
+    );
+
+    // The innocent spinner moved to CPU 0; the quarantined one is on no
+    // chain at all and stays that way.
+    assert!(
+        k.cpus[0].ready.position(innocent).is_some(),
+        "the innocent thread was evacuated onto the healthy CPU"
+    );
+    assert!(
+        k.cpus[0].ready.position(victim).is_none(),
+        "the quarantined thread must not ride the evacuation"
+    );
+    assert!(k.cpus[1].ready.position(victim).is_none());
+    assert!(k.recovery.threads_evacuated.read() >= 1);
+    // And it never comes back through the scheduler either.
+    assert!(matches!(k.start(victim), Err(KernelError::Invalid(_))));
+    k.run(2_000_000);
+    assert!(k.cpus[0].ready.position(victim).is_none());
+    assert!(k.is_quarantined(victim));
 }
 
 // ------------------------------------------------------------ recovery --
