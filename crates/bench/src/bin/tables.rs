@@ -12,6 +12,10 @@
 //! tables --cpus 4 --json BENCH_6.json
 //! tables --recovery-report --cpus 4 --seed 7   # chaos-soak scoreboard
 //! tables --recovery-report --cpus 4 --json RECOVERY.json
+//! tables --capacity                  # 10k-thread capacity soak (BENCH_8)
+//! tables --capacity --json BENCH_8.json
+//! tables --capacity --threads 2000   # reduced population
+//! tables --capacity-gate NEW.json BASELINE.json   # CI regression gate
 //! ```
 //!
 //! `--cpus 1` (the default) reproduces the uniprocessor kernel byte for
@@ -19,7 +23,9 @@
 //! binary. `--cpus N` with N > 1 switches to the SMP scaling report
 //! (and makes `--trace-report` profile an N-CPU kernel).
 
-use synthesis_bench::{profile, render, smp, table1, table2, table3, table4, table5, Row};
+use synthesis_bench::{
+    capacity, profile, render, smp, table1, table2, table3, table4, table5, Row,
+};
 
 /// Minimal JSON string escaping (the row labels are plain ASCII, but be
 /// safe about quotes and backslashes).
@@ -235,6 +241,144 @@ fn trace_report_json(p: &profile::ProfileResult) -> String {
     )
 }
 
+/// Serialize the capacity soak (the BENCH_8 shape).
+fn capacity_json(r: &capacity::CapacityReport) -> String {
+    let scale: Vec<String> = r
+        .scale
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"cpus\": {}, \"threads\": {}, \"channels_open\": {}, \
+                 \"spawn_p50_us\": {:.3}, \"spawn_p90_us\": {:.3}, \"spawn_p99_us\": {:.3}, \
+                 \"spawn_max_us\": {:.3}, \"spin_ops\": {}, \"elapsed_ms\": {:.3}, \
+                 \"ops_per_ms\": {:.3}, \"signals_sent\": {}, \"signals_delivered\": {}, \
+                 \"dispatch_median_cycles\": {}, \"dispatch_max_cycles\": {}, \
+                 \"dispatch_samples\": {}, \"heap_in_use\": {}, \"code_in_use\": {}}}",
+                p.cpus,
+                p.threads,
+                p.channels_open,
+                p.spawn.p50,
+                p.spawn.p90,
+                p.spawn.p99,
+                p.spawn.max,
+                p.spin_ops,
+                p.elapsed_ms,
+                p.ops_per_ms,
+                p.signals_sent,
+                p.signals_delivered,
+                p.dispatch.median_cycles,
+                p.dispatch.max_cycles,
+                p.dispatch.samples,
+                p.heap_in_use,
+                p.code_in_use
+            )
+        })
+        .collect();
+    let baselines: Vec<String> = r
+        .baselines
+        .iter()
+        .map(|b| {
+            format!(
+                "    {{\"cpus\": {}, \"threads\": {}, \"samples\": {}, \
+                 \"median_cycles\": {}, \"max_cycles\": {}}}",
+                b.cpus, b.threads, b.samples, b.median_cycles, b.max_cycles
+            )
+        })
+        .collect();
+    let curve: Vec<String> = r
+        .curve
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"budget\": {}, \"cycles\": {}, \"hits\": {}, \"misses\": {}, \
+                 \"hit_rate\": {:.4}, \"resident_bytes\": {}, \"warm_bytes\": {}}}",
+                c.budget, c.cycles, c.hits, c.misses, c.hit_rate, c.resident_bytes, c.warm_bytes
+            )
+        })
+        .collect();
+    let l = &r.lifecycle;
+    format!(
+        "{{\n  \"machine\": \"16 MHz + 1 wait state (SUN 3/160 emulation mode)\",\n  \
+         \"threads\": {},\n  \"open_close_cycles\": {},\n  \
+         \"scale\": [\n{}\n  ],\n  \
+         \"dispatch_baselines\": [\n{}\n  ],\n  \
+         \"eviction_curve\": [\n{}\n  ],\n  \
+         \"lifecycle\": {{\"cycles\": {}, \"heap_before\": {}, \"heap_after\": {}, \
+         \"code_before\": {}, \"code_after\": {}, \"heap_high_water\": {}, \
+         \"heap_fragments\": {}, \"heap_largest_free\": {}}}\n}}\n",
+        r.scale.first().map_or(0, |p| p.threads),
+        r.open_close_cycles,
+        scale.join(",\n"),
+        baselines.join(",\n"),
+        curve.join(",\n"),
+        l.cycles,
+        l.heap_before,
+        l.heap_after,
+        l.code_before,
+        l.code_after,
+        l.heap_high_water,
+        l.heap_fragments,
+        l.heap_largest_free
+    )
+}
+
+/// First numeric value following `"key":` in a JSON document (enough
+/// for the gate's two scalar reads — no dependency needed).
+fn json_num(doc: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = doc.find(&needle)? + needle.len();
+    let rest = doc[at..].trim_start();
+    let end = rest
+        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Compare a fresh BENCH_8 against the checked-in baseline: spawn p99
+/// may grow at most 10%, ops/ms may drop at most 10%. Exits non-zero on
+/// a regression so CI fails the job.
+fn capacity_gate(new_path: &str, base_path: &str) {
+    let read = |p: &str| {
+        std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("error: cannot read {p}: {e}");
+            std::process::exit(1);
+        })
+    };
+    let (new, base) = (read(new_path), read(base_path));
+    let need = |doc: &str, path: &str, key: &str| {
+        json_num(doc, key).unwrap_or_else(|| {
+            eprintln!("error: {path} has no {key:?}");
+            std::process::exit(1);
+        })
+    };
+    let (new_p99, base_p99) = (
+        need(&new, new_path, "spawn_p99_us"),
+        need(&base, base_path, "spawn_p99_us"),
+    );
+    let (new_ops, base_ops) = (
+        need(&new, new_path, "ops_per_ms"),
+        need(&base, base_path, "ops_per_ms"),
+    );
+    let mut failed = false;
+    if new_p99 > base_p99 * 1.10 {
+        eprintln!("GATE FAIL: spawn p99 {new_p99:.3} µs > baseline {base_p99:.3} µs + 10%");
+        failed = true;
+    }
+    if new_ops < base_ops * 0.90 {
+        eprintln!(
+            "GATE FAIL: throughput {new_ops:.3} ops/ms < baseline {base_ops:.3} ops/ms - 10%"
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "capacity gate ok: p99 {new_p99:.3} µs (baseline {base_p99:.3}), \
+         {new_ops:.3} ops/ms (baseline {base_ops:.3})"
+    );
+}
+
 fn kernel_size() -> Vec<Row> {
     // Section 6.4: the whole kernel assembles to 64 KB; with 3 processes
     // running the resident kernel is 32 KB, growing with threads and
@@ -347,6 +491,43 @@ fn main() {
         None => 1,
     };
     let size_only = args.iter().any(|a| a == "--kernel-size");
+
+    if let Some(i) = args.iter().position(|a| a == "--capacity-gate") {
+        let (Some(new_path), Some(base_path)) = (args.get(i + 1), args.get(i + 2)) else {
+            eprintln!("error: --capacity-gate takes NEW.json BASELINE.json");
+            std::process::exit(2);
+        };
+        capacity_gate(new_path, base_path);
+        return;
+    }
+
+    if args.iter().any(|a| a == "--capacity") {
+        let threads: usize = match get("--threads") {
+            Some(s) => s.parse().unwrap_or_else(|_| {
+                eprintln!("error: --threads takes a positive number, got {s:?}");
+                std::process::exit(2);
+            }),
+            None => capacity::default_threads(),
+        };
+        eprintln!(
+            "[capacity: {threads} threads on 1 and 4 CPUs, eviction curve, lifecycle churn...]"
+        );
+        let report = capacity::run_capacity(
+            threads,
+            capacity::default_churn_per_point(),
+            capacity::default_lifecycle(),
+        );
+        if let Some(path) = get("--json") {
+            if let Err(e) = std::fs::write(&path, capacity_json(&report)) {
+                eprintln!("error: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("wrote {path}");
+        } else {
+            print!("{}", capacity::render(&report));
+        }
+        return;
+    }
 
     if args.iter().any(|a| a == "--recovery-report") {
         let seed: u64 = match get("--seed") {

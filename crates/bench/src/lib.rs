@@ -13,6 +13,7 @@
 
 #![warn(missing_docs)]
 
+pub mod capacity;
 pub mod profile;
 pub mod smp;
 pub mod static_cost;

@@ -454,6 +454,45 @@ impl QuajectCreator {
                 self.unload(m, &cached);
             }
             Release::NotCached => self.unload(m, s),
+            Release::Retained { trimmed } => {
+                // The released entry stays warm (a later identical open
+                // will hit); the budget trim may have pushed other warm
+                // blocks out — unload those.
+                self.cache_event(CacheEvent::Release {
+                    base: s.base,
+                    evicted: false,
+                });
+                for t in trimmed {
+                    self.cache_event(CacheEvent::Release {
+                        base: t.base,
+                        evicted: true,
+                    });
+                    self.unload(m, &t);
+                }
+            }
+        }
+    }
+
+    /// Set the specialization cache's warm-entry byte budget, unloading
+    /// whatever an immediate trim evicts (see [`SpecCache::set_budget`]).
+    pub fn set_cache_budget(&mut self, m: &mut Machine, bytes: u32) {
+        for t in self.cache.set_budget(bytes) {
+            self.cache_event(CacheEvent::Release {
+                base: t.base,
+                evicted: true,
+            });
+            self.unload(m, &t);
+        }
+    }
+
+    /// Evict and unload every warm (refcount-zero) cache entry.
+    pub fn flush_cache(&mut self, m: &mut Machine) {
+        for t in self.cache.flush() {
+            self.cache_event(CacheEvent::Release {
+                base: t.base,
+                evicted: true,
+            });
+            self.unload(m, &t);
         }
     }
 

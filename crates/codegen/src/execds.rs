@@ -10,9 +10,19 @@
 //! [`JumpChain`] maintains such a circular chain of code nodes: each node
 //! exposes the address of its patchable `jmp` and its entry point, and the
 //! chain rewires targets through the machine's code-patching interface.
+//!
+//! The chain is stored as a hash-linked circular list so that membership
+//! tests, neighbour lookups, insertion, and removal are all O(1) in the
+//! number of nodes — the host-side bookkeeping must stay as constant-cost
+//! as the guest-side dispatch it mirrors, or a 10k-thread ready queue
+//! would pay O(n) host work per scheduling operation. Order-dependent
+//! views ([`JumpChain::nodes`], [`JumpChain::position`]) walk the links
+//! from the head and remain O(n); they serve monitors, evacuation sweeps,
+//! and tests, never the per-dispatch hot path.
 
 use quamachine::error::MachineError;
 use quamachine::machine::Machine;
+use std::collections::HashMap;
 
 /// One node of an executable chain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,10 +35,19 @@ pub struct ChainNode {
     pub jmp_at: u32,
 }
 
+/// A node plus its circular-list neighbours (by id).
+#[derive(Debug, Clone, Copy)]
+struct Link {
+    node: ChainNode,
+    prev: u32,
+    next: u32,
+}
+
 /// A circular chain of code nodes traversed by executing it.
 #[derive(Debug, Default)]
 pub struct JumpChain {
-    nodes: Vec<ChainNode>,
+    links: HashMap<u32, Link>,
+    head: Option<u32>,
     /// Patches applied over the chain's lifetime (for the monitor).
     pub patch_count: u64,
 }
@@ -43,31 +62,88 @@ impl JumpChain {
     /// Number of nodes.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.links.len()
     }
 
     /// Whether the chain is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.links.is_empty()
     }
 
-    /// The nodes in traversal order.
+    /// Whether a node with `id` is in the chain. O(1).
     #[must_use]
-    pub fn nodes(&self) -> &[ChainNode] {
-        &self.nodes
+    pub fn contains(&self, id: u32) -> bool {
+        self.links.contains_key(&id)
     }
 
-    /// Position of a node by id.
+    /// The first node in traversal order. O(1).
+    #[must_use]
+    pub fn head(&self) -> Option<ChainNode> {
+        self.head.map(|h| self.links[&h].node)
+    }
+
+    /// The node following `id` (circularly), if `id` is in the chain.
+    /// O(1).
+    #[must_use]
+    pub fn next_of_id(&self, id: u32) -> Option<ChainNode> {
+        let l = self.links.get(&id)?;
+        Some(self.links[&l.next].node)
+    }
+
+    /// The node preceding `id` (circularly), if `id` is in the chain.
+    /// O(1).
+    #[must_use]
+    pub fn prev_of_id(&self, id: u32) -> Option<ChainNode> {
+        let l = self.links.get(&id)?;
+        Some(self.links[&l.prev].node)
+    }
+
+    /// The nodes in traversal order, starting at the head. O(n) — the
+    /// order is defined by the links themselves, never by hash-map
+    /// iteration, so it is deterministic.
+    #[must_use]
+    pub fn nodes(&self) -> Vec<ChainNode> {
+        let mut out = Vec::with_capacity(self.links.len());
+        let Some(h) = self.head else {
+            return out;
+        };
+        let mut cur = h;
+        loop {
+            let l = &self.links[&cur];
+            out.push(l.node);
+            cur = l.next;
+            if cur == h {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Position of a node by id, in traversal order. O(n); for
+    /// membership alone use [`JumpChain::contains`].
     #[must_use]
     pub fn position(&self, id: u32) -> Option<usize> {
-        self.nodes.iter().position(|n| n.id == id)
+        let h = self.head?;
+        let mut cur = h;
+        let mut i = 0;
+        loop {
+            if cur == id {
+                return Some(i);
+            }
+            cur = self.links[&cur].next;
+            i += 1;
+            if cur == h {
+                return None;
+            }
+        }
     }
 
-    /// The node following position `i` (circularly).
+    /// The node following position `i` (circularly). O(n).
     #[must_use]
-    pub fn next_of(&self, i: usize) -> &ChainNode {
-        &self.nodes[(i + 1) % self.nodes.len()]
+    pub fn next_of(&self, i: usize) -> ChainNode {
+        let nodes = self.nodes();
+        nodes[(i + 1) % nodes.len()]
     }
 
     fn patch(&mut self, m: &mut Machine, jmp_at: u32, target: u32) -> Result<(), MachineError> {
@@ -75,9 +151,76 @@ impl JumpChain {
         m.code.patch_jmp_target(jmp_at, target)
     }
 
-    /// Insert `node` after position `at` (or as the only node), patching
-    /// the predecessor's `jmp` to enter it and its `jmp` to continue the
-    /// chain.
+    /// Insert `node` after the node with id `after`, patching the
+    /// predecessor's `jmp` to enter it and its `jmp` to continue the
+    /// chain. O(1).
+    fn insert_after_id(
+        &mut self,
+        m: &mut Machine,
+        after: u32,
+        node: ChainNode,
+    ) -> Result<(), MachineError> {
+        debug_assert!(!self.contains(node.id), "duplicate chain id");
+        let next_id = self.links[&after].next;
+        let next_entry = self.links[&next_id].node.entry;
+        let pred_jmp = self.links[&after].node.jmp_at;
+        self.patch(m, node.jmp_at, next_entry)?;
+        self.patch(m, pred_jmp, node.entry)?;
+        self.links.insert(
+            node.id,
+            Link {
+                node,
+                prev: after,
+                next: next_id,
+            },
+        );
+        self.links.get_mut(&after).expect("pred exists").next = node.id;
+        self.links.get_mut(&next_id).expect("succ exists").prev = node.id;
+        Ok(())
+    }
+
+    /// Insert `node` as the chain's only member, chained to itself.
+    fn insert_sole(&mut self, m: &mut Machine, node: ChainNode) -> Result<(), MachineError> {
+        debug_assert!(self.links.is_empty());
+        self.patch(m, node.jmp_at, node.entry)?;
+        self.links.insert(
+            node.id,
+            Link {
+                node,
+                prev: node.id,
+                next: node.id,
+            },
+        );
+        self.head = Some(node.id);
+        Ok(())
+    }
+
+    /// Insert `node` so it runs next after `after` — the Synthesis
+    /// unblocking rule: "As an event unblocks a thread, its TTE is placed
+    /// at the front of the ready queue, giving it immediate access to the
+    /// CPU" (paper Section 4.4). With `after` absent (or not in the
+    /// chain) the node goes right after the head; on an empty chain it
+    /// becomes the sole, self-chained node. O(1).
+    ///
+    /// # Errors
+    ///
+    /// Fails if a `jmp` address does not hold a patchable jump.
+    pub fn insert_next(
+        &mut self,
+        m: &mut Machine,
+        after: Option<u32>,
+        node: ChainNode,
+    ) -> Result<(), MachineError> {
+        match (after.filter(|a| self.contains(*a)), self.head) {
+            (_, None) => self.insert_sole(m, node),
+            (Some(a), _) => self.insert_after_id(m, a, node),
+            (None, Some(h)) => self.insert_after_id(m, h, node),
+        }
+    }
+
+    /// Insert `node` after position `at` (or as the only node). Position
+    /// lookup is O(n); embedders on the hot path use
+    /// [`JumpChain::insert_next`] instead.
     ///
     /// # Errors
     ///
@@ -90,26 +233,18 @@ impl JumpChain {
     ) -> Result<(), MachineError> {
         match at {
             None => {
-                debug_assert!(self.nodes.is_empty());
-                // A single node chains to itself.
-                self.patch(m, node.jmp_at, node.entry)?;
-                self.nodes.push(node);
+                debug_assert!(self.links.is_empty());
+                self.insert_sole(m, node)
             }
             Some(i) => {
-                let next_entry = self.next_of(i).entry;
-                let pred_jmp = self.nodes[i].jmp_at;
-                self.patch(m, node.jmp_at, next_entry)?;
-                self.patch(m, pred_jmp, node.entry)?;
-                self.nodes.insert(i + 1, node);
+                let after = self.nodes()[i].id;
+                self.insert_after_id(m, after, node)
             }
         }
-        Ok(())
     }
 
-    /// Insert `node` so it is the *next* node after position `cur` — the
-    /// Synthesis unblocking rule: "As an event unblocks a thread, its TTE
-    /// is placed at the front of the ready queue, giving it immediate
-    /// access to the CPU" (paper Section 4.4).
+    /// Insert `node` so it is the *next* node after position `cur` (see
+    /// [`JumpChain::insert_next`] for the O(1) id-based form).
     ///
     /// # Errors
     ///
@@ -124,23 +259,30 @@ impl JumpChain {
     }
 
     /// Remove the node with `id`, patching its predecessor to skip it.
-    /// Returns the removed node.
+    /// Returns the removed node. O(1).
     ///
     /// # Errors
     ///
     /// Fails if a `jmp` address does not hold a patchable jump.
     pub fn remove(&mut self, m: &mut Machine, id: u32) -> Result<Option<ChainNode>, MachineError> {
-        let Some(i) = self.position(id) else {
+        let Some(link) = self.links.get(&id).copied() else {
             return Ok(None);
         };
-        if self.nodes.len() == 1 {
-            return Ok(Some(self.nodes.remove(i)));
+        if self.links.len() == 1 {
+            self.links.remove(&id);
+            self.head = None;
+            return Ok(Some(link.node));
         }
-        let next_entry = self.next_of(i).entry;
-        let pred = (i + self.nodes.len() - 1) % self.nodes.len();
-        let pred_jmp = self.nodes[pred].jmp_at;
+        let next_entry = self.links[&link.next].node.entry;
+        let pred_jmp = self.links[&link.prev].node.jmp_at;
         self.patch(m, pred_jmp, next_entry)?;
-        Ok(Some(self.nodes.remove(i)))
+        self.links.get_mut(&link.prev).expect("pred exists").next = link.next;
+        self.links.get_mut(&link.next).expect("succ exists").prev = link.prev;
+        self.links.remove(&id);
+        if self.head == Some(id) {
+            self.head = Some(link.next);
+        }
+        Ok(Some(link.node))
     }
 }
 
@@ -243,6 +385,7 @@ mod tests {
         let removed = chain.remove(&mut m, 10).unwrap().unwrap();
         assert_eq!(removed.id, 10);
         assert!(chain.is_empty());
+        assert_eq!(chain.head(), None);
     }
 
     #[test]
@@ -276,5 +419,98 @@ mod tests {
         chain.insert_after(&mut m, Some(0), n1).unwrap();
         chain.remove(&mut m, 2).unwrap();
         assert_eq!(chain.patch_count, 4); // 1 + 2 + 1
+    }
+
+    #[test]
+    fn insert_next_matches_position_semantics() {
+        // insert_next(None) on a non-empty chain goes right after the
+        // head, exactly like insert_after(Some(0)).
+        let mut m = Machine::new(MachineConfig::sun3_emulation());
+        let n0 = make_node(&mut m, 0x1000, 10);
+        let n1 = make_node(&mut m, 0x1100, 11);
+        let n2 = make_node(&mut m, 0x1200, 12);
+        let mut chain = JumpChain::new();
+        chain.insert_next(&mut m, None, n0).unwrap();
+        chain.insert_next(&mut m, None, n1).unwrap();
+        chain.insert_next(&mut m, Some(11), n2).unwrap();
+        assert_eq!(
+            chain.nodes().iter().map(|n| n.id).collect::<Vec<_>>(),
+            vec![10, 11, 12]
+        );
+        let visits = run_chain(&mut m, n0.entry, 6);
+        assert_eq!(visits, vec![10, 11, 12, 10, 11, 12]);
+    }
+
+    #[test]
+    fn neighbour_lookups_are_consistent_with_order() {
+        let mut m = Machine::new(MachineConfig::sun3_emulation());
+        let mut chain = JumpChain::new();
+        for i in 0..5u32 {
+            let n = make_node(&mut m, 0x1000 + i * 0x100, i);
+            let at = if chain.is_empty() {
+                None
+            } else {
+                Some(i as usize - 1)
+            };
+            chain.insert_after(&mut m, at, n).unwrap();
+        }
+        let order: Vec<u32> = chain.nodes().iter().map(|n| n.id).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+        for (i, &id) in order.iter().enumerate() {
+            assert!(chain.contains(id));
+            assert_eq!(chain.position(id), Some(i));
+            assert_eq!(
+                chain.next_of_id(id).unwrap().id,
+                order[(i + 1) % order.len()]
+            );
+            assert_eq!(
+                chain.prev_of_id(id).unwrap().id,
+                order[(i + order.len() - 1) % order.len()]
+            );
+        }
+        assert_eq!(chain.head().unwrap().id, 0);
+    }
+
+    #[test]
+    fn head_advances_when_head_is_removed() {
+        let mut m = Machine::new(MachineConfig::sun3_emulation());
+        let n0 = make_node(&mut m, 0x1000, 10);
+        let n1 = make_node(&mut m, 0x1100, 11);
+        let n2 = make_node(&mut m, 0x1200, 12);
+        let mut chain = JumpChain::new();
+        chain.insert_next(&mut m, None, n0).unwrap();
+        chain.insert_next(&mut m, Some(10), n1).unwrap();
+        chain.insert_next(&mut m, Some(11), n2).unwrap();
+        chain.remove(&mut m, 10).unwrap().unwrap();
+        assert_eq!(chain.head().unwrap().id, 11);
+        assert_eq!(
+            chain.nodes().iter().map(|n| n.id).collect::<Vec<_>>(),
+            vec![11, 12]
+        );
+    }
+
+    #[test]
+    fn scale_membership_and_neighbours_without_walks() {
+        // A large chain: every O(1) query agrees with the O(n) walk.
+        let mut m = Machine::new(MachineConfig::sun3_emulation());
+        let mut chain = JumpChain::new();
+        for i in 0..500u32 {
+            let n = make_node(&mut m, 0x1_0000 + i * 0x40, i);
+            let after = if i == 0 { None } else { Some(i - 1) };
+            chain.insert_next(&mut m, after, n).unwrap();
+        }
+        assert_eq!(chain.len(), 500);
+        let order: Vec<u32> = chain.nodes().iter().map(|n| n.id).collect();
+        for w in order.windows(2) {
+            assert_eq!(chain.next_of_id(w[0]).unwrap().id, w[1]);
+            assert_eq!(chain.prev_of_id(w[1]).unwrap().id, w[0]);
+        }
+        // Remove every third node; the remaining order survives.
+        for i in (0..500u32).step_by(3) {
+            chain.remove(&mut m, i).unwrap().unwrap();
+        }
+        let left: Vec<u32> = chain.nodes().iter().map(|n| n.id).collect();
+        assert_eq!(left.len(), chain.len());
+        assert!(left.iter().all(|&i| i % 3 != 0));
     }
 }

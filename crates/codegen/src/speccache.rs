@@ -9,8 +9,21 @@
 //! counts them: a second `synthesize` with identical invariants returns
 //! the already-installed block (charging only link cost), and `destroy`
 //! frees the code-buffer extent only when the last reference drops.
+//!
+//! # Eviction under pressure
+//!
+//! With a zero [`byte budget`](SpecCache::set_budget) (the default) the
+//! last `release` evicts immediately — byte-identical to the original
+//! cache. A non-zero budget keeps *warm* entries (refcount zero) resident
+//! up to that many bytes, so a re-open with the same invariants is a
+//! cache hit instead of a full resynthesis. When the warm set overflows
+//! the budget, the cache trims it with a cost-aware LRU: among the
+//! oldest warm entries it evicts the one cheapest to resynthesize first
+//! (`synth_cycles`), so expensive specializations survive pressure the
+//! longest. Referenced entries are never trimmed — the budget governs
+//! only refcount-zero residue.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use crate::creator::{SynthesisOptions, Synthesized};
 use crate::template::Bindings;
@@ -84,6 +97,10 @@ struct SpecEntry {
     /// from one CPU only is local-tier; one referenced from several CPUs
     /// has been promoted to the shared read-mostly tier.
     cpus_seen: u32,
+    /// LRU stamp of the release that made this entry warm; meaningful
+    /// only while `refs == 0` (the entry is then indexed in the warm
+    /// list under this stamp).
+    stamp: u64,
 }
 
 /// What a [`SpecCache::release`] did.
@@ -97,7 +114,20 @@ pub enum Release {
     /// The last reference dropped: the entry was evicted and the caller
     /// must unload and free the returned block.
     Evicted(Synthesized),
+    /// The last reference dropped but the entry stays warm under the
+    /// eviction budget; the caller must unload each *trimmed* block the
+    /// retention pushed over the budget (possibly including the released
+    /// one itself, when it alone exceeds the budget).
+    Retained {
+        /// Warm entries the budget trim evicted as a consequence.
+        trimmed: Vec<Synthesized>,
+    },
 }
+
+/// How many of the oldest warm entries the trim considers per eviction —
+/// the "cost-aware" window: within it, the cheapest-to-resynthesize
+/// block goes first.
+const TRIM_WINDOW: usize = 8;
 
 /// The reference-counted specialization cache.
 #[derive(Debug, Default)]
@@ -106,6 +136,15 @@ pub struct SpecCache {
     /// Reverse index: installed base address → key (for `release`, which
     /// only has the `Synthesized` in hand).
     by_base: HashMap<u32, SpecKey>,
+    /// Byte budget for warm (refcount-zero) entries; 0 = evict on last
+    /// release.
+    budget: u32,
+    /// Bytes currently held by warm entries.
+    warm_bytes: u64,
+    /// LRU order over warm entries: release stamp → installed base.
+    warm: BTreeMap<u64, u32>,
+    /// Monotonic release stamp source.
+    tick: u64,
 }
 
 impl SpecCache {
@@ -123,9 +162,15 @@ impl SpecCache {
 
     /// Look up `key` from CPU `cpu`; on a hit, take a reference and
     /// return the shared block plus whether the hit crossed CPUs (the
-    /// requester is not the CPU that synthesized the block).
+    /// requester is not the CPU that synthesized the block). A hit on a
+    /// warm (refcount-zero) entry revives it out of the trim list.
     pub fn acquire_on(&mut self, key: &SpecKey, cpu: usize) -> Option<(Synthesized, bool)> {
         let e = self.entries.get_mut(key)?;
+        if e.refs == 0 {
+            self.warm.remove(&e.stamp);
+            self.warm_bytes -= u64::from(e.code.size);
+            e.stamp = 0;
+        }
         e.refs += 1;
         e.cpus_seen |= 1u32 << (cpu % 32);
         Some((e.code.clone(), cpu != e.first_cpu))
@@ -148,6 +193,7 @@ impl SpecCache {
                 refs: 1,
                 first_cpu: cpu,
                 cpus_seen: 1u32 << (cpu % 32),
+                stamp: 0,
             },
         );
     }
@@ -162,9 +208,95 @@ impl SpecCache {
         if e.refs > 0 {
             return Release::Shared;
         }
-        let key = self.by_base.remove(&base).expect("present");
-        let e = self.entries.remove(&key).expect("present");
-        Release::Evicted(e.code)
+        if self.budget == 0 {
+            let key = self.by_base.remove(&base).expect("present");
+            let e = self.entries.remove(&key).expect("present");
+            return Release::Evicted(e.code);
+        }
+        // Keep the entry warm under the budget; trim the oldest/cheapest
+        // warm entries past it.
+        self.tick += 1;
+        let stamp = self.tick;
+        e.stamp = stamp;
+        let size = e.code.size;
+        self.warm.insert(stamp, base);
+        self.warm_bytes += u64::from(size);
+        Release::Retained {
+            trimmed: self.trim_to_budget(),
+        }
+    }
+
+    /// Evict warm entries until `warm_bytes <= budget`, cost-aware LRU:
+    /// among the [`TRIM_WINDOW`] oldest warm entries, the one cheapest to
+    /// resynthesize goes first (ties fall to the oldest). Returns the
+    /// evicted blocks for the caller to unload.
+    fn trim_to_budget(&mut self) -> Vec<Synthesized> {
+        let mut out = Vec::new();
+        while self.warm_bytes > u64::from(self.budget) {
+            let victim = self
+                .warm
+                .iter()
+                .take(TRIM_WINDOW)
+                .min_by_key(|(stamp, base)| {
+                    let key = &self.by_base[base];
+                    (self.entries[key].code.synth_cycles, **stamp)
+                })
+                .map(|(stamp, base)| (*stamp, *base));
+            let Some((stamp, base)) = victim else {
+                break;
+            };
+            self.warm.remove(&stamp);
+            let key = self.by_base.remove(&base).expect("warm entry indexed");
+            let e = self.entries.remove(&key).expect("warm entry present");
+            self.warm_bytes -= u64::from(e.code.size);
+            out.push(e.code);
+        }
+        out
+    }
+
+    /// Set the warm-entry byte budget. Shrinking it trims immediately;
+    /// the caller must unload the returned blocks.
+    pub fn set_budget(&mut self, bytes: u32) -> Vec<Synthesized> {
+        self.budget = bytes;
+        if bytes == 0 {
+            self.flush()
+        } else {
+            self.trim_to_budget()
+        }
+    }
+
+    /// The warm-entry byte budget.
+    #[must_use]
+    pub fn budget(&self) -> u32 {
+        self.budget
+    }
+
+    /// Bytes currently held by warm (refcount-zero) entries.
+    #[must_use]
+    pub fn warm_bytes(&self) -> u64 {
+        self.warm_bytes
+    }
+
+    /// Number of warm (refcount-zero) entries.
+    #[must_use]
+    pub fn warm_len(&self) -> usize {
+        self.warm.len()
+    }
+
+    /// Evict every warm entry regardless of budget; the caller must
+    /// unload the returned blocks. Referenced entries stay.
+    pub fn flush(&mut self) -> Vec<Synthesized> {
+        let mut out = Vec::new();
+        let stamps: Vec<u64> = self.warm.keys().copied().collect();
+        for stamp in stamps {
+            let base = self.warm.remove(&stamp).expect("listed");
+            let key = self.by_base.remove(&base).expect("warm entry indexed");
+            let e = self.entries.remove(&key).expect("warm entry present");
+            self.warm_bytes -= u64::from(e.code.size);
+            out.push(e.code);
+        }
+        debug_assert_eq!(self.warm_bytes, 0);
+        out
     }
 
     /// Reference count of the block at `base`, if cached.

@@ -166,3 +166,65 @@ proptest! {
         prop_assert_eq!(hit.instrs_out, fresh.instrs_out);
     }
 }
+
+proptest! {
+    /// Eviction churn soundness: after an arbitrary sequence of cached
+    /// acquires and releases under a small warm-byte budget, (a) the
+    /// warm set never exceeds the budget, (b) a block re-synthesized
+    /// after the churn is byte-identical to what a fresh creator
+    /// produces, and (c) on teardown every byte is accounted back —
+    /// warm, resident, and code-buffer all balance to zero.
+    #[test]
+    fn eviction_churn_is_sound_and_balances(
+        budget in 0u32..4096,
+        ops in proptest::collection::vec((0usize..6, any::<bool>()), 1..120),
+    ) {
+        let mut m = machine();
+        let mut c = creator();
+        c.set_cache_budget(&mut m, budget);
+        let opts = SynthesisOptions::full();
+        // Six distinct specializations; slots spaced so each key is a
+        // distinct binding vector (and so a distinct cache key).
+        let keys: Vec<Bindings> = (0..6u32)
+            .map(|i| bindings(0x8000 + 0x40 * i, 0x9000 + 0x40 * i, 4 + i))
+            .collect();
+
+        let mut live: Vec<synthesis_codegen::creator::Synthesized> = Vec::new();
+        for &(key, acquire) in &ops {
+            if acquire || live.is_empty() {
+                live.push(c.synthesize_cached(&mut m, "chan", &keys[key], opts).unwrap());
+            } else {
+                let s = live.swap_remove(key % live.len());
+                c.destroy(&mut m, &s);
+            }
+            prop_assert!(
+                c.cache.warm_bytes() <= u64::from(budget),
+                "warm set exceeds budget: {} > {}", c.cache.warm_bytes(), budget
+            );
+        }
+
+        // (b) churn never corrupts what the cache serves: re-acquire
+        // each key and compare bytes against an untouched creator.
+        let mut m2 = machine();
+        let mut c2 = creator();
+        for key in &keys {
+            let got = c.synthesize_cached(&mut m, "chan", key, opts).unwrap();
+            let fresh = c2.synthesize(&mut m2, "chan", key, opts).unwrap();
+            let got_block = m.code.block(got.base).unwrap();
+            let fresh_block = m2.code.block(fresh.base).unwrap();
+            prop_assert_eq!(&got_block.instrs, &fresh_block.instrs);
+            prop_assert_eq!(got.size, fresh.size);
+            live.push(got);
+        }
+
+        // (c) teardown balances to zero.
+        for s in live.drain(..) {
+            c.destroy(&mut m, &s);
+        }
+        c.flush_cache(&mut m);
+        prop_assert_eq!(c.cache.warm_bytes(), 0);
+        prop_assert_eq!(c.cache.resident_bytes(), 0);
+        prop_assert!(c.cache.is_empty());
+        prop_assert_eq!(c.codebuf.in_use, 0);
+    }
+}

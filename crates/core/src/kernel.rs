@@ -73,6 +73,14 @@ pub struct KernelConfig {
     /// `SYNTHESIS_CPUS` environment variable, falling back to 1; one CPU
     /// reproduces the uniprocessor kernel byte for byte.
     pub cpus: usize,
+    /// Quaspace partition. The default reproduces the 2.5 MB Quamachine
+    /// constants exactly; the capacity harness boots with
+    /// [`layout::MemLayout::for_threads`] to make room for 10k+ TTEs.
+    pub layout: layout::MemLayout,
+    /// Specialization-cache warm-entry byte budget (0 = evict on last
+    /// release, the historical behaviour; see
+    /// [`synthesis_codegen::speccache::SpecCache`]).
+    pub cache_budget: u32,
 }
 
 /// CPU count from `SYNTHESIS_CPUS`, clamped to 1..=8; 1 if unset/garbage.
@@ -94,6 +102,8 @@ impl Default for KernelConfig {
             default_quantum_us: 200,
             trace_records: crate::trace::DEFAULT_RING_RECORDS,
             cpus: cpus_from_env(),
+            layout: layout::MemLayout::default(),
+            cache_budget: 0,
         }
     }
 }
@@ -328,8 +338,14 @@ pub struct Kernel {
     /// compile with the `trace` feature off; the kernel's own recording
     /// paths are what the feature gates.
     pub trace: crate::trace::TraceSet,
+    /// The quaspace partition this kernel booted with.
+    pub layout: layout::MemLayout,
 
     shared: SharedCode,
+    /// Extents of every live switch quaject, `base -> base + size`:
+    /// the O(1) index behind [`Kernel::in_switch_code`] (a linear scan
+    /// over all threads would make every safe-point step O(n)).
+    sw_extents: BTreeMap<u32, u32>,
     next_tid: Tid,
     vbr_to_tid: HashMap<u32, Tid>,
     /// Per-CPU installed address-map ids (the MMU is per CPU; switching
@@ -377,6 +393,8 @@ impl Kernel {
         let ncpus = cfg.cpus.clamp(1, 8);
         let mut machine_cfg = cfg.machine;
         machine_cfg.cpus = ncpus;
+        // A scaled layout needs the physical memory to hold it.
+        machine_cfg.mem_size = machine_cfg.mem_size.max(cfg.layout.mem_size);
         let mut m = Machine::new(machine_cfg);
         let timer = m.attach_device(Box::new(Timer::new(irq_levels::QUANTUM)));
         let alarm = m.attach_device(Box::new(Timer::new(irq_levels::ALARM)));
@@ -395,11 +413,13 @@ impl Kernel {
             null,
         };
 
-        let mut creator = QuajectCreator::new(layout::CODE_BASE, layout::CODE_LEN);
+        let mut creator = QuajectCreator::new(cfg.layout.code_base, cfg.layout.code_len);
         templates::install_all(&mut creator.lib);
         creator.lib.add(crate::io::tty::cooked_read_template());
+        let trimmed = creator.cache.set_budget(cfg.cache_budget);
+        debug_assert!(trimmed.is_empty(), "empty cache trims nothing");
 
-        let mut heap = FastFit::new(layout::KERNEL_HEAP_BASE, layout::KERNEL_HEAP_LEN);
+        let mut heap = FastFit::new(cfg.layout.heap_base, cfg.layout.heap_len);
         let tty_srv =
             TtyServer::allocate(&mut m, &mut heap, dev_reg_addr(tty, tty_regs::REG_DATA))?;
 
@@ -502,6 +522,8 @@ impl Kernel {
             recovery: RecoveryGauges::default(),
             recovery_log: Vec::new(),
             trace: crate::trace::TraceSet::new(cfg.trace_records),
+            layout: cfg.layout,
+            sw_extents: BTreeMap::new(),
             shared: SharedCode {
                 trampoline,
                 ebadf,
@@ -612,6 +634,7 @@ impl Kernel {
         // Factorization + optimization: the per-thread switch code.
         let quantum = self.default_quantum_us;
         let sw = self.synth_switch(tid, tte, vt, quantum, false)?;
+        self.sw_extents.insert(sw.base, sw.base + sw.size);
         let (sw_out, ipi_in, sw_in, sw_in_mmu, jmp_at) = Kernel::switch_entries(&self.m, &sw);
 
         // Per-thread trap dispatchers and error handler.
@@ -845,7 +868,7 @@ impl Kernel {
                 self.threads.get_mut(&tid).expect("exists").cpu = h;
             }
         }
-        if self.cpus[home].ready.position(tid).is_some() {
+        if self.cpus[home].ready.contains(tid) {
             return Ok(());
         }
         let node = ChainNode {
@@ -853,20 +876,16 @@ impl Kernel {
             entry: sw_in,
             jmp_at,
         };
-        let at = self
+        let after = self
             .current_tid_on(home)
-            .and_then(|cur| self.cpus[home].ready.position(cur))
-            .or_else(|| {
-                if self.cpus[home].ready.is_empty() {
-                    None
-                } else {
-                    Some(0)
-                }
-            });
-        self.cpus[home].ready.insert_front(&mut self.m, at, node)?;
+            .filter(|cur| self.cpus[home].ready.contains(*cur));
+        self.cpus[home]
+            .ready
+            .insert_next(&mut self.m, after, node)?;
         self.threads.get_mut(&tid).expect("exists").state = ThreadState::Ready;
         self.balance_idle_on(home)?;
-        self.fix_chain_entries_on(home)?;
+        self.fix_links_around(home, tid)?;
+        self.fix_offchain_current(home)?;
         let c = 2 * charges::code_patch(&self.m.cost) + charges::kcall_overhead(&self.m.cost);
         self.m.charge(c);
         self.kick(home);
@@ -926,10 +945,14 @@ impl Kernel {
         }
         self.pooled.remove(&tid);
         let home = self.home_cpu(tid);
+        let pred = self.cpus[home].ready.prev_of_id(tid).map(|p| p.id);
         self.cpus[home].ready.remove(&mut self.m, tid)?;
         self.threads.get_mut(&tid).expect("exists").state = ThreadState::Stopped;
         self.balance_idle_on(home)?;
-        self.fix_chain_entries_on(home)?;
+        if let Some(pred) = pred.filter(|p| *p != tid) {
+            self.fix_link_from(home, pred)?;
+        }
+        self.fix_offchain_current(home)?;
         let c = charges::code_patch(&self.m.cost) + charges::kcall_overhead(&self.m.cost);
         self.m.charge(c);
         if was_current {
@@ -944,22 +967,21 @@ impl Kernel {
     /// which would tax every runnable thread by a whole idle quantum.
     fn balance_idle_on(&mut self, cpu: usize) -> Result<(), KernelError> {
         let idle = self.cpus[cpu].idle_tid;
-        let others = self.cpus[cpu].ready.nodes().iter().any(|n| n.id != idle);
-        let idle_in = self.cpus[cpu].ready.position(idle).is_some();
+        let idle_in = self.cpus[cpu].ready.contains(idle);
+        let others = self.cpus[cpu].ready.len() > usize::from(idle_in);
         if others && idle_in {
             // If the machine is currently executing idle (or its switch
             // code), leave it for now; the next quantum moves on anyway.
+            let pred = self.cpus[cpu].ready.prev_of_id(idle).map(|p| p.id);
             self.cpus[cpu].ready.remove(&mut self.m, idle)?;
+            if let Some(pred) = pred.filter(|p| *p != idle) {
+                self.fix_link_from(cpu, pred)?;
+            }
             // Idle's own jmp must keep pointing somewhere valid in case
             // the machine is mid-idle right now: route it into the chain.
-            let first = self.cpus[cpu].ready.nodes()[0];
-            let t = &self.threads[&first.id];
+            let first = self.cpus[cpu].ready.head().expect("others remain");
+            let entry = self.entry_into(idle, first.id);
             let idle_t = &self.threads[&idle];
-            let entry = if idle_t.map.id == t.map.id {
-                t.sw_in
-            } else {
-                t.sw_in_mmu
-            };
             self.m.code.patch_jmp_target(idle_t.jmp_at, entry)?;
             self.threads.get_mut(&idle).expect("idle exists").state = ThreadState::Stopped;
         } else if !others && !idle_in {
@@ -978,37 +1000,78 @@ impl Kernel {
     /// Re-point each chain node's jump at the successor's `sw_in` or
     /// `sw_in_mmu` depending on whether the address space changes
     /// (Figure 3's two entry points).
+    /// Bulk fallback for rare whole-chain events (CPU quarantine, FP
+    /// resynthesis); routine membership changes use the O(1)
+    /// [`Kernel::fix_links_around`] instead.
     fn fix_chain_entries_on(&mut self, cpu: usize) -> Result<(), KernelError> {
-        let nodes: Vec<ChainNode> = self.cpus[cpu].ready.nodes().to_vec();
+        let nodes: Vec<ChainNode> = self.cpus[cpu].ready.nodes();
         for (i, node) in nodes.iter().enumerate() {
             let next = &nodes[(i + 1) % nodes.len()];
-            let a = &self.threads[&node.id];
-            let b = &self.threads[&next.id];
-            let entry = if a.map.id == b.map.id {
-                b.sw_in
-            } else {
-                b.sw_in_mmu
-            };
+            let entry = self.entry_into(node.id, next.id);
             self.m.code.patch_jmp_target(node.jmp_at, entry)?;
         }
-        // A thread this CPU is executing right now but that is no longer
-        // a chain node (a parked-off idle, or a victim whose ready entry
-        // was just stolen) still exits through its own jmp. Keep that jmp
-        // routed at the chain's head, or the CPU would follow a stale
-        // pointer into a thread that now belongs to another CPU's chain.
-        if let Some(cur) = self.current_tid_on(cpu) {
-            if self.cpus[cpu].ready.position(cur).is_none() {
-                if let (Some(head), Some(a)) = (nodes.first(), self.threads.get(&cur)) {
-                    let b = &self.threads[&head.id];
-                    let entry = if a.map.id == b.map.id {
-                        b.sw_in
-                    } else {
-                        b.sw_in_mmu
-                    };
-                    self.m.code.patch_jmp_target(a.jmp_at, entry)?;
-                }
+        self.fix_offchain_current(cpu)
+    }
+
+    /// The chain entry `to` presents to `from`: `sw_in` when the address
+    /// map is unchanged, `sw_in_mmu` when the MMU must be switched
+    /// (Figure 3's two entry points).
+    fn entry_into(&self, from: Tid, to: Tid) -> u32 {
+        let a = &self.threads[&from];
+        let b = &self.threads[&to];
+        if a.map.id == b.map.id {
+            b.sw_in
+        } else {
+            b.sw_in_mmu
+        }
+    }
+
+    /// Re-point one chain node's jmp at its current successor's proper
+    /// entry. No-op when `from` is not in the chain. O(1): the entry
+    /// choice depends only on the `(node, successor)` pair, so a
+    /// membership change never needs the whole-chain repatch.
+    fn fix_link_from(&mut self, cpu: usize, from: Tid) -> Result<(), KernelError> {
+        let Some(next) = self.cpus[cpu].ready.next_of_id(from) else {
+            return Ok(());
+        };
+        let jmp_at = self.threads[&from].jmp_at;
+        let entry = self.entry_into(from, next.id);
+        self.m.code.patch_jmp_target(jmp_at, entry)?;
+        Ok(())
+    }
+
+    /// Fix the links a membership change around `tid` disturbed: the
+    /// predecessor's jmp into `tid`, and `tid`'s own jmp onward.
+    fn fix_links_around(&mut self, cpu: usize, tid: Tid) -> Result<(), KernelError> {
+        if let Some(prev) = self.cpus[cpu].ready.prev_of_id(tid) {
+            if prev.id != tid {
+                self.fix_link_from(cpu, prev.id)?;
             }
         }
+        self.fix_link_from(cpu, tid)
+    }
+
+    /// A thread this CPU is executing right now but that is no longer a
+    /// chain node (a parked-off idle, a blocked current, a victim whose
+    /// ready entry was just stolen) still exits through its own jmp. Keep
+    /// that jmp routed at the chain's head, or the CPU would follow a
+    /// stale pointer into a thread that now belongs to another CPU.
+    fn fix_offchain_current(&mut self, cpu: usize) -> Result<(), KernelError> {
+        let Some(cur) = self.current_tid_on(cpu) else {
+            return Ok(());
+        };
+        if self.cpus[cpu].ready.contains(cur) {
+            return Ok(());
+        }
+        let Some(head) = self.cpus[cpu].ready.head() else {
+            return Ok(());
+        };
+        if !self.threads.contains_key(&cur) {
+            return Ok(());
+        }
+        let jmp_at = self.threads[&cur].jmp_at;
+        let entry = self.entry_into(cur, head.id);
+        self.m.code.patch_jmp_target(jmp_at, entry)?;
         Ok(())
     }
 
@@ -1226,9 +1289,13 @@ impl Kernel {
     /// window during which CPU contents and the VBR identity are
     /// transitional, so host-side surgery would corrupt thread state.
     fn in_switch_code(&self, pc: u32) -> bool {
-        self.threads
-            .values()
-            .any(|t| pc >= t.sw.base && pc < t.sw.base + t.sw.size)
+        // O(1) via the extent index: the predecessor block either covers
+        // `pc` or nothing does. A scan over `threads` would make every
+        // safe-point step O(n) — ruinous at 10k threads.
+        self.sw_extents
+            .range(..=pc)
+            .next_back()
+            .is_some_and(|(_, &end)| pc < end)
     }
 
     /// Step the machine out of any context-switch window so host-side
@@ -1305,8 +1372,7 @@ impl Kernel {
     /// switch-in.
     fn enter_next(&mut self) {
         let cpu = self.m.active_cpu();
-        let node = self.cpus[cpu].ready.nodes().first().copied();
-        if let Some(node) = node {
+        if let Some(node) = self.cpus[cpu].ready.head() {
             self.enter(node.id);
         }
     }
@@ -1345,15 +1411,20 @@ impl Kernel {
         let was_current = self.current_tid() == Some(tid);
         self.pooled.remove(&tid);
         let home = self.home_cpu(tid);
-        if self.cpus[home].ready.position(tid).is_some() {
+        if self.cpus[home].ready.contains(tid) {
+            let pred = self.cpus[home].ready.prev_of_id(tid).map(|p| p.id);
             self.cpus[home].ready.remove(&mut self.m, tid)?;
             self.balance_idle_on(home)?;
-            self.fix_chain_entries_on(home)?;
+            if let Some(pred) = pred.filter(|p| *p != tid) {
+                self.fix_link_from(home, pred)?;
+            }
+            self.fix_offchain_current(home)?;
         }
         let mut t = self
             .threads
             .remove(&tid)
             .ok_or(KernelError::NoThread(tid))?;
+        self.sw_extents.remove(&t.sw.base);
         // Close fds.
         for fd in 0..t.fds.len() {
             let obj = std::mem::replace(&mut t.fds[fd], FdObject::Free);
@@ -1602,9 +1673,13 @@ impl Kernel {
         }
         self.suspend_current_state();
         let home = self.home_cpu(tid);
+        let pred = self.cpus[home].ready.prev_of_id(tid).map(|p| p.id);
         let _ = self.cpus[home].ready.remove(&mut self.m, tid);
         let _ = self.balance_idle_on(home);
-        let _ = self.fix_chain_entries_on(home);
+        if let Some(pred) = pred.filter(|p| *p != tid) {
+            let _ = self.fix_link_from(home, pred);
+        }
+        let _ = self.fix_offchain_current(home);
         self.threads.get_mut(&tid).expect("current exists").state = ThreadState::Blocked(wait);
         self.waiters.entry(wait).or_default().push(tid);
         self.enter_next();
@@ -1620,6 +1695,7 @@ impl Kernel {
             self.m.mem.poke(slot, Size::L, 0);
         }
         let mut homes: Vec<usize> = Vec::new();
+        let mut woken: Vec<(usize, Tid)> = Vec::new();
         for tid in tids {
             let t = self.threads.get_mut(&tid).expect("waiter exists");
             t.state = ThreadState::Ready;
@@ -1629,22 +1705,23 @@ impl Kernel {
                 entry: t.sw_in,
                 jmp_at: t.jmp_at,
             };
-            let at = self
+            let after = self
                 .current_tid_on(home)
-                .and_then(|cur| self.cpus[home].ready.position(cur))
-                .or(if self.cpus[home].ready.is_empty() {
-                    None
-                } else {
-                    Some(0)
-                });
-            let _ = self.cpus[home].ready.insert_front(&mut self.m, at, node);
+                .filter(|cur| self.cpus[home].ready.contains(*cur));
+            let _ = self.cpus[home].ready.insert_next(&mut self.m, after, node);
             homes.push(home);
+            woken.push((home, tid));
         }
         homes.sort_unstable();
         homes.dedup();
-        for home in homes {
+        for &home in &homes {
             let _ = self.balance_idle_on(home);
-            let _ = self.fix_chain_entries_on(home);
+        }
+        for (home, tid) in woken {
+            let _ = self.fix_links_around(home, tid);
+        }
+        for home in homes {
+            let _ = self.fix_offchain_current(home);
             self.kick(home);
         }
     }
@@ -1920,7 +1997,8 @@ impl Kernel {
     /// its chain and no real thread current on it.
     fn cpu_starved(&self, cpu: usize) -> bool {
         let idle = self.cpus[cpu].idle_tid;
-        let chain_empty = self.cpus[cpu].ready.nodes().iter().all(|n| n.id == idle);
+        let len = self.cpus[cpu].ready.len();
+        let chain_empty = len == 0 || (len == 1 && self.cpus[cpu].ready.contains(idle));
         let cur_idle = self.current_tid_on(cpu).is_none_or(|t| self.is_idle(t));
         chain_empty && cur_idle
     }
@@ -1950,25 +2028,29 @@ impl Kernel {
     /// offer it into the steal pool. Returns whether anything was
     /// offered.
     fn offload_from_victim(&mut self, thief: usize) -> bool {
-        let mut best: Option<(usize, usize)> = None; // (surplus, cpu)
+        let mut best: Option<(Vec<Tid>, usize)> = None; // (surplus, cpu)
         for v in 0..self.cpus.len() {
             if v == thief || self.cpus[v].quarantined {
                 continue;
             }
-            let surplus = self.surplus_tids(v).len();
-            if surplus > 0 && best.is_none_or(|(s, _)| surplus > s) {
+            let surplus = self.surplus_tids(v);
+            if !surplus.is_empty() && best.as_ref().is_none_or(|(s, _)| surplus.len() > s.len()) {
                 best = Some((surplus, v));
             }
         }
-        let Some((_, victim)) = best else {
+        let Some((surplus, victim)) = best else {
             return false;
         };
-        let tid = self.surplus_tids(victim)[0];
+        let tid = surplus[0];
+        let pred = self.cpus[victim].ready.prev_of_id(tid).map(|p| p.id);
         if self.cpus[victim].ready.remove(&mut self.m, tid).is_err() {
             return false;
         }
         let _ = self.balance_idle_on(victim);
-        let _ = self.fix_chain_entries_on(victim);
+        if let Some(pred) = pred.filter(|p| *p != tid) {
+            let _ = self.fix_link_from(victim, pred);
+        }
+        let _ = self.fix_offchain_current(victim);
         if self.steal_pool.offer(tid).is_err() {
             // Pool full: put the thread back where it was.
             let t = &self.threads[&tid];
@@ -1977,14 +2059,10 @@ impl Kernel {
                 entry: t.sw_in,
                 jmp_at: t.jmp_at,
             };
-            let at = if self.cpus[victim].ready.is_empty() {
-                None
-            } else {
-                Some(0)
-            };
-            let _ = self.cpus[victim].ready.insert_front(&mut self.m, at, node);
+            let _ = self.cpus[victim].ready.insert_next(&mut self.m, None, node);
             let _ = self.balance_idle_on(victim);
-            let _ = self.fix_chain_entries_on(victim);
+            let _ = self.fix_links_around(victim, tid);
+            let _ = self.fix_offchain_current(victim);
             return false;
         }
         self.pooled.insert(tid);
@@ -2017,14 +2095,10 @@ impl Kernel {
                 entry: t.sw_in,
                 jmp_at: t.jmp_at,
             };
-            let at = if self.cpus[thief].ready.is_empty() {
-                None
-            } else {
-                Some(0)
-            };
-            let _ = self.cpus[thief].ready.insert_front(&mut self.m, at, node);
+            let _ = self.cpus[thief].ready.insert_next(&mut self.m, None, node);
             let _ = self.balance_idle_on(thief);
-            let _ = self.fix_chain_entries_on(thief);
+            let _ = self.fix_links_around(thief, tid);
+            let _ = self.fix_offchain_current(thief);
             self.cpus[thief].steals += 1;
             crate::trace!(
                 self,
@@ -2249,17 +2323,10 @@ impl Kernel {
                 entry: t.sw_in,
                 jmp_at: t.jmp_at,
             };
-            let at = self
+            let after = self
                 .current_tid_on(to)
-                .and_then(|cur| self.cpus[to].ready.position(cur))
-                .or_else(|| {
-                    if self.cpus[to].ready.is_empty() {
-                        None
-                    } else {
-                        Some(0)
-                    }
-                });
-            let _ = self.cpus[to].ready.insert_front(&mut self.m, at, node);
+                .filter(|cur| self.cpus[to].ready.contains(*cur));
+            let _ = self.cpus[to].ready.insert_next(&mut self.m, after, node);
             moved += 1;
             self.recovery.threads_evacuated.tick();
         }
@@ -2638,10 +2705,9 @@ impl Kernel {
         self.suspend_current_state();
         // Enter the next thread in this CPU's chain after us.
         let cpu = self.home_cpu(tid);
-        if let Some(pos) = self.cpus[cpu].ready.position(tid) {
-            let next = self.cpus[cpu].ready.next_of(pos).id;
-            if next != tid {
-                self.enter(next);
+        if let Some(next) = self.cpus[cpu].ready.next_of_id(tid) {
+            if next.id != tid {
+                self.enter(next.id);
             }
         }
     }
@@ -2934,10 +3000,11 @@ impl Kernel {
         }
         let (tte, vt, quantum, old_sw) = (t.tte, t.vt, t.quantum_us, t.sw.clone());
         let cpu = self.home_cpu(tid);
-        let in_chain = self.cpus[cpu].ready.position(tid).is_some();
+        let in_chain = self.cpus[cpu].ready.contains(tid);
         if in_chain {
             let _ = self.cpus[cpu].ready.remove(&mut self.m, tid);
         }
+        self.sw_extents.remove(&old_sw.base);
         self.creator.destroy(&mut self.m, &old_sw);
         let sw = match self.synth_switch(tid, tte, vt, quantum, true) {
             Ok(sw) => sw,
@@ -2954,6 +3021,7 @@ impl Kernel {
             }
         };
         let (sw_out, ipi_in, sw_in, sw_in_mmu, jmp_at) = Kernel::switch_entries(&self.m, &sw);
+        self.sw_extents.insert(sw.base, sw.base + sw.size);
         {
             let t = self.threads.get_mut(&tid).expect("exists");
             t.sw = sw;
@@ -2981,12 +3049,7 @@ impl Kernel {
                 entry: t.sw_in,
                 jmp_at: t.jmp_at,
             };
-            let at = if self.cpus[cpu].ready.is_empty() {
-                None
-            } else {
-                Some(0)
-            };
-            let _ = self.cpus[cpu].ready.insert_front(&mut self.m, at, node);
+            let _ = self.cpus[cpu].ready.insert_next(&mut self.m, None, node);
             let _ = self.fix_chain_entries_on(cpu);
         }
         self.m.cpu.fpu_enabled = true;

@@ -42,6 +42,84 @@ pub const VECTOR_TABLE_LEN: u32 = 0x100;
 /// 1 KBytes in the TTE" (Section 6.3): the TTE is 1 KB.
 pub const TTE_LEN: u32 = 0x400;
 
+/// A configurable quaspace partition.
+///
+/// The constants above describe the real Quamachine's 2.5 MB; the
+/// capacity harness needs room for tens of thousands of TTEs, kernel
+/// stacks, and synthesized code blocks, so the kernel boots against a
+/// `MemLayout` instead of the raw constants. [`MemLayout::default`]
+/// reproduces the constants exactly — every existing benchmark and test
+/// is byte-identical under it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemLayout {
+    /// Total physical memory.
+    pub mem_size: u32,
+    /// Kernel heap (fast-fit) base.
+    pub heap_base: u32,
+    /// Kernel heap length.
+    pub heap_len: u32,
+    /// Synthesized-code buffer base.
+    pub code_base: u32,
+    /// Synthesized-code buffer length.
+    pub code_len: u32,
+    /// User quaspace base.
+    pub user_base: u32,
+    /// User quaspace length.
+    pub user_len: u32,
+}
+
+impl Default for MemLayout {
+    fn default() -> Self {
+        MemLayout {
+            mem_size: MEM_SIZE,
+            heap_base: KERNEL_HEAP_BASE,
+            heap_len: KERNEL_HEAP_LEN,
+            code_base: CODE_BASE,
+            code_len: CODE_LEN,
+            user_base: USER_BASE,
+            user_len: USER_LEN,
+        }
+    }
+}
+
+impl MemLayout {
+    /// Per-thread kernel heap footprint: TTE + vector table + kernel
+    /// stack, each rounded to the allocator's granularity, plus slack
+    /// for fd offset slots and queue headers.
+    pub const PER_THREAD_HEAP: u32 = TTE_LEN + VECTOR_TABLE_LEN + KSTACK_LEN + 0x100;
+
+    /// Per-thread synthesized-code budget: the switch quaject plus the
+    /// three small per-thread handlers (dispatchers, error handler),
+    /// sized generously from measured block sizes.
+    pub const PER_THREAD_CODE: u32 = 0x600;
+
+    /// A layout scaled to hold `threads` concurrent threads (plus the
+    /// boot-time servers and a channel working set). The kernel-data
+    /// region and region order are unchanged; the heap, code buffer, and
+    /// user area grow and shift upward as needed.
+    #[must_use]
+    pub fn for_threads(threads: u32) -> MemLayout {
+        let heap_len = round_up_1m(KERNEL_HEAP_LEN + threads * Self::PER_THREAD_HEAP);
+        let code_len = round_up_1m(CODE_LEN + threads * Self::PER_THREAD_CODE);
+        let code_base = KERNEL_HEAP_BASE + heap_len;
+        let user_base = code_base + code_len;
+        let user_len = USER_LEN.max(0x10_0000);
+        MemLayout {
+            mem_size: user_base + user_len,
+            heap_base: KERNEL_HEAP_BASE,
+            heap_len,
+            code_base,
+            code_len,
+            user_base,
+            user_len,
+        }
+    }
+}
+
+fn round_up_1m(n: u32) -> u32 {
+    n.div_ceil(0x10_0000) * 0x10_0000
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -55,5 +133,30 @@ mod tests {
         assert_eq!(CODE_BASE + CODE_LEN, USER_BASE);
         assert!(USER_BASE + USER_LEN <= MEM_SIZE);
         assert!(USER_LEN >= 0x10_0000, "at least 1 MB of user space");
+    }
+
+    #[test]
+    fn default_layout_matches_constants() {
+        let l = MemLayout::default();
+        assert_eq!(l.mem_size, MEM_SIZE);
+        assert_eq!(l.heap_base, KERNEL_HEAP_BASE);
+        assert_eq!(l.heap_len, KERNEL_HEAP_LEN);
+        assert_eq!(l.code_base, CODE_BASE);
+        assert_eq!(l.code_len, CODE_LEN);
+        assert_eq!(l.user_base, USER_BASE);
+        assert_eq!(l.user_len, USER_LEN);
+    }
+
+    #[test]
+    fn scaled_layout_is_disjoint_and_holds_the_threads() {
+        for threads in [100, 1_000, 12_000] {
+            let l = MemLayout::for_threads(threads);
+            assert_eq!(l.heap_base, KERNEL_HEAP_BASE);
+            assert_eq!(l.heap_base + l.heap_len, l.code_base);
+            assert_eq!(l.code_base + l.code_len, l.user_base);
+            assert!(l.user_base + l.user_len <= l.mem_size);
+            assert!(l.heap_len >= threads * MemLayout::PER_THREAD_HEAP);
+            assert!(l.code_len >= threads * MemLayout::PER_THREAD_CODE);
+        }
     }
 }

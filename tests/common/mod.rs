@@ -1,0 +1,109 @@
+//! Shared soak plumbing: the `SOAK_SEED` override and the failure
+//! post-mortem that prints an exact replay command.
+//!
+//! Every soak suite (`fault_soak`, `scale_soak`, `open_close_leak`)
+//! derives its randomized inputs from [`soak_base`]: 0 by default so CI
+//! is deterministic run over run, overridable with `SOAK_SEED=<n>` to
+//! reproduce a failure or soak a different window of the seed space.
+//! Wrapping each case in [`soak_case`] makes any panic end with
+//! `reproduce with: SOAK_SEED=<seed> cargo test --test <suite> <test>`
+//! — the exact command that replays the failing seed in isolation.
+
+#![allow(dead_code)] // each test binary uses a subset of these helpers
+
+use synthesis::kernel::kernel::Kernel;
+
+/// The base seed: 0 unless `SOAK_SEED=<n>` overrides it.
+pub fn soak_base() -> u64 {
+    std::env::var("SOAK_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// The seeds a soak loop iterates: `base`, `base + 1`, ...
+pub fn soak_seeds(n: u64) -> impl Iterator<Item = u64> {
+    let base = soak_base();
+    (0..n).map(move |i| base.wrapping_add(i))
+}
+
+/// Run one seeded case of `test` in `suite`; if it panics, re-panic
+/// with a post-mortem — the last trace records of every thread in the
+/// kernel the scenario parked in the provided slot — plus the exact
+/// `SOAK_SEED=<seed> cargo test --test <suite> <test>` replay command
+/// (the override makes the failing seed the first — and reported —
+/// iteration).
+pub fn soak_case<T>(
+    suite: &str,
+    test: &str,
+    seed: u64,
+    f: impl FnOnce(&mut Option<Kernel>) -> T,
+) -> T {
+    let mut slot: Option<Kernel> = None;
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut slot))) {
+        Ok(v) => v,
+        Err(e) => {
+            let msg = e
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| e.downcast_ref::<&str>().copied())
+                .unwrap_or("non-string panic payload");
+            let tail = slot.as_mut().map(|k| trace_tail(k, 64)).unwrap_or_default();
+            panic!(
+                "{msg}\n{tail}  reproduce with: SOAK_SEED={seed} cargo test --test {suite} {test}"
+            );
+        }
+    }
+}
+
+/// The last `n` trace records of every thread ring, rendered for a
+/// failure message. Reaped threads' rings are still here — exactly the
+/// history a soak post-mortem needs. On a multiprocessor kernel the
+/// records are grouped by the CPU that recorded them (the record's
+/// `flags` field), so a cross-CPU failure reads as per-CPU timelines;
+/// the uniprocessor rendering is unchanged.
+pub fn trace_tail(k: &mut Kernel, n: usize) -> String {
+    use std::fmt::Write;
+    k.pump_trace();
+    let mut out = String::new();
+    let cpus = u16::try_from(k.m.num_cpus()).unwrap_or(1);
+    if cpus <= 1 {
+        for tid in k.trace.tids() {
+            let recs = k.trace.last(tid, n);
+            if recs.is_empty() {
+                continue;
+            }
+            let _ = writeln!(out, "  last {} trace records of tid {}:", recs.len(), tid);
+            for r in recs {
+                let _ = writeln!(out, "    {r}");
+            }
+        }
+    } else {
+        for cpu in 0..cpus {
+            let mut section = String::new();
+            for tid in k.trace.tids() {
+                let recs: Vec<_> = k
+                    .trace
+                    .last(tid, n)
+                    .into_iter()
+                    .filter(|r| r.flags == cpu)
+                    .collect();
+                if recs.is_empty() {
+                    continue;
+                }
+                let _ = writeln!(section, "    tid {} ({} records):", tid, recs.len());
+                for r in recs {
+                    let _ = writeln!(section, "      {r}");
+                }
+            }
+            if !section.is_empty() {
+                let _ = writeln!(out, "  cpu {cpu}:");
+                out.push_str(&section);
+            }
+        }
+    }
+    if out.is_empty() {
+        out.push_str("  (no trace records; build with the `trace` feature for post-mortems)\n");
+    }
+    out
+}

@@ -32,96 +32,14 @@ use synthesis::machine::mem::AddressMap;
 /// Distinct seeds each pipeline soaks under.
 const SEEDS: u64 = 32;
 
-/// The base seed: 0 by default (so CI is deterministic run over run),
-/// overridable with `SOAK_SEED=<n>` to reproduce a failure or to soak a
-/// different window of the seed space.
-fn soak_base() -> u64 {
-    std::env::var("SOAK_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0)
-}
+mod common;
+use common::soak_seeds;
 
-/// The seeds a soak loop iterates: `base`, `base + 1`, ...
-fn soak_seeds(n: u64) -> impl Iterator<Item = u64> {
-    let base = soak_base();
-    (0..n).map(move |i| base.wrapping_add(i))
-}
-
-/// Run one seeded case; if it panics, re-panic with a post-mortem — the
-/// last trace records of every thread in the scenario's kernel — plus
-/// the exact command that reproduces this seed in isolation
-/// (`SOAK_SEED=<seed>` makes the failing seed the first — and reported —
-/// iteration). Scenarios park their kernel in the provided slot so the
-/// post-mortem can read its rings after the unwind.
+/// One seeded case of this suite: delegates to the shared soak plumbing
+/// in `tests/common`, which prints the exact `SOAK_SEED=<seed>` replay
+/// command (plus a trace-ring post-mortem) on failure.
 fn soak_case<T>(test: &str, seed: u64, f: impl FnOnce(&mut Option<Kernel>) -> T) -> T {
-    let mut slot: Option<Kernel> = None;
-    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut slot))) {
-        Ok(v) => v,
-        Err(e) => {
-            let msg = e
-                .downcast_ref::<String>()
-                .map(String::as_str)
-                .or_else(|| e.downcast_ref::<&str>().copied())
-                .unwrap_or("non-string panic payload");
-            let tail = slot.as_mut().map(|k| trace_tail(k, 64)).unwrap_or_default();
-            panic!(
-                "{msg}\n{tail}  reproduce with: SOAK_SEED={seed} cargo test --test fault_soak {test}"
-            );
-        }
-    }
-}
-
-/// The last `n` trace records of every thread ring, rendered for a
-/// failure message. Reaped threads' rings are still here — exactly the
-/// history a soak post-mortem needs. On a multiprocessor kernel the
-/// records are grouped by the CPU that recorded them (the record's
-/// `flags` field), so a cross-CPU failure reads as per-CPU timelines;
-/// the uniprocessor rendering is unchanged.
-fn trace_tail(k: &mut Kernel, n: usize) -> String {
-    use std::fmt::Write;
-    k.pump_trace();
-    let mut out = String::new();
-    let cpus = u16::try_from(k.m.num_cpus()).unwrap_or(1);
-    if cpus <= 1 {
-        for tid in k.trace.tids() {
-            let recs = k.trace.last(tid, n);
-            if recs.is_empty() {
-                continue;
-            }
-            let _ = writeln!(out, "  last {} trace records of tid {}:", recs.len(), tid);
-            for r in recs {
-                let _ = writeln!(out, "    {r}");
-            }
-        }
-    } else {
-        for cpu in 0..cpus {
-            let mut section = String::new();
-            for tid in k.trace.tids() {
-                let recs: Vec<_> = k
-                    .trace
-                    .last(tid, n)
-                    .into_iter()
-                    .filter(|r| r.flags == cpu)
-                    .collect();
-                if recs.is_empty() {
-                    continue;
-                }
-                let _ = writeln!(section, "    tid {} ({} records):", tid, recs.len());
-                for r in recs {
-                    let _ = writeln!(section, "      {r}");
-                }
-            }
-            if !section.is_empty() {
-                let _ = writeln!(out, "  cpu {cpu}:");
-                out.push_str(&section);
-            }
-        }
-    }
-    if out.is_empty() {
-        out.push_str("  (no trace records; build with the `trace` feature for post-mortems)\n");
-    }
-    out
+    common::soak_case("fault_soak", test, seed, f)
 }
 
 const USTACK: u32 = layout::USER_BASE + 0x1_0000;

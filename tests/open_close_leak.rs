@@ -3,9 +3,13 @@
 //! FastFit kernel heap to their initial byte counts, with the
 //! specialization cache empty at every quiescent point.
 
+mod common;
+
 use quamachine::asm::Asm;
 use quamachine::isa::{Operand::*, Size::*};
 use quamachine::mem::AddressMap;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use synthesis::kernel::io::stream::standard;
 use synthesis::kernel::kernel::{Kernel, KernelConfig};
 use synthesis::kernel::layout;
@@ -203,6 +207,48 @@ fn interleaved_open_close_with_sharing_leaks_nothing() {
         }
     }
     assert_restored(&k, &b, "interleaved", 500);
+}
+
+/// Seeded randomized churn: arbitrary interleavings of opens and
+/// closes across the device classes, with up to 8 fds live at once,
+/// must still balance to the baseline at every quiescent point. On
+/// failure the shared soak plumbing prints the exact `SOAK_SEED=<seed>`
+/// replay command.
+#[test]
+fn randomized_open_close_order_leaks_nothing() {
+    for seed in common::soak_seeds(4) {
+        common::soak_case(
+            "open_close_leak",
+            "randomized_open_close_order_leaks_nothing",
+            seed,
+            |slot| {
+                let (k0, tid) = boot_with_thread();
+                let k = slot.insert(k0);
+                k.fs.create(&mut k.m, &mut k.heap, "/tmp/soak", 4096)
+                    .unwrap();
+                let b = baseline(k);
+                let paths = ["/dev/null", "/dev/tty", "/dev/tty-raw", "/tmp/soak"];
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let mut live: Vec<u32> = Vec::new();
+                for i in 0..2_000 {
+                    if live.len() < 8 && (live.is_empty() || rng.random::<bool>()) {
+                        let path = paths[rng.random_range(0..paths.len())];
+                        live.push(k.open_for(tid, path).unwrap());
+                    } else {
+                        let fd = live.swap_remove(rng.random_range(0..live.len()));
+                        k.close_for(tid, fd).unwrap();
+                    }
+                    if i % 512 == 0 && live.is_empty() {
+                        assert_restored(k, &b, "randomized", i);
+                    }
+                }
+                for fd in live.drain(..) {
+                    k.close_for(tid, fd).unwrap();
+                }
+                assert_restored(k, &b, "randomized", 2_000);
+            },
+        );
+    }
 }
 
 #[test]
