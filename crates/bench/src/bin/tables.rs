@@ -16,6 +16,7 @@
 //! tables --capacity --json BENCH_8.json
 //! tables --capacity --threads 2000   # reduced population
 //! tables --capacity-gate NEW.json BASELINE.json   # CI regression gate
+//! tables --table1-gate NEW.json BASELINE.json     # Table 1 ratio gate
 //! ```
 //!
 //! `--cpus 1` (the default) reproduces the uniprocessor kernel byte for
@@ -379,6 +380,91 @@ fn capacity_gate(new_path: &str, base_path: &str) {
     );
 }
 
+/// Extract the `(what, measured)` pairs of the `"table1"` array from a
+/// BENCH-shape JSON document. The writer is [`emit_json`], so the
+/// layout is known: one row object per line inside the array.
+fn table1_rows(doc: &str, path: &str) -> Vec<(String, f64)> {
+    let Some(start) = doc.find("\"table1\": [") else {
+        eprintln!("error: {path} has no \"table1\" array");
+        std::process::exit(1);
+    };
+    let body = &doc[start..];
+    // The array closer sits alone on its own line ("\n  ]"); a bare ']'
+    // would stop at the "[speedup]" inside the first row label.
+    let end = body.find("\n  ]").unwrap_or(body.len());
+    let mut rows = Vec::new();
+    for line in body[..end].lines() {
+        let Some(w) = line.find("\"what\": \"") else {
+            continue;
+        };
+        let rest = &line[w + 9..];
+        let Some(q) = rest.find('"') else { continue };
+        let Some(m) = json_num(line, "measured") else {
+            continue;
+        };
+        rows.push((rest[..q].to_string(), m));
+    }
+    if rows.is_empty() {
+        eprintln!("error: {path} has an empty \"table1\" array");
+        std::process::exit(1);
+    }
+    rows
+}
+
+/// Compare a fresh Table 1 against the checked-in baseline: no row may
+/// lose more than 5% of its speedup ratio (the simulation is
+/// deterministic, so real drift means a real code change), and the
+/// fused-pipe acceptance floors are absolute — pipe-1B ≥ 20×, open/
+/// close `/dev/null` ≥ 15×, `/dev/tty` ≥ 8×. Exits non-zero on any
+/// failure so CI fails the job.
+fn table1_gate(new_path: &str, base_path: &str) {
+    let read = |p: &str| {
+        std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("error: cannot read {p}: {e}");
+            std::process::exit(1);
+        })
+    };
+    let (new, base) = (read(new_path), read(base_path));
+    let new_rows = table1_rows(&new, new_path);
+    let base_rows = table1_rows(&base, base_path);
+    let mut failed = false;
+    for (what, base_m) in &base_rows {
+        let Some((_, new_m)) = new_rows.iter().find(|(w, _)| w == what) else {
+            eprintln!("GATE FAIL: row {what:?} missing from {new_path}");
+            failed = true;
+            continue;
+        };
+        if *new_m < base_m * 0.95 {
+            eprintln!("GATE FAIL: {what}: {new_m:.2}x < baseline {base_m:.2}x - 5%");
+            failed = true;
+        }
+    }
+    for (needle, floor) in [
+        ("pipe, 1 byte", 20.0),
+        ("/dev/null", 15.0),
+        ("/dev/tty", 8.0),
+    ] {
+        match new_rows.iter().find(|(w, _)| w.contains(needle)) {
+            Some((what, m)) if *m >= floor => println!("  {what}: {m:.1}x >= {floor}x"),
+            Some((what, m)) => {
+                eprintln!("GATE FAIL: {what}: {m:.2}x < absolute floor {floor}x");
+                failed = true;
+            }
+            None => {
+                eprintln!("GATE FAIL: no Table 1 row matching {needle:?} in {new_path}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "table1 gate ok: {} rows held against {base_path}",
+        base_rows.len()
+    );
+}
+
 fn kernel_size() -> Vec<Row> {
     // Section 6.4: the whole kernel assembles to 64 KB; with 3 processes
     // running the resident kernel is 32 KB, growing with threads and
@@ -498,6 +584,15 @@ fn main() {
             std::process::exit(2);
         };
         capacity_gate(new_path, base_path);
+        return;
+    }
+
+    if let Some(i) = args.iter().position(|a| a == "--table1-gate") {
+        let (Some(new_path), Some(base_path)) = (args.get(i + 1), args.get(i + 2)) else {
+            eprintln!("error: --table1-gate takes NEW.json BASELINE.json");
+            std::process::exit(2);
+        };
+        table1_gate(new_path, base_path);
         return;
     }
 

@@ -57,13 +57,16 @@
 
 pub mod codebuf;
 pub mod collapse;
+pub mod cost;
 pub mod creator;
+pub mod equiv;
 pub mod execds;
 pub mod factor;
 pub mod interfacer;
 pub mod peephole;
 pub mod rewrite;
 pub mod speccache;
+pub mod superopt;
 pub mod template;
 pub mod verify;
 

@@ -15,11 +15,21 @@
 //! - a dead store `move _,Dn` overwritten by another `move _,Dn` with no
 //!   intervening read, branch target, or control transfer → deleted;
 //! - `bcc` over a single `bra` (inverted-branch threading);
-//! - `bra`-to-`bra` chains are threaded to the final target.
+//! - `bra`-to-`bra` chains are threaded to the final target;
+//! - `mulu #2ᵏ,Dn` → `and.l #0xFFFF,Dn ; lsl.l #k,Dn` when flags are
+//!   dead (promoted from a [`crate::superopt`] discovery: 27 → 6
+//!   cycles; the mask reproduces mulu's 16-bit operand truncation and
+//!   keeps the shifted-out carry at zero, but `lsl` writes X, hence the
+//!   flags-dead gate);
+//! - a reload `move Abs,Dn` immediately after the matching store
+//!   `move Dn,Abs` → deleted (promoted likewise; the store already set
+//!   the same flags from the same value, so no gate is needed — but
+//!   device registers are volatile and are never touched).
 
 use std::collections::HashMap;
 
-use quamachine::isa::{BranchTarget, Cond, Instr, Operand, Size};
+use quamachine::devices::DEV_BASE;
+use quamachine::isa::{BranchTarget, Cond, Instr, Operand, ShiftKind, Size};
 
 use crate::rewrite;
 
@@ -29,7 +39,7 @@ use crate::rewrite;
 ///
 /// Conservative: branch targets, block exits, and unknown instructions
 /// count as reads.
-fn flags_dead_after(instrs: &[Instr], i: usize, targets: &[bool]) -> bool {
+pub(crate) fn flags_dead_after(instrs: &[Instr], i: usize, targets: &[bool]) -> bool {
     let mut j = i + 1;
     while j < instrs.len() {
         if targets[j] {
@@ -231,6 +241,66 @@ fn pass_dead_stores(instrs: &[Instr], keep: &mut [bool], targets: &[bool]) -> bo
     changed
 }
 
+/// `mulu #2^k,Dn` → `and.l #0xFFFF,Dn ; lsl.l #k,Dn` (just the `and`
+/// when k = 0). The replacement's N/Z/V/C match mulu's, but `lsl`
+/// writes X and mulu does not, so the rewrite applies only when flags
+/// are provably dead. Grows the stream, hence [`rewrite::splice`].
+fn pass_strength_reduce(instrs: &mut Vec<Instr>, marks: &mut HashMap<String, usize>) -> bool {
+    let mut changed = false;
+    let mut i = instrs.len();
+    while i > 0 {
+        i -= 1;
+        let Instr::MulU(Operand::Imm(v), d) = instrs[i] else {
+            continue;
+        };
+        if !v.is_power_of_two() || v > 0x8000 {
+            continue;
+        }
+        let targets = rewrite::branch_target_flags(instrs);
+        if !flags_dead_after(instrs, i, &targets) {
+            continue;
+        }
+        let k = v.trailing_zeros();
+        let mut repl = vec![Instr::And(Size::L, Operand::Imm(0xFFFF), Operand::Dr(d))];
+        if k > 0 {
+            repl.push(Instr::Shift(
+                ShiftKind::Lsl,
+                Size::L,
+                Operand::Imm(k),
+                Operand::Dr(d),
+            ));
+        }
+        rewrite::splice(instrs, marks, i, i + 1, repl);
+        changed = true;
+    }
+    changed
+}
+
+/// Delete the reload in `move Dn,Abs ; move Abs,Dn` (same size, same
+/// register, same address). The reload's flags equal the store's — both
+/// derive from the same value — so no flags-dead gate is required.
+/// Device registers are volatile: never elide a read from one.
+fn pass_store_reload(instrs: &[Instr], keep: &mut [bool], targets: &[bool]) -> bool {
+    let mut changed = false;
+    for i in 0..instrs.len().saturating_sub(1) {
+        if !keep[i] || !keep[i + 1] || targets[i + 1] {
+            continue;
+        }
+        let (
+            Instr::Move(s1, Operand::Dr(n1), Operand::Abs(a1)),
+            Instr::Move(s2, Operand::Abs(a2), Operand::Dr(n2)),
+        ) = (instrs[i], instrs[i + 1])
+        else {
+            continue;
+        };
+        if s1 == s2 && n1 == n2 && a1 == a2 && a1 < DEV_BASE {
+            keep[i + 1] = false;
+            changed = true;
+        }
+    }
+    changed
+}
+
 /// Thread `bra` chains: a branch whose target is an unconditional branch
 /// goes straight to the final target.
 fn pass_branch_threading(instrs: &mut [Instr]) -> bool {
@@ -294,10 +364,12 @@ pub fn optimize(mut instrs: Vec<Instr>, marks: &mut HashMap<String, usize>) -> V
     for _ in 0..8 {
         let mut changed = pass_cmp0_to_tst(&mut instrs);
         changed |= pass_branch_threading(&mut instrs);
+        changed |= pass_strength_reduce(&mut instrs, marks);
         let targets = rewrite::branch_target_flags(&instrs);
         let mut keep = vec![true; instrs.len()];
         changed |= pass_identities(&instrs, &mut keep, &targets);
         changed |= pass_dead_stores(&instrs, &mut keep, &targets);
+        changed |= pass_store_reload(&instrs, &mut keep, &targets);
         changed |= pass_invert_skip(&mut instrs, &mut keep);
         instrs = rewrite::compact(instrs, &keep, marks);
         if !changed {
@@ -423,6 +495,172 @@ mod tests {
             panic!("expected inverted branch, got {:?}", out[0]);
         };
         assert_eq!(out[t as usize], Instr::Rts);
+    }
+
+    #[test]
+    fn mulu_pow2_reduced_when_flags_dead() {
+        // mulu #8,d0 followed by a flag-writer: 27 cycles become 6.
+        let out = opt(vec![
+            Instr::MulU(Imm(8), 0),
+            Instr::Move(L, Dr(0), Abs(0x2000)),
+            Instr::Rts,
+        ]);
+        assert_eq!(
+            out,
+            vec![
+                Instr::And(L, Imm(0xFFFF), Dr(0)),
+                Instr::Shift(ShiftKind::Lsl, L, Imm(3), Dr(0)),
+                Instr::Move(L, Dr(0), Abs(0x2000)),
+                Instr::Rts,
+            ]
+        );
+    }
+
+    #[test]
+    fn mulu_by_one_becomes_bare_mask() {
+        let out = opt(vec![
+            Instr::MulU(Imm(1), 4),
+            Instr::Move(L, Dr(4), Abs(0x2000)),
+            Instr::Rts,
+        ]);
+        assert_eq!(out[0], Instr::And(L, Imm(0xFFFF), Dr(4)));
+        assert!(!out.iter().any(|i| matches!(i, Instr::Shift(..))));
+    }
+
+    #[test]
+    fn mulu_kept_when_flags_feed_a_branch() {
+        // Proof case for the flags-dead gate: the branch reads mulu's Z.
+        let out = opt(vec![
+            Instr::MulU(Imm(8), 0),
+            Instr::Bcc(Cond::Eq, BranchTarget::Idx(2)),
+            Instr::Rts,
+        ]);
+        assert_eq!(out[0], Instr::MulU(Imm(8), 0), "live flags must block it");
+    }
+
+    #[test]
+    fn mulu_kept_when_sr_is_stored() {
+        // Proof case for X: lsl writes X, mulu does not, and a store-SR
+        // observes X — the rewrite must not fire.
+        let out = opt(vec![
+            Instr::MulU(Imm(8), 0),
+            Instr::MoveSr {
+                to_sr: false,
+                ea: Dr(1),
+            },
+            Instr::Rts,
+        ]);
+        assert_eq!(out[0], Instr::MulU(Imm(8), 0), "stored SR observes X");
+    }
+
+    #[test]
+    fn mulu_non_pow2_kept() {
+        let out = opt(vec![
+            Instr::MulU(Imm(6), 0),
+            Instr::Move(L, Dr(0), Abs(0x2000)),
+            Instr::Rts,
+        ]);
+        assert_eq!(out[0], Instr::MulU(Imm(6), 0));
+    }
+
+    #[test]
+    fn mulu_splice_retargets_branches_and_marks() {
+        let mut marks = HashMap::new();
+        marks.insert("out".to_string(), 4);
+        let out = optimize(
+            vec![
+                Instr::MulU(Imm(8), 0),                     // 0: grows to 2 instrs
+                Instr::Move(L, Dr(0), Abs(0x2000)),         // 1: flag-writer
+                Instr::Tst(L, Dr(7)),                       // 2
+                Instr::Bcc(Cond::Ne, BranchTarget::Idx(4)), // 3 -> rts
+                Instr::Rts,                                 // 4: mark "out"
+            ],
+            &mut marks,
+        );
+        let rts_at = out.iter().position(|i| matches!(i, Instr::Rts)).unwrap();
+        let Some(Instr::Bcc(Cond::Ne, BranchTarget::Idx(t))) =
+            out.iter().find(|i| matches!(i, Instr::Bcc(Cond::Ne, _)))
+        else {
+            panic!("bne lost: {out:?}");
+        };
+        assert_eq!(*t as usize, rts_at);
+        assert_eq!(marks["out"], rts_at);
+    }
+
+    #[test]
+    fn store_reload_elided() {
+        let out = opt(vec![
+            Instr::Move(L, Dr(0), Abs(0x2000)),
+            Instr::Move(L, Abs(0x2000), Dr(0)), // redundant reload
+            Instr::Move(L, Imm(1), Dr(1)),
+            Instr::Rts,
+        ]);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0], Instr::Move(L, Dr(0), Abs(0x2000)));
+        assert_eq!(out[1], Instr::Move(L, Imm(1), Dr(1)));
+    }
+
+    #[test]
+    fn store_reload_kept_at_device_registers() {
+        // Proof case for volatility: a device read has side effects.
+        let dev = quamachine::devices::DEV_BASE + 0x100;
+        let out = opt(vec![
+            Instr::Move(L, Dr(0), Abs(dev)),
+            Instr::Move(L, Abs(dev), Dr(0)),
+            Instr::Rts,
+        ]);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn store_reload_kept_when_reload_is_a_branch_target() {
+        // Someone jumps straight to the reload: it must survive.
+        let out = opt(vec![
+            Instr::Move(L, Dr(0), Abs(0x2000)),         // 0
+            Instr::Move(L, Abs(0x2000), Dr(0)),         // 1: target
+            Instr::Tst(L, Dr(7)),                       // 2
+            Instr::Bcc(Cond::Ne, BranchTarget::Idx(1)), // 3
+            Instr::Rts,                                 // 4
+        ]);
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn store_reload_different_reg_or_size_kept() {
+        let out = opt(vec![
+            Instr::Move(L, Dr(0), Abs(0x2000)),
+            Instr::Move(L, Abs(0x2000), Dr(1)), // different register
+            Instr::Rts,
+        ]);
+        assert_eq!(out.len(), 3);
+        let out = opt(vec![
+            Instr::Move(L, Dr(0), Abs(0x2000)),
+            Instr::Move(Size::W, Abs(0x2000), Dr(0)), // different size
+            Instr::Rts,
+        ]);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn promoted_patterns_prove_equivalent() {
+        // The differential checker certifies both promoted rewrites on
+        // the same randomized states the superoptimizer would use.
+        let original = vec![
+            Instr::MulU(Imm(4), 2),
+            Instr::Move(L, Dr(2), Abs(0x2000)),
+            Instr::Move(L, Abs(0x2000), Dr(2)),
+            Instr::Rts,
+        ];
+        let optimized = opt(original.clone());
+        assert!(!optimized.iter().any(|i| matches!(i, Instr::MulU(..))));
+        assert!(
+            !optimized
+                .iter()
+                .any(|i| matches!(i, Instr::Move(_, Abs(_), Dr(_)))),
+            "reload should be gone: {optimized:?}"
+        );
+        crate::equiv::diff_check(&original, &optimized, &crate::equiv::DiffConfig::default())
+            .expect("promoted rewrites must be behaviorally equivalent");
     }
 
     #[test]

@@ -93,6 +93,27 @@ impl Template {
         v
     }
 
+    /// A copy of this template with every `rte` replaced by `rts`,
+    /// named `"<name>~rts"`.
+    ///
+    /// Kernel bodies end in `rte` because they are entered through a
+    /// trap. When the same body is fused into a caller's address space
+    /// — spliced behind a guard and entered by `jsr` — there is no
+    /// exception frame to unwind, so the returns become plain `rts`.
+    /// `rte` and `rts` encode to the same 2 bytes, so index-based
+    /// branch targets and marks survive unchanged.
+    #[must_use]
+    pub fn returning_variant(&self) -> Template {
+        let mut t = self.clone();
+        t.name = format!("{}~rts", self.name);
+        for i in &mut t.instrs {
+            if matches!(i, Instr::Rte) {
+                *i = Instr::Rts;
+            }
+        }
+        t
+    }
+
     /// The conventional hole name for a call site on template `callee`.
     ///
     /// Emit the call as `asm.jsr(asm.abs_hole(Template::call_hole_name("x")))`.
@@ -217,6 +238,29 @@ mod tests {
         assert_eq!(t.hole_id("x"), Some(0));
         assert_eq!(t.hole_id("y"), None);
         assert_eq!(t.unfilled_holes(), vec!["x"]);
+    }
+
+    #[test]
+    fn returning_variant_swaps_rte_for_rts() {
+        use quamachine::isa::{BranchTarget, Cond, Instr};
+        let t = Template {
+            name: "body".into(),
+            instrs: vec![
+                Instr::Bcc(Cond::Eq, BranchTarget::Idx(2)),
+                Instr::Rte,
+                Instr::Rte,
+            ],
+            holes: vec!["h".into()],
+            marks: std::collections::HashMap::from([("mid".into(), 1)]),
+        };
+        let v = t.returning_variant();
+        assert_eq!(v.name, "body~rts");
+        assert_eq!(v.instrs[1], Instr::Rts);
+        assert_eq!(v.instrs[2], Instr::Rts);
+        assert_eq!(v.instrs[0], t.instrs[0], "branches untouched");
+        assert_eq!(v.marks["mid"], 1);
+        assert_eq!(v.holes, t.holes);
+        assert_eq!(v.size_bytes(), t.size_bytes(), "same encoded size");
     }
 
     #[test]

@@ -50,6 +50,85 @@ impl std::fmt::Display for VerifyError {
 
 impl std::error::Error for VerifyError {}
 
+impl VerifyError {
+    /// The instruction index the failure anchors to, if it has one.
+    #[must_use]
+    pub fn instr_index(&self) -> Option<usize> {
+        match self {
+            VerifyError::BranchOutOfRange { instr, .. }
+            | VerifyError::UnresolvedLabel { instr }
+            | VerifyError::BadHoleId { instr, .. } => Some(*instr),
+            VerifyError::MarkOutOfRange { index, .. } => Some(*index),
+            VerifyError::FallsOffEnd | VerifyError::Empty => None,
+        }
+    }
+}
+
+/// A verification failure with enough context to debug it: the
+/// offending template's name and a disassembly of the instruction
+/// window around the failure (bare indices made PR-7's wild-PC hunts
+/// needlessly painful).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Name of the template that failed.
+    pub template: String,
+    /// The underlying structural error.
+    pub error: VerifyError,
+    /// Disassembly snippet around the failing instruction, one
+    /// instruction per line, the offender marked with `->`.
+    pub window: String,
+}
+
+impl std::fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "template {:?}: {}", self.template, self.error)?;
+        if !self.window.is_empty() {
+            write!(f, "\n{}", self.window)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for VerifyReport {}
+
+/// Disassemble the window of up to `2 × RADIUS + 1` instructions around
+/// `at` (the whole block when `at` is `None`, capped at the tail).
+fn disasm_window(name: &str, instrs: &[Instr], at: Option<usize>) -> String {
+    const RADIUS: usize = 3;
+    let (lo, hi, mark) = match at {
+        Some(i) => (
+            i.saturating_sub(RADIUS),
+            (i + RADIUS + 1).min(instrs.len()),
+            Some(i),
+        ),
+        // FallsOffEnd-style failures anchor to the tail.
+        None => (instrs.len().saturating_sub(RADIUS + 1), instrs.len(), None),
+    };
+    let mut out = String::new();
+    for (i, instr) in instrs.iter().enumerate().take(hi).skip(lo) {
+        let arrow = if mark == Some(i) { "->" } else { "  " };
+        out.push_str(&format!("{arrow} {name}+{i:<3} {instr}\n"));
+    }
+    if out.ends_with('\n') {
+        out.pop();
+    }
+    out
+}
+
+/// Verify a template, annotating any failure with the template name
+/// and a disassembly of the failing window.
+///
+/// # Errors
+///
+/// Returns the first problem found, as a [`VerifyReport`].
+pub fn verify_reported(t: &Template) -> Result<(), VerifyReport> {
+    verify(t).map_err(|error| VerifyReport {
+        template: t.name.clone(),
+        window: disasm_window(&t.name, &t.instrs, error.instr_index()),
+        error,
+    })
+}
+
 /// Verify a template.
 ///
 /// # Errors
@@ -176,5 +255,39 @@ mod tests {
             verify(&t),
             Err(VerifyError::BadHoleId { hole: 3, .. })
         ));
+    }
+
+    #[test]
+    fn report_names_template_and_disassembles_window() {
+        use quamachine::isa::{BranchTarget, Instr};
+        let t = Template {
+            name: "pipe_write".into(),
+            instrs: vec![
+                Instr::Move(L, Imm(1), Dr(0)),
+                Instr::Bcc(Cond::Eq, BranchTarget::Idx(9)),
+                Instr::Rts,
+            ],
+            holes: vec![],
+            marks: std::collections::HashMap::new(),
+        };
+        let r = verify_reported(&t).unwrap_err();
+        assert_eq!(r.template, "pipe_write");
+        assert!(matches!(r.error, VerifyError::BranchOutOfRange { .. }));
+        // The snippet marks the offending branch and shows neighbours.
+        assert!(r.window.contains("-> pipe_write+1"), "{}", r.window);
+        assert!(r.window.contains("   pipe_write+0"), "{}", r.window);
+        let msg = r.to_string();
+        assert!(msg.contains("pipe_write") && msg.contains("out of range"));
+    }
+
+    #[test]
+    fn report_anchors_fallthrough_at_the_tail() {
+        let mut a = Asm::new("drain");
+        a.move_i(L, 1, Dr(1));
+        a.move_i(L, 2, Dr(2));
+        let t = Template::from_asm(a).unwrap();
+        let r = verify_reported(&t).unwrap_err();
+        assert_eq!(r.error, VerifyError::FallsOffEnd);
+        assert!(r.window.contains("drain+1"), "{}", r.window);
     }
 }

@@ -158,6 +158,57 @@ impl ChannelSpec {
         }
     }
 
+    /// The trap-elided fused wrapper for one end of this channel: the
+    /// template name and the full binding set (wrapper holes plus the
+    /// collapsed callee's holes, namespaced `"<callee>~rts.<hole>"` the
+    /// way Collapsing Layers renames them).
+    ///
+    /// `None` when the end does not exist or has no fused form (e.g.
+    /// the cooked tty's line-editing read). Pipe-end eligibility (solo
+    /// pipes only) is the *kernel's* call — see
+    /// [`Kernel::fused_rw_spec`](crate::kernel::Kernel::fused_rw_spec)
+    /// — because it needs the live reader/writer counts.
+    #[must_use]
+    pub fn fused_end(&self, read_end: bool, fd: u32) -> Option<(String, Bindings)> {
+        let end = if read_end {
+            self.read.as_ref()
+        } else {
+            self.write.as_ref()
+        }?;
+        if !matches!(
+            end.template,
+            "pipe_read"
+                | "pipe_write"
+                | "read_null"
+                | "write_null"
+                | "read_tty"
+                | "write_tty"
+                | "read_file"
+                | "write_file"
+        ) {
+            return None;
+        }
+        let fused = format!("fused_{}", end.template);
+        let callee = format!("{}~rts", end.template);
+        let mut b = Bindings::new();
+        b.bind("fd", fd);
+        // The pipe wrappers carry their own copy of the ring invariants
+        // for the 1-byte fast path.
+        if end.template == "pipe_write" || end.template == "pipe_read" {
+            for name in ["head_slot", "tail_slot", "buf", "mask", "gauge"] {
+                b.bind(name, end.bindings.get(name)?);
+            }
+            if end.template == "pipe_write" {
+                b.bind("size", end.bindings.get("size")?);
+            }
+        }
+        // The collapsed callee's holes, namespaced by Collapsing Layers.
+        for (name, val) in end.bindings.sorted_pairs() {
+            b.bind(format!("{callee}.{name}"), val);
+        }
+        Some((fused, b))
+    }
+
     fn pipe_bindings(p: &Pipe, gauge: u32) -> Bindings {
         Bindings::new()
             .with("head_slot", p.head_slot)

@@ -32,6 +32,9 @@ pub mod syscall;
 pub fn install_all(lib: &mut TemplateLib) {
     lib.add(ctxsw::switch_template(false));
     lib.add(ctxsw::switch_template(true));
+    lib.add(ctxsw::switch_template_hooked(false));
+    lib.add(ctxsw::switch_template_hooked(true));
+    lib.add(ctxsw::resume_hook_nop_template());
     lib.add(rw::read_null_template());
     lib.add(rw::write_null_template());
     lib.add(rw::read_tty_template());
@@ -49,6 +52,37 @@ pub fn install_all(lib: &mut TemplateLib) {
     lib.add(syscall::rw_dispatch_template(2));
     lib.add(syscall::ebadf_template());
     lib.add(syscall::kcall_trampoline_template());
+    // Trap-elided (`jsr`-entered) variants of every rw body, and the
+    // fused wrappers that guard them (see `syscall`): the bodies are
+    // the same templates with `rte` → `rts`.
+    for name in [
+        "pipe_write",
+        "pipe_read",
+        "read_null",
+        "write_null",
+        "read_tty",
+        "write_tty",
+        "read_file",
+        "write_file",
+    ] {
+        let v = lib
+            .get(name)
+            .expect("body installed above")
+            .returning_variant();
+        lib.add(v);
+    }
+    lib.add(syscall::fused_pipe_write_template());
+    lib.add(syscall::fused_pipe_read_template());
+    for callee in [
+        "read_null",
+        "write_null",
+        "read_tty",
+        "write_tty",
+        "read_file",
+        "write_file",
+    ] {
+        lib.add(syscall::fused_rw_template(callee));
+    }
     lib.add(irq::tty_rx_template());
     lib.add(irq::ad_simple_template());
     for i in 0..8 {
@@ -68,10 +102,29 @@ mod tests {
     fn all_templates_verify() {
         let mut lib = TemplateLib::new();
         install_all(&mut lib);
-        assert!(lib.len() >= 28);
+        assert!(lib.len() >= 44);
         for name in [
+            "pipe_write~rts",
+            "pipe_read~rts",
+            "read_null~rts",
+            "write_null~rts",
+            "read_tty~rts",
+            "write_tty~rts",
+            "read_file~rts",
+            "write_file~rts",
+            "fused_pipe_write",
+            "fused_pipe_read",
+            "fused_read_null",
+            "fused_write_null",
+            "fused_read_tty",
+            "fused_write_tty",
+            "fused_read_file",
+            "fused_write_file",
             "sw_basic",
             "sw_fp",
+            "sw_basic_hooked",
+            "sw_fp_hooked",
+            "resume_hook",
             "read_null",
             "write_null",
             "read_tty",

@@ -211,6 +211,30 @@ impl CodeMem {
             _ => Err(MachineError::BadPatch(addr)),
         }
     }
+
+    /// Retarget an absolute `jsr` in place (same encoded size, so no
+    /// other instruction moves). This is the inline-cache patch point of
+    /// the fused syscall path: a call site bound to one specialized body
+    /// can be rebound to another, or back to its slow-path thunk.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `addr` is not a loaded instruction or not an absolute
+    /// `jsr`.
+    pub fn patch_jsr_target(&mut self, addr: u32, target: u32) -> Result<(), MachineError> {
+        let loc = self.locate(addr).ok_or(MachineError::BadPatch(addr))?;
+        let block = self
+            .blocks
+            .get_mut(&loc.block_base)
+            .ok_or(MachineError::BadPatch(addr))?;
+        match &mut block.instrs[loc.index] {
+            Instr::Jsr(op @ (Operand::Abs(_) | Operand::AbsHole(_))) => {
+                *op = Operand::Abs(target);
+                Ok(())
+            }
+            _ => Err(MachineError::BadPatch(addr)),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -274,6 +298,31 @@ mod tests {
         assert_eq!(cm.instr(loc), Some(&Instr::Jmp(Abs(0x2222))));
         // Patching a non-jmp fails.
         assert!(cm.patch_jmp_target(0x1000, 0).is_err());
+    }
+
+    #[test]
+    fn patch_jsr() {
+        let mut cm = CodeMem::new();
+        cm.load(
+            0x1000,
+            CodeBlock::new(
+                "site",
+                vec![
+                    Instr::Jsr(Abs(0x100)), // 6 bytes @0
+                    Instr::Rts,             // 2 bytes @6
+                ],
+            ),
+        )
+        .unwrap();
+        cm.patch_jsr_target(0x1000, 0x3333).unwrap();
+        let loc = cm.locate(0x1000).unwrap();
+        assert_eq!(cm.instr(loc), Some(&Instr::Jsr(Abs(0x3333))));
+        // Re-patching (inline-cache rebind) also works.
+        cm.patch_jsr_target(0x1000, 0x4444).unwrap();
+        let loc = cm.locate(0x1000).unwrap();
+        assert_eq!(cm.instr(loc), Some(&Instr::Jsr(Abs(0x4444))));
+        // Patching a non-jsr fails.
+        assert!(cm.patch_jsr_target(0x1006, 0).is_err());
     }
 
     #[test]

@@ -167,6 +167,22 @@ impl Memory {
     pub fn peek_bytes(&self, addr: u32, len: u32) -> Vec<u8> {
         self.bytes[addr as usize..(addr + len) as usize].to_vec()
     }
+
+    /// First address whose contents differ from `other`, or `None` if the
+    /// two memories are byte-identical (differential-execution
+    /// equivalence checking compares whole memories this way).
+    #[must_use]
+    pub fn first_diff(&self, other: &Memory) -> Option<u32> {
+        if self.bytes == other.bytes {
+            return None;
+        }
+        self.bytes
+            .iter()
+            .zip(&other.bytes)
+            .position(|(a, b)| a != b)
+            .map(|i| i as u32)
+            .or(Some(self.bytes.len().min(other.bytes.len()) as u32))
+    }
 }
 
 #[cfg(test)]

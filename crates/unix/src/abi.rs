@@ -30,3 +30,9 @@ pub const SYS_PIPE: u32 = 42;
 /// The `kcall` selector the Synthesis-side emulator uses for calls that
 /// are not pure register translations.
 pub const KCALL_UNIX: u16 = 0x40;
+
+/// The `kcall` selector of the fused-path *bind* thunk: a rewritten
+/// `read`/`write` call site lands here on its first execution; the
+/// emulator synthesizes the fd's fused wrapper and patches the site's
+/// `jsr` to enter it directly from then on (see `emu::UnixEmulator`).
+pub const KCALL_RW_BIND: u16 = 0x41;

@@ -16,7 +16,7 @@
 use std::collections::HashMap;
 
 use quamachine::asm::Asm;
-use quamachine::isa::{Cond, Operand::*, Size::*};
+use quamachine::isa::{BranchTarget, Cond, Instr, Operand, Operand::*, Size, Size::*};
 use quamachine::machine::RunExit;
 use synthesis_codegen::creator::Synthesized;
 use synthesis_codegen::template::{Bindings, Template};
@@ -55,12 +55,150 @@ pub fn unix_dispatch_template() -> Template {
     Template::from_asm(a).expect("assembles")
 }
 
+/// Trap-elision state: the static thunks rewritten call sites enter,
+/// and the live fused bindings (for invalidation at `close`/`exit`).
+/// One patched call site: its address, its direction (`true` = write),
+/// and the cache reference pinning the fused wrapper it jumps to.
+type BoundSite = (u32, bool, Synthesized);
+
+struct Fusion {
+    /// `[kcall KCALL_UNIX; rts]` — the slow calls, minus the trap.
+    unix_thunk: u32,
+    /// `[move #sysno,d0; kcall KCALL_RW_BIND; rts]`, one per direction —
+    /// first execution of a `read`/`write` site lands here; the emulator
+    /// binds the fused wrapper. The thunk re-materializes `d0` itself
+    /// because elision deletes the caller's `move #sysno,d0` (the bound
+    /// wrapper never reads it).
+    bind_r: u32,
+    /// See [`Fusion::bind_r`].
+    bind_w: u32,
+    /// `[move #sysno,d0; trap #3; rts]`, one per direction — the layered
+    /// fallback for unfusable fds.
+    shim_r: u32,
+    /// See [`Fusion::shim_r`].
+    shim_w: u32,
+    /// `(tid, fd)` → the call sites patched to that fd's fused wrapper.
+    sites: HashMap<(Tid, u32), Vec<BoundSite>>,
+}
+
 /// The UNIX emulator: wraps a booted Synthesis kernel.
 pub struct UnixEmulator {
     /// The underlying Synthesis kernel.
     pub k: Kernel,
     dispatchers: HashMap<Tid, Synthesized>,
+    fusion: Option<Fusion>,
 }
+
+/// Instruction indices that are branch targets of `instrs`.
+fn branch_targets(instrs: &[Instr]) -> Vec<bool> {
+    let mut t = vec![false; instrs.len()];
+    for i in instrs {
+        if let Instr::Bcc(_, BranchTarget::Idx(x)) | Instr::Dbf(_, BranchTarget::Idx(x)) = i {
+            if let Some(f) = t.get_mut(*x as usize) {
+                *f = true;
+            }
+        }
+    }
+    t
+}
+
+/// Whether the backward sysno scan may step over `i`: it neither writes
+/// `d0` nor transfers control. Conservative — anything unrecognized
+/// stops the scan and the trap is left alone.
+fn scan_safe(i: &Instr) -> bool {
+    let dst_safe = |dst: &Operand| !matches!(dst, Operand::Dr(0));
+    match i {
+        Instr::Move(_, _, dst)
+        | Instr::Add(_, _, dst)
+        | Instr::Sub(_, _, dst)
+        | Instr::And(_, _, dst)
+        | Instr::Or(_, _, dst)
+        | Instr::Eor(_, _, dst)
+        | Instr::Shift(_, _, _, dst) => dst_safe(dst),
+        Instr::Lea(_, _) | Instr::Cmp(_, _, _) | Instr::Tst(_, _) | Instr::Nop => true,
+        _ => false,
+    }
+}
+
+/// Whether `i` may read `d0` — conservative: any operand that mentions
+/// data register 0 (directly or as an index) counts as a read, even in
+/// destination position.
+fn reads_d0(i: &Instr) -> bool {
+    i.operands().iter().any(|o| match o {
+        Operand::Dr(0) => true,
+        Operand::Idx(_, _, spec) => !spec.addr && spec.reg == 0,
+        _ => false,
+    })
+}
+
+/// The syscall number a fall-through execution of `instrs[trap_at]`
+/// carries in `d0`: the nearest preceding `move.l #n,d0` with no
+/// intervening branch target or unrecognized instruction. Returns the
+/// number and the index of the `move` that loads it.
+fn sysno_before(instrs: &[Instr], targets: &[bool], trap_at: usize) -> Option<(u32, usize)> {
+    if targets[trap_at] {
+        return None; // jumpers may arrive with a different d0
+    }
+    let mut j = trap_at;
+    while j > 0 {
+        j -= 1;
+        if let Instr::Move(Size::L, Operand::Imm(n), Operand::Dr(0)) = instrs[j] {
+            return Some((n, j)); // found — even if `j` is itself a target
+        }
+        if !scan_safe(&instrs[j]) || targets[j] {
+            return None;
+        }
+    }
+    None
+}
+
+/// Rewrite every statically-resolvable `trap #3` in a user program into
+/// a `jsr` through a thunk: `read`/`write` sites get the *bind* thunk
+/// (first call synthesizes and splices in the fd's fused wrapper), all
+/// other calls the plain `kcall` thunk. Traps whose syscall number
+/// cannot be proven from the instruction stream are left alone — the
+/// layered path remains correct for them.
+///
+/// Index-based branch targets survive because the instruction *count*
+/// is preserved (`trap` is 2 bytes, `jsr abs.l` 6 — byte offsets are
+/// recomputed when the block is built). Returns the number of sites
+/// rewritten.
+///
+/// `read`/`write` sites additionally have their `move #sysno,d0`
+/// nop'd out: once bound, the fused wrapper keys on `d1`/`d2` only, and
+/// every path that still needs the number (bind thunk, layered shim,
+/// the wrapper's foreign-fd fallback) re-materializes `d0` itself. The
+/// nop is legal because the backward scan already proved straight-line
+/// flow from the move to the trap with no intervening entry point, and
+/// we check no instruction in between *reads* `d0` (`scan_safe` only
+/// rules out writes).
+fn elide_traps(instrs: &mut [Instr], unix_thunk: u32, bind_r: u32, bind_w: u32) -> u32 {
+    let targets = branch_targets(instrs);
+    let mut rewritten = 0;
+    for i in 0..instrs.len() {
+        if !matches!(instrs[i], Instr::Trap(abi::UNIX_TRAP)) {
+            continue;
+        }
+        let Some((sysno, mv)) = sysno_before(instrs, &targets, i) else {
+            continue;
+        };
+        let thunk = match sysno {
+            abi::SYS_READ => bind_r,
+            abi::SYS_WRITE => bind_w,
+            _ => unix_thunk,
+        };
+        if thunk != unix_thunk && !instrs[mv + 1..i].iter().any(reads_d0) {
+            instrs[mv] = Instr::Nop;
+        }
+        instrs[i] = Instr::Jsr(Operand::Abs(thunk));
+        rewritten += 1;
+    }
+    rewritten
+}
+
+/// Encoded size of `jsr abs.l` — the bind handler subtracts this from
+/// the pushed return address to locate the call site.
+const JSR_ABS_BYTES: u32 = 6;
 
 impl UnixEmulator {
     /// Wrap a kernel (installs the dispatcher template).
@@ -69,9 +207,71 @@ impl UnixEmulator {
         let mut e = UnixEmulator {
             k,
             dispatchers: HashMap::new(),
+            fusion: None,
         };
         e.k.creator.lib.add(unix_dispatch_template());
         e
+    }
+
+    /// Install the trap-elision thunks (idempotent). Requires the kernel
+    /// to have booted with fusion on.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::Invalid`] without [`KernelConfig::fuse`]
+    /// (synthesis_core::kernel::KernelConfig::fuse); synthesis errors.
+    pub fn install_fusion(&mut self) -> Result<(), KernelError> {
+        if !self.k.fuse {
+            return Err(KernelError::Invalid("fusion requires KernelConfig::fuse"));
+        }
+        if self.fusion.is_some() {
+            return Ok(());
+        }
+        let mut stub = |name: &str, body: &dyn Fn(&mut Asm)| -> Result<u32, KernelError> {
+            let mut a = Asm::new(name);
+            body(&mut a);
+            let t = Template::from_asm(a).expect("assembles");
+            Ok(self
+                .k
+                .creator
+                .synthesize_template(&mut self.k.m, &t, &Bindings::new(), self.k.opts)?
+                .base)
+        };
+        let unix_thunk = stub("unix_jsr_thunk", &|a| {
+            a.kcall(abi::KCALL_UNIX);
+            a.rts();
+        })?;
+        // The bind thunks and layered shims carry the syscall number
+        // themselves: elision nop'd the caller's `move #sysno,d0`.
+        let bind_r = stub("rw_bind_thunk_r", &|a| {
+            a.move_i(Size::L, abi::SYS_READ, Operand::Dr(0));
+            a.kcall(abi::KCALL_RW_BIND);
+            a.rts();
+        })?;
+        let bind_w = stub("rw_bind_thunk_w", &|a| {
+            a.move_i(Size::L, abi::SYS_WRITE, Operand::Dr(0));
+            a.kcall(abi::KCALL_RW_BIND);
+            a.rts();
+        })?;
+        let shim_r = stub("unix_trap_shim_r", &|a| {
+            a.move_i(Size::L, abi::SYS_READ, Operand::Dr(0));
+            a.trap(abi::UNIX_TRAP);
+            a.rts();
+        })?;
+        let shim_w = stub("unix_trap_shim_w", &|a| {
+            a.move_i(Size::L, abi::SYS_WRITE, Operand::Dr(0));
+            a.trap(abi::UNIX_TRAP);
+            a.rts();
+        })?;
+        self.fusion = Some(Fusion {
+            unix_thunk,
+            bind_r,
+            bind_w,
+            shim_r,
+            shim_w,
+            sites: HashMap::new(),
+        });
+        Ok(())
     }
 
     /// Install the UNIX personality on a thread: synthesize its
@@ -111,6 +311,7 @@ impl UnixEmulator {
             }
             match self.k.run(deadline - now) {
                 RunExit::KCall(sel) if sel == abi::KCALL_UNIX => self.unix_call(),
+                RunExit::KCall(sel) if sel == abi::KCALL_RW_BIND => self.rw_bind(),
                 other => return other,
             }
         }
@@ -132,6 +333,103 @@ impl UnixEmulator {
         self.k.exited.contains(&tid)
     }
 
+    /// Service the fused-path bind `kcall`: a rewritten `read`/`write`
+    /// site is executing the bind thunk for the first time (or after an
+    /// unfuse). Synthesize the fd's fused wrapper, patch the site's
+    /// `jsr` to enter it directly, and redirect the current call into
+    /// the fresh wrapper. Unfusable fds divert the site to the layered
+    /// trap shim instead.
+    fn rw_bind(&mut self) {
+        let sysno = self.k.m.cpu.d[0];
+        let fd = self.k.m.cpu.d[1];
+        // The return address the site's jsr pushed locates the site.
+        let ret = self.k.m.mem.peek(self.k.m.cpu.a[7], Size::L);
+        let site = ret.wrapping_sub(JSR_ABS_BYTES);
+        let write = sysno == abi::SYS_WRITE;
+        let f = self.fusion.as_ref().expect("bind kcall ⇒ fused boot");
+        let trap_shim = if write { f.shim_w } else { f.shim_r };
+        let spec = self
+            .k
+            .current_tid()
+            .and_then(|tid| self.k.fused_rw_spec(tid, fd, write).map(|s| (tid, s)));
+        let Some((tid, (name, bindings))) = spec else {
+            // Not fusable (foreign class, shared pipe, …): the site goes
+            // layered for good (an unfuse re-arms it).
+            let _ = self.k.m.code.patch_jsr_target(site, trap_shim);
+            self.k.m.cpu.pc = trap_shim;
+            return;
+        };
+        // Steer the pre-install equivalence trials down *both* guarded
+        // paths: the 1-byte fast path (d1 = this fd, d2 = 1) and the
+        // inlined general body (same fd, a count small enough that a
+        // trial's copy finishes well inside the cycle budget).
+        let mut opts = self.k.opts;
+        opts.superopt = true;
+        self.k.creator.diff_presets = vec![
+            vec![(true, 1, fd), (true, 2, 1)],
+            vec![(true, 1, fd), (true, 2, 5)],
+        ];
+        let s = self
+            .k
+            .creator
+            .synthesize_cached(&mut self.k.m, &name, &bindings, opts);
+        self.k.creator.diff_presets.clear();
+        match s {
+            Ok(s) => {
+                let entry = s.base;
+                let _ = self.k.m.code.patch_jsr_target(site, entry);
+                self.fusion
+                    .as_mut()
+                    .expect("checked above")
+                    .sites
+                    .entry((tid, fd))
+                    .or_default()
+                    .push((site, write, s));
+                // This call still has the thunk's return frame on the
+                // stack; run it through the wrapper now.
+                self.k.m.cpu.pc = entry;
+            }
+            Err(_) => {
+                // Synthesis failed (code space): fall back layered.
+                let _ = self.k.m.code.patch_jsr_target(site, trap_shim);
+                self.k.m.cpu.pc = trap_shim;
+            }
+        }
+    }
+
+    /// Drop every fused binding for `(tid, fd)`: re-arm the sites to the
+    /// bind thunk and release the wrappers' cache references.
+    fn unfuse(&mut self, tid: Tid, fd: u32) {
+        let Some(f) = self.fusion.as_mut() else {
+            return;
+        };
+        let Some(v) = f.sites.remove(&(tid, fd)) else {
+            return;
+        };
+        let (bind_r, bind_w) = (f.bind_r, f.bind_w);
+        for (site, write, s) in v {
+            let bind = if write { bind_w } else { bind_r };
+            let _ = self.k.m.code.patch_jsr_target(site, bind);
+            self.k.creator.destroy(&mut self.k.m, &s);
+        }
+    }
+
+    /// Drop every fused binding `tid` holds (thread exit).
+    fn unfuse_all(&mut self, tid: Tid) {
+        let Some(f) = self.fusion.as_ref() else {
+            return;
+        };
+        let fds: Vec<u32> = f
+            .sites
+            .keys()
+            .filter(|(t, _)| *t == tid)
+            .map(|&(_, fd)| fd)
+            .collect();
+        for fd in fds {
+            self.unfuse(tid, fd);
+        }
+    }
+
     /// Service one non-hot UNIX call (the `kcall` slow path).
     fn unix_call(&mut self) {
         let sysno = self.k.m.cpu.d[0];
@@ -140,6 +438,7 @@ impl UnixEmulator {
         let result: i64 = match sysno {
             abi::SYS_EXIT => {
                 if let Some(tid) = self.k.current_tid() {
+                    self.unfuse_all(tid);
                     let _ = self.k.destroy(tid);
                 }
                 0
@@ -170,10 +469,18 @@ impl UnixEmulator {
                     Err(e) => -i64::from(e),
                 }
             }
-            abi::SYS_CLOSE => match self.k.close(d1) {
-                Ok(()) => 0,
-                Err(e) => -i64::from(e),
-            },
+            abi::SYS_CLOSE => {
+                // The fd's fused call sites must not outlive the
+                // channel: re-arm them and drop the cache references
+                // before the close releases the endpoint code.
+                if let Some(tid) = self.k.current_tid() {
+                    self.unfuse(tid, d1);
+                }
+                match self.k.close(d1) {
+                    Ok(()) => 0,
+                    Err(e) => -i64::from(e),
+                }
+            }
             abi::SYS_LSEEK => {
                 // Whence is always 0 (absolute) in the benchmarks.
                 let off = self.k.m.cpu.d[2];
@@ -223,15 +530,31 @@ pub fn boot_with_program(
     use crate::programs::{addrs, path_blob};
     let k = Kernel::boot(cfg)?;
     let mut emu = UnixEmulator::new(k);
-    let entry = emu
-        .k
-        .load_user_program(program.assemble().expect("program assembles"))?;
+    let mut block = program.assemble().expect("program assembles");
+    if emu.k.fuse {
+        // Trap elision: rewrite the program's statically-resolvable
+        // syscall traps into jsr-thunk calls before loading (the fused
+        // wrappers bind in lazily, per call site, at first execution).
+        emu.install_fusion()?;
+        let f = emu.fusion.as_ref().expect("just installed");
+        let (ut, br, bw) = (f.unix_thunk, f.bind_r, f.bind_w);
+        let mut instrs = block.instrs;
+        elide_traps(&mut instrs, ut, br, bw);
+        block = quamachine::code::CodeBlock::new(block.name, instrs);
+    }
+    let entry = emu.k.load_user_program(block)?;
     emu.k.m.mem.poke_bytes(addrs::PATHS, &path_blob());
-    let map = quamachine::mem::AddressMap::single(
-        1,
-        synthesis_core::layout::USER_BASE,
-        synthesis_core::layout::USER_LEN,
-    );
+    // Fused callers share the kernel's flat space (that is what makes
+    // the trap redundant); the layered boot keeps the user window.
+    let map = if emu.k.fuse {
+        quamachine::mem::AddressMap::single(1, 0, emu.k.m.mem.size())
+    } else {
+        quamachine::mem::AddressMap::single(
+            1,
+            synthesis_core::layout::USER_BASE,
+            synthesis_core::layout::USER_LEN,
+        )
+    };
     let tid = emu.k.create_thread(entry, addrs::USTACK, map)?;
     emu.install(tid)?;
     emu.k.start(tid)?;
